@@ -1,0 +1,102 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at quick scale. Each benchmark reports the paper artifact it reproduces;
+// the rows themselves are printed once under -v via b.Log, and
+// cmd/experiments prints them at any scale.
+//
+// Run: go test -bench=. -benchmem
+package rfidtrack
+
+import (
+	"strings"
+	"testing"
+
+	"rfidtrack/internal/expt"
+)
+
+// benchScale keeps each artifact benchmark to a few seconds.
+func benchScale() expt.Scale {
+	sc := expt.QuickScale()
+	sc.Epochs = 900
+	sc.LongEpochs = 1200
+	sc.ItemsPerCase = 5
+	return sc
+}
+
+// runArtifact drives one artifact generator as a benchmark body.
+func runArtifact(b *testing.B, fn func(expt.Scale) expt.Table) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl := fn(sc)
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", tbl.ID)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			tbl.Fprint(&sb)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkFigure4Evidence regenerates Figure 4 (point and cumulative
+// evidence of co-location for the R / NRC / NRNC candidate containers).
+func BenchmarkFigure4Evidence(b *testing.B) { runArtifact(b, expt.Figure4) }
+
+// BenchmarkFigure5aReadRate regenerates Figure 5(a) (history-truncation
+// methods vs read rate).
+func BenchmarkFigure5aReadRate(b *testing.B) { runArtifact(b, expt.Figure5a) }
+
+// BenchmarkFigure5bTraceLength regenerates Figure 5(b) (inference time vs
+// trace length).
+func BenchmarkFigure5bTraceLength(b *testing.B) { runArtifact(b, expt.Figure5b) }
+
+// BenchmarkFigure5cChangeInterval regenerates Figure 5(c) (change-detection
+// F-measure vs change interval, RFINFER vs SMURF*).
+func BenchmarkFigure5cChangeInterval(b *testing.B) { runArtifact(b, expt.Figure5c) }
+
+// BenchmarkFigure5dLabTraces regenerates Figure 5(d) (lab traces T1-T8,
+// RFINFER vs SMURF*).
+func BenchmarkFigure5dLabTraces(b *testing.B) { runArtifact(b, expt.Figure5d) }
+
+// BenchmarkFigure5eDistributed regenerates Figure 5(e) (distributed
+// inference error vs read rate).
+func BenchmarkFigure5eDistributed(b *testing.B) { runArtifact(b, expt.Figure5e) }
+
+// BenchmarkFigure5fDistributedChanges regenerates Figure 5(f) (distributed
+// inference error vs change interval).
+func BenchmarkFigure5fDistributedChanges(b *testing.B) { runArtifact(b, expt.Figure5f) }
+
+// BenchmarkFigure6aBasic regenerates Figure 6(a) (basic algorithm vs read
+// rate).
+func BenchmarkFigure6aBasic(b *testing.B) { runArtifact(b, expt.Figure6a) }
+
+// BenchmarkFigure6bTruncation regenerates Figure 6(b) (truncation methods
+// vs trace length).
+func BenchmarkFigure6bTruncation(b *testing.B) { runArtifact(b, expt.Figure6b) }
+
+// BenchmarkTable3Threshold regenerates Table 3 (δ sweep plus the offline
+// threshold).
+func BenchmarkTable3Threshold(b *testing.B) { runArtifact(b, expt.Table3) }
+
+// BenchmarkTable4RecentHistory regenerates Table 4 (H̄ sweep: F-measure and
+// time).
+func BenchmarkTable4RecentHistory(b *testing.B) { runArtifact(b, expt.Table4) }
+
+// BenchmarkTable5Communication regenerates Table 5 (communication costs of
+// centralized vs migration strategies).
+func BenchmarkTable5Communication(b *testing.B) { runArtifact(b, expt.Table5) }
+
+// BenchmarkTableQueryState regenerates the Section 5.4 table (Q1/Q2
+// accuracy and query-state sharing).
+func BenchmarkTableQueryState(b *testing.B) { runArtifact(b, expt.TableQueries) }
+
+// BenchmarkScalability regenerates the Section 5.3 scalability study.
+func BenchmarkScalability(b *testing.B) { runArtifact(b, expt.Scalability) }
+
+// BenchmarkSensitivity regenerates the Appendix C.4 sensitivity studies.
+func BenchmarkSensitivity(b *testing.B) { runArtifact(b, expt.Sensitivity) }
+
+// BenchmarkAblations measures the design-choice ablations DESIGN.md calls
+// out (location read-off depth, candidate pruning, EM iteration cap).
+func BenchmarkAblations(b *testing.B) { runArtifact(b, expt.Ablations) }

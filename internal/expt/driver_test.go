@@ -1,0 +1,58 @@
+package expt
+
+import (
+	"testing"
+
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/sim"
+)
+
+// TestPipelineSmoke checks the full sim -> infer -> score pipeline at small
+// scale: with a decent read rate and stable containment, containment error
+// should be low and location error very low.
+func TestPipelineSmoke(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Epochs = 900
+	cfg.RR = 0.8
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Single()
+	res := RunSingleSite(tr, rfinfer.DefaultConfig(), 300)
+	if res.Runs != 3 {
+		t.Fatalf("got %d runs, want 3", res.Runs)
+	}
+	if res.ContErr.Total == 0 {
+		t.Fatal("no containment observations scored")
+	}
+	t.Logf("containment error %.2f%% (%d/%d), location error %.2f%% (%d/%d), iters %d",
+		res.ContErr.Rate(), res.ContErr.Wrong, res.ContErr.Total,
+		res.LocErr.Rate(), res.LocErr.Wrong, res.LocErr.Total, res.Iterations)
+	if res.ContErr.Rate() > 15 {
+		t.Errorf("containment error %.2f%% too high for RR=0.8", res.ContErr.Rate())
+	}
+	if res.LocErr.Rate() > 5 {
+		t.Errorf("location error %.2f%% too high for RR=0.8", res.LocErr.Rate())
+	}
+}
+
+// TestPipelinePerfectReads checks that with perfect readers containment
+// inference is essentially exact.
+func TestPipelinePerfectReads(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Epochs = 900
+	cfg.RR = 1.0
+	cfg.OR = 0.0
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunSingleSite(w.Single(), rfinfer.DefaultConfig(), 300)
+	if res.ContErr.Rate() > 1 {
+		t.Errorf("containment error %.2f%% with perfect reads", res.ContErr.Rate())
+	}
+	if res.LocErr.Rate() > 1 {
+		t.Errorf("location error %.2f%% with perfect reads", res.LocErr.Rate())
+	}
+}

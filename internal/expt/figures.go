@@ -1,0 +1,452 @@
+package expt
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/metrics"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/sim"
+	"rfidtrack/internal/smurf"
+)
+
+// baseConfig is the shared single-warehouse workload for a scale.
+func baseConfig(sc Scale) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = sc.Seed
+	cfg.Epochs = sc.Epochs
+	cfg.ItemsPerCase = sc.ItemsPerCase
+	return cfg
+}
+
+// configForLength clips the shelf dwell so that short traces remain valid
+// (a pallet must be able to pass through the warehouse).
+func configForLength(sc Scale, length model.Epoch) sim.Config {
+	cfg := baseConfig(sc)
+	cfg.Epochs = length
+	minDwell := cfg.EntryDwell + cfg.CasesPerPallet*cfg.BeltDwell + cfg.ExitDwell
+	if maxShelf := int(length) - minDwell - 10; cfg.ShelfDwell > maxShelf {
+		cfg.ShelfDwell = maxShelf
+	}
+	return cfg
+}
+
+// Figure4 reproduces Figure 4: the point and cumulative evidence of
+// co-location of three candidate containers for one object — the real
+// container R (always together), NRC (co-located at the door and on the
+// shelf but not at the belt), and NRNC (co-located only at the door). The
+// rows are (epoch, point R, point NRC, point NRNC, cum R, cum NRC, cum
+// NRNC), subsampled for readability.
+func Figure4(sc Scale) Table {
+	// Hand-built scenario on the standard warehouse layout: entry(0),
+	// belt(1), shelves 2..9, exit(10).
+	cfg := baseConfig(sc)
+	cfg.Epochs = 220
+	cfg.ShelfDwell = 100        // keep the config valid; we only need the tables
+	w, err := sim.Generate(cfg) // only for its likelihood tables
+	if err != nil {
+		panic(err)
+	}
+	tr := w.Single()
+	lik := tr.Likelihood()
+	eng := rfinfer.New(lik, rfinfer.DefaultConfig())
+
+	const (
+		object = model.TagID(0)
+		r      = model.TagID(1)
+		nrc    = model.TagID(2)
+		nrnc   = model.TagID(3)
+	)
+	eng.RegisterObject(object)
+	for _, c := range []model.TagID{r, nrc, nrnc} {
+		eng.RegisterContainer(c)
+	}
+
+	// Stays: door [0,40), belt [100,110) (object + R only), shelf2 from 140.
+	// NRC: door, elsewhere during belt, shelf2 from 140. NRNC: door then
+	// shelf4.
+	rng := newDetRand(sc.Seed)
+	synth := func(id model.TagID, stays [][3]model.Epoch) { // {from,to,loc}
+		for _, st := range stays {
+			for t := st[0]; t < st[1]; t++ {
+				var m model.Mask
+				scan := lik.Schedule().ScanMask(t)
+				for scan != 0 {
+					rr := scan.First()
+					if rng.Float64() < lik.Rates().Prob(rr, model.Loc(st[2])) {
+						m = m.Set(rr)
+					}
+					scan &= scan - 1
+				}
+				if m != 0 {
+					if err := eng.ObserveMask(t, id, m); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}
+	synth(object, [][3]model.Epoch{{0, 40, 0}, {100, 110, 1}, {140, 220, 2}})
+	synth(r, [][3]model.Epoch{{0, 40, 0}, {100, 110, 1}, {140, 220, 2}})
+	synth(nrc, [][3]model.Epoch{{0, 40, 0}, {100, 110, 0}, {140, 220, 2}})
+	synth(nrnc, [][3]model.Epoch{{0, 40, 0}, {100, 220, 4}})
+
+	eng.Run(219)
+	cands, epochs, point := eng.EvidenceSeries(object)
+
+	idx := map[model.TagID]int{}
+	for i, c := range cands {
+		idx[c] = i
+	}
+	tbl := Table{
+		ID:     "Figure 4",
+		Title:  "point and cumulative evidence of co-location (R / NRC / NRNC)",
+		Header: []string{"t", "point R", "point NRC", "point NRNC", "cum R", "cum NRC", "cum NRNC"},
+	}
+	cum := make([]float64, 3)
+	order := []model.TagID{r, nrc, nrnc}
+	for i, t := range epochs {
+		row := []string{fmt.Sprint(t)}
+		var pts []float64
+		for j, c := range order {
+			v := 0.0
+			if k, ok := idx[c]; ok {
+				v = point[k][i]
+			}
+			cum[j] += v
+			pts = append(pts, v)
+		}
+		for _, v := range pts {
+			row = append(row, f2(v))
+		}
+		for _, v := range cum {
+			row = append(row, f1(v))
+		}
+		if i%10 == 0 || i == len(epochs)-1 {
+			tbl.Rows = append(tbl.Rows, row)
+		}
+	}
+	return tbl
+}
+
+// Figure5a reproduces Figure 5(a): containment error of the All / W1200 /
+// CR retention methods plus CR location error, as the read rate varies.
+func Figure5a(sc Scale) Table {
+	tbl := Table{
+		ID:     "Figure 5(a)",
+		Title:  "history methods vs read rate (stable containment)",
+		Header: []string{"RR", "Cont(W1200)%", "Cont(All)%", "Cont(CR)%", "Loc(CR)%"},
+	}
+	for _, rr := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+		cfg := baseConfig(sc)
+		cfg.RR = rr
+		w, err := sim.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tr := w.Single()
+
+		win := rfinfer.DefaultConfig()
+		win.Truncation = rfinfer.TruncateWindow
+		win.FixedWindow = 1200
+		all := rfinfer.DefaultConfig()
+		all.Truncation = rfinfer.TruncateNone
+		cr := rfinfer.DefaultConfig()
+
+		rw := RunSingleSite(tr, win, sc.Interval)
+		ra := RunSingleSite(tr, all, sc.Interval)
+		rc := RunSingleSite(tr, cr, sc.Interval)
+		tbl.Rows = append(tbl.Rows, []string{
+			f1(rr), f2(rw.ContErr.Rate()), f2(ra.ContErr.Rate()),
+			f2(rc.ContErr.Rate()), f2(rc.LocErr.Rate()),
+		})
+	}
+	return tbl
+}
+
+// Figure5b reproduces Figure 5(b): total inference time of the three
+// retention methods as the trace length grows.
+func Figure5b(sc Scale) Table {
+	tbl := Table{
+		ID:     "Figure 5(b)",
+		Title:  "inference time (ms) vs trace length",
+		Header: []string{"length", "Inference(W1200)", "Inference(All)", "Inference(CR)"},
+	}
+	lengths := []model.Epoch{600, 1200, 1800, 2400, 3000, 3600}
+	if sc.Epochs < 3600 {
+		lengths = []model.Epoch{600, 1200, 1800, 2400}
+	}
+	for _, length := range lengths {
+		cfg := configForLength(sc, length)
+		w, err := sim.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tr := w.Single()
+
+		win := rfinfer.DefaultConfig()
+		win.Truncation = rfinfer.TruncateWindow
+		win.FixedWindow = 1200
+		all := rfinfer.DefaultConfig()
+		all.Truncation = rfinfer.TruncateNone
+		cr := rfinfer.DefaultConfig()
+
+		rw := RunSingleSite(tr, win, sc.Interval)
+		ra := RunSingleSite(tr, all, sc.Interval)
+		rc := RunSingleSite(tr, cr, sc.Interval)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(length),
+			fmt.Sprint(rw.InferTime.Milliseconds()),
+			fmt.Sprint(ra.InferTime.Milliseconds()),
+			fmt.Sprint(rc.InferTime.Milliseconds()),
+		})
+	}
+	return tbl
+}
+
+// changeRun scores change detection for one engine configuration.
+func changeRun(w *sim.World, icfg rfinfer.Config, sc Scale) metrics.PRF {
+	res := RunSingleSite(w.Single(), icfg, sc.Interval)
+	var truth, det []metrics.ChangeEvent
+	for _, ch := range w.Changes {
+		truth = append(truth, metrics.ChangeEvent{Object: ch.Object, T: ch.T})
+	}
+	for _, d := range res.Detections {
+		det = append(det, metrics.ChangeEvent{Object: d.Object, T: d.At})
+	}
+	return metrics.MatchChanges(truth, det, sc.Tol)
+}
+
+// smurfChangeRun scores the SMURF* baseline's change reports.
+func smurfChangeRun(w *sim.World, sc Scale) metrics.PRF {
+	res := RunSingleSiteSMURF(w.Single(), smurf.DefaultConfig(), sc.Interval)
+	var truth, det []metrics.ChangeEvent
+	for _, ch := range w.Changes {
+		truth = append(truth, metrics.ChangeEvent{Object: ch.Object, T: ch.T})
+	}
+	for _, d := range res.Changes {
+		det = append(det, metrics.ChangeEvent{Object: d.Object, T: d.At})
+	}
+	return metrics.MatchChanges(truth, det, sc.Tol)
+}
+
+// Figure5c reproduces Figure 5(c): change-detection F-measure vs the
+// containment change interval, RFINFER (calibrated δ, H̄=500) vs SMURF*.
+func Figure5c(sc Scale) Table {
+	tbl := Table{
+		ID:     "Figure 5(c)",
+		Title:  "change detection F-measure (%) vs change interval",
+		Header: []string{"interval", "RR=0.8 RFINFER", "RR=0.7 RFINFER", "RR=0.8 SMURF*", "RR=0.7 SMURF*"},
+	}
+	intervals := []int{20, 40, 60, 90, 120}
+	deltas := map[float64]float64{}
+	for _, rr := range []float64{0.7, 0.8} {
+		cfg := baseConfig(sc)
+		cfg.Epochs = sc.LongEpochs
+		cfg.RR = rr
+		cfg.AnomalyEvery = 60
+		d, err := CalibrateDelta(cfg, rfinfer.DefaultConfig(), sc.Interval)
+		if err != nil {
+			panic(err)
+		}
+		deltas[rr] = d
+	}
+	for _, fa := range intervals {
+		row := []string{fmt.Sprint(fa)}
+		for _, rr := range []float64{0.8, 0.7} {
+			cfg := baseConfig(sc)
+			cfg.Epochs = sc.LongEpochs
+			cfg.RR = rr
+			cfg.AnomalyEvery = fa
+			w, err := sim.Generate(cfg)
+			if err != nil {
+				panic(err)
+			}
+			icfg := rfinfer.DefaultConfig()
+			icfg.RecentHistory = 500 // the paper's stream-speed H̄
+			icfg.Delta = deltas[rr]
+			row = append(row, f1(changeRun(w, icfg, sc).F))
+		}
+		for _, rr := range []float64{0.8, 0.7} {
+			cfg := baseConfig(sc)
+			cfg.Epochs = sc.LongEpochs
+			cfg.RR = rr
+			cfg.AnomalyEvery = fa
+			w, err := sim.Generate(cfg)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, f1(smurfChangeRun(w, sc).F))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}
+
+// Figure5d reproduces Figure 5(d): RFINFER vs SMURF* containment and
+// location error on the eight lab traces.
+func Figure5d(sc Scale) Table {
+	tbl := Table{
+		ID:     "Figure 5(d)",
+		Title:  "lab traces T1-T8: error rates (%)",
+		Header: []string{"trace", "SMURF* Cont", "SMURF* Loc", "RFINFER Cont", "RFINFER Loc"},
+	}
+	// δ calibrated once on a change-free lab configuration.
+	labCal := sim.LabConfig(sim.LabTraces()[0], sc.Seed)
+	delta, err := CalibrateDelta(labCal, labInferConfig(), 300)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range sim.LabTraces() {
+		tr, _, err := sim.LabTrace(p, sc.Seed)
+		if err != nil {
+			panic(err)
+		}
+		icfg := labInferConfig()
+		if p.Changes {
+			icfg.Delta = delta
+		}
+		// The paper runs inference every 5 minutes with a 10-minute history.
+		rf := RunSingleSite(tr, icfg, 300)
+		sm := RunSingleSiteSMURF(tr, smurf.DefaultConfig(), 300)
+		tbl.Rows = append(tbl.Rows, []string{
+			p.Name,
+			f2(sm.ContErr.Rate()), f2(sm.LocErr.Rate()),
+			f2(rf.ContErr.Rate()), f2(rf.LocErr.Rate()),
+		})
+	}
+	return tbl
+}
+
+// labInferConfig is the lab-deployment inference configuration: 10-minute
+// recent history, inference every 5 minutes.
+func labInferConfig() rfinfer.Config {
+	cfg := rfinfer.DefaultConfig()
+	cfg.RecentHistory = 600
+	return cfg
+}
+
+// Figure5e reproduces Figure 5(e): distributed inference error vs read rate
+// for the None / CR / centralized-accuracy strategies.
+func Figure5e(sc Scale) Table {
+	tbl := Table{
+		ID:     "Figure 5(e)",
+		Title:  "distributed inference: containment error (%) vs read rate",
+		Header: []string{"RR", "None", "CR", "Centralized"},
+	}
+	for _, rr := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+		row := []string{f1(rr)}
+		w := distWorld(sc, rr, 0)
+		for _, st := range []dist.Strategy{dist.MigrateNone, dist.MigrateWeights, dist.MigrateFull} {
+			cl := dist.NewCluster(w, st, rfinfer.DefaultConfig())
+			cl.Parallel = true
+			res, err := cl.Replay(sc.Interval)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, f2(res.ContErr.Rate()))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}
+
+// Figure5f reproduces Figure 5(f): distributed inference error vs the
+// containment change interval.
+func Figure5f(sc Scale) Table {
+	tbl := Table{
+		ID:     "Figure 5(f)",
+		Title:  "distributed inference: containment error (%) vs change interval",
+		Header: []string{"interval", "None", "CR", "Centralized"},
+	}
+	for _, fa := range []int{20, 40, 60, 90, 120} {
+		row := []string{fmt.Sprint(fa)}
+		w := distWorld(sc, 0.8, fa)
+		for _, st := range []dist.Strategy{dist.MigrateNone, dist.MigrateWeights, dist.MigrateFull} {
+			cl := dist.NewCluster(w, st, rfinfer.DefaultConfig())
+			cl.Parallel = true
+			res, err := cl.Replay(sc.Interval)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, f2(res.ContErr.Rate()))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}
+
+// distWorld builds the multi-warehouse workload of Section 5.3.
+func distWorld(sc Scale, rr float64, anomalyEvery int) *sim.World {
+	cfg := baseConfig(sc)
+	cfg.Warehouses = sc.Warehouses
+	cfg.PathLength = 2
+	cfg.Epochs = sc.LongEpochs
+	cfg.RR = rr
+	cfg.AnomalyEvery = anomalyEvery
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Figure6a reproduces Figure 6(a): the basic algorithm's containment and
+// location error vs read rate with full history on short traces.
+func Figure6a(sc Scale) Table {
+	tbl := Table{
+		ID:     "Figure 6(a)",
+		Title:  "basic algorithm error (%) vs read rate (1500 s traces, all history)",
+		Header: []string{"RR", "Containment", "Location"},
+	}
+	for _, rr := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+		cfg := baseConfig(sc)
+		cfg.Epochs = 1500
+		cfg.RR = rr
+		w, err := sim.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		icfg := rfinfer.DefaultConfig()
+		icfg.Truncation = rfinfer.TruncateNone
+		res := RunSingleSite(w.Single(), icfg, sc.Interval)
+		tbl.Rows = append(tbl.Rows, []string{f1(rr), f2(res.ContErr.Rate()), f2(res.LocErr.Rate())})
+	}
+	return tbl
+}
+
+// Figure6b reproduces Figure 6(b): containment error of the retention
+// methods vs trace length.
+func Figure6b(sc Scale) Table {
+	tbl := Table{
+		ID:     "Figure 6(b)",
+		Title:  "containment error (%) vs trace length",
+		Header: []string{"length", "Cont(All)", "Cont(CR)", "Cont(W1200)"},
+	}
+	lengths := []model.Epoch{600, 1200, 1800, 2400, 3000, 3600}
+	if sc.Epochs < 3600 {
+		lengths = []model.Epoch{600, 1200, 1800, 2400}
+	}
+	for _, length := range lengths {
+		cfg := configForLength(sc, length)
+		w, err := sim.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tr := w.Single()
+		all := rfinfer.DefaultConfig()
+		all.Truncation = rfinfer.TruncateNone
+		cr := rfinfer.DefaultConfig()
+		win := rfinfer.DefaultConfig()
+		win.Truncation = rfinfer.TruncateWindow
+		win.FixedWindow = 1200
+		ra := RunSingleSite(tr, all, sc.Interval)
+		rc := RunSingleSite(tr, cr, sc.Interval)
+		rw := RunSingleSite(tr, win, sc.Interval)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(length), f2(ra.ContErr.Rate()), f2(rc.ContErr.Rate()), f2(rw.ContErr.Rate()),
+		})
+	}
+	return tbl
+}

@@ -1,0 +1,102 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the artifact smoke tests fast.
+func tinyScale() Scale {
+	sc := QuickScale()
+	sc.Epochs = 900
+	sc.LongEpochs = 900
+	sc.ItemsPerCase = 5
+	return sc
+}
+
+func TestFigure4Shape(t *testing.T) {
+	tbl := Figure4(tinyScale())
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The real container must end with the highest cumulative evidence.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	cumR, _ := strconv.ParseFloat(last[4], 64)
+	cumNRC, _ := strconv.ParseFloat(last[5], 64)
+	cumNRNC, _ := strconv.ParseFloat(last[6], 64)
+	if !(cumR > cumNRC && cumR > cumNRNC) {
+		t.Errorf("R should dominate: R=%v NRC=%v NRNC=%v", cumR, cumNRC, cumNRNC)
+	}
+	// NRC re-approaches after the belt, so it must beat NRNC by the end
+	// (the Figure 4 narrative).
+	if cumNRC <= cumNRNC {
+		t.Errorf("NRC (%v) should end above NRNC (%v)", cumNRC, cumNRNC)
+	}
+}
+
+func TestFigure6aMonotoneShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tbl := Figure6a(tinyScale())
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	first, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	lastRow := tbl.Rows[len(tbl.Rows)-1]
+	last, _ := strconv.ParseFloat(lastRow[1], 64)
+	if last > first {
+		t.Errorf("containment error should fall with read rate: RR=0.6 %v, RR=1.0 %v", first, last)
+	}
+	if last > 1 {
+		t.Errorf("containment error at RR=1.0 should be ~0, got %v", last)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	sc := tinyScale()
+	sc.Warehouses = 2
+	tbl := Table5(sc)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		central, _ := strconv.Atoi(row[1])
+		cr, _ := strconv.Atoi(row[3])
+		if central <= 0 || cr <= 0 {
+			t.Fatalf("degenerate costs: %v", row)
+		}
+		if cr >= central {
+			t.Errorf("CR bytes (%d) should be below centralized (%d)", cr, central)
+		}
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := Table{
+		ID:     "Test 1",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Test 1") || !strings.Contains(out, "333") {
+		t.Fatalf("rendered table missing content:\n%s", out)
+	}
+}
+
+func TestScales(t *testing.T) {
+	q, f := QuickScale(), FullScale()
+	if q.Epochs >= f.Epochs || q.Warehouses >= f.Warehouses {
+		t.Error("quick scale not smaller than full scale")
+	}
+	if q.Interval != 300 || f.Interval != 300 {
+		t.Error("paper interval is 300 s")
+	}
+}

@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"sort"
+	"testing"
+
+	"rfidtrack/internal/metrics"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/sim"
+)
+
+// TestHierarchicalContainment exercises the Appendix A.4 extension: the
+// same engine infers the next packaging level by treating cases as objects
+// and pallets as containers (the simulator records case->pallet ground
+// truth).
+func TestHierarchicalContainment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Epochs = 900
+	cfg.ItemsPerCase = 5
+	cfg.RR = 0.9
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Single()
+
+	eng := rfinfer.New(tr.Likelihood(), rfinfer.DefaultConfig())
+	for i := range tr.Tags {
+		switch tr.Tags[i].Kind {
+		case model.KindPallet:
+			eng.RegisterContainer(tr.Tags[i].ID)
+		case model.KindCase:
+			eng.RegisterObject(tr.Tags[i].ID)
+		}
+	}
+	type ev struct {
+		t    model.Epoch
+		id   model.TagID
+		mask model.Mask
+	}
+	var feed []ev
+	for i := range tr.Tags {
+		if tr.Tags[i].Kind == model.KindItem {
+			continue
+		}
+		for _, rd := range tr.Tags[i].Readings {
+			feed = append(feed, ev{rd.T, tr.Tags[i].ID, rd.Mask})
+		}
+	}
+	sort.Slice(feed, func(i, j int) bool { return feed[i].t < feed[j].t })
+	idx := 0
+	var errs metrics.Counts
+	for ckpt := model.Epoch(300); ckpt <= tr.Epochs; ckpt += 300 {
+		for idx < len(feed) && feed[idx].t < ckpt {
+			if err := eng.ObserveMask(feed[idx].t, feed[idx].id, feed[idx].mask); err != nil {
+				t.Fatal(err)
+			}
+			idx++
+		}
+		eng.Run(ckpt - 1)
+		evalAt := ckpt - 1
+		for i := range tr.Tags {
+			tg := &tr.Tags[i]
+			if tg.Kind != model.KindCase || tg.TrueLocAt(evalAt) == model.NoLoc {
+				continue
+			}
+			errs.Total++
+			if eng.Container(tg.ID) != tg.TrueContAt(evalAt) {
+				errs.Wrong++
+			}
+		}
+	}
+	t.Logf("case->pallet containment error %.2f%% (%d/%d)", errs.Rate(), errs.Wrong, errs.Total)
+	if errs.Total == 0 {
+		t.Fatal("nothing scored")
+	}
+	// Pallet membership is harder than case membership (the pallet sits at
+	// the exit area while cases are shelved), but entry/exit co-location
+	// plus the high read rate should still beat 25% error comfortably.
+	if errs.Rate() > 25 {
+		t.Errorf("hierarchical containment error %.2f%% too high", errs.Rate())
+	}
+}

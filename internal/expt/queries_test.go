@@ -1,0 +1,102 @@
+package expt
+
+import (
+	"testing"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/sim"
+)
+
+func queryWorld(t *testing.T) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Warehouses = 2
+	cfg.PathLength = 2
+	cfg.Epochs = 2000
+	cfg.ItemsPerCase = 5
+	cfg.RR = 0.85
+	cfg.AnomalyEvery = 120
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunQueryExperimentQ1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	w := queryWorld(t)
+	p := DefaultQueryParams(300, model.Epoch(w.Cfg.TransitTime))
+	out, err := RunQueryExperiment(w, rfinfer.DefaultConfig(), p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Q1: truth=%d inferred=%d P=%.1f R=%.1f F=%.1f raw=%dB shared=%dB",
+		out.TruthAlerts, out.InferredAlerts, out.F.Precision, out.F.Recall, out.F.F,
+		out.RawBytes, out.SharedBytes)
+	if out.TruthAlerts == 0 {
+		t.Fatal("environment produced no ground-truth exposures")
+	}
+	if out.F.F < 60 {
+		t.Errorf("Q1 F-measure %.1f too low at RR=0.85", out.F.F)
+	}
+	if out.RawBytes > 0 && out.SharedBytes >= out.RawBytes {
+		t.Errorf("centroid sharing did not shrink state: raw=%d shared=%d",
+			out.RawBytes, out.SharedBytes)
+	}
+}
+
+func TestRunQueryExperimentQ2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	w := queryWorld(t)
+	p := DefaultQueryParams(300, model.Epoch(w.Cfg.TransitTime))
+	out, err := RunQueryExperiment(w, rfinfer.DefaultConfig(), p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Q2: truth=%d inferred=%d P=%.1f R=%.1f F=%.1f raw=%dB shared=%dB",
+		out.TruthAlerts, out.InferredAlerts, out.F.Precision, out.F.Recall, out.F.F,
+		out.RawBytes, out.SharedBytes)
+	if out.TruthAlerts == 0 {
+		t.Fatal("environment produced no ground-truth Q2 exposures")
+	}
+	if out.F.F < 60 {
+		t.Errorf("Q2 F-measure %.1f too low at RR=0.85", out.F.F)
+	}
+}
+
+func TestQueryParamsDeterministic(t *testing.T) {
+	p := DefaultQueryParams(300, 120)
+	if p.Frozen(0) != p.Frozen(100) {
+		t.Error("Frozen not periodic in id")
+	}
+	if !p.Freezer(0) {
+		t.Error("id 0 should be a freezer at 50%")
+	}
+	warm := p.TempAt(0, 10, 8)
+	cold := p.TempAt(3, 10, 8)
+	if warm < 15 || cold > 10 {
+		t.Errorf("temperatures wrong: warm=%v cold=%v", warm, cold)
+	}
+}
+
+func TestCalibrateDeltaPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Epochs = 900
+	cfg.ItemsPerCase = 5
+	d, err := CalibrateDelta(cfg, rfinfer.DefaultConfig(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("calibrated delta %v", d)
+	}
+}

@@ -1,0 +1,155 @@
+// Package metrics implements the evaluation metrics of Appendix C.1: error
+// rate against ground truth for location and containment inference, and
+// precision / recall / F-measure for change-point detection.
+package metrics
+
+import (
+	"sort"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/trace"
+)
+
+// Counts accumulates error-rate observations.
+type Counts struct {
+	Wrong, Total int
+}
+
+// Add merges another set of counts.
+func (c *Counts) Add(other Counts) {
+	c.Wrong += other.Wrong
+	c.Total += other.Total
+}
+
+// Rate returns the error rate in percent (0 if no observations).
+func (c Counts) Rate() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Wrong) / float64(c.Total)
+}
+
+// ContainmentErrorAt scores the inferred containment of every item present
+// at epoch t (present = has a ground-truth location there) against the
+// ground truth.
+func ContainmentErrorAt(tr *trace.Trace, t model.Epoch, inferred func(model.TagID) model.TagID) Counts {
+	var c Counts
+	for i := range tr.Tags {
+		tg := &tr.Tags[i]
+		if tg.Kind != model.KindItem {
+			continue
+		}
+		if tg.TrueLocAt(t) == model.NoLoc {
+			continue // not at this site: scored wherever it currently is
+		}
+		truth := tg.TrueContAt(t)
+		c.Total++
+		if inferred(tg.ID) != truth {
+			c.Wrong++
+		}
+	}
+	return c
+}
+
+// LocationErrorAt scores the inferred location of every tag of the given
+// kind present at epoch t.
+func LocationErrorAt(tr *trace.Trace, t model.Epoch, kind model.TagKind, inferred func(model.TagID) model.Loc) Counts {
+	var c Counts
+	for i := range tr.Tags {
+		tg := &tr.Tags[i]
+		if tg.Kind != kind {
+			continue
+		}
+		truth := tg.TrueLocAt(t)
+		if truth == model.NoLoc {
+			continue
+		}
+		c.Total++
+		if inferred(tg.ID) != truth {
+			c.Wrong++
+		}
+	}
+	return c
+}
+
+// PRF holds precision, recall and F-measure in percent.
+type PRF struct {
+	Precision, Recall, F float64
+	TP, FP, FN           int
+}
+
+// FMeasure combines true/false positive and false negative counts.
+func FMeasure(tp, fp, fn int) PRF {
+	out := PRF{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		out.Precision = 100 * float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		out.Recall = 100 * float64(tp) / float64(tp+fn)
+	}
+	if out.Precision+out.Recall > 0 {
+		out.F = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// ChangeEvent is a ground-truth or detected containment change used by
+// MatchChanges.
+type ChangeEvent struct {
+	Object model.TagID
+	T      model.Epoch
+}
+
+// MatchChanges greedily matches detections against ground-truth changes:
+// a detection is a true positive if an unmatched ground-truth change exists
+// for the same object within tol epochs. It returns the resulting PRF.
+func MatchChanges(truth, detected []ChangeEvent, tol model.Epoch) PRF {
+	byObj := make(map[model.TagID][]model.Epoch)
+	for _, ev := range truth {
+		byObj[ev.Object] = append(byObj[ev.Object], ev.T)
+	}
+	for _, ts := range byObj {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
+	used := make(map[model.TagID][]bool)
+	for obj, ts := range byObj {
+		used[obj] = make([]bool, len(ts))
+	}
+
+	tp, fp := 0, 0
+	for _, d := range detected {
+		ts := byObj[d.Object]
+		matched := false
+		bestIdx, bestDist := -1, model.Epoch(1<<30)
+		for i, t := range ts {
+			if used[d.Object][i] {
+				continue
+			}
+			dist := d.T - t
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist <= tol && dist < bestDist {
+				bestIdx, bestDist = i, dist
+			}
+		}
+		if bestIdx >= 0 {
+			used[d.Object][bestIdx] = true
+			matched = true
+		}
+		if matched {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	fn := 0
+	for obj, ts := range byObj {
+		for i := range ts {
+			if !used[obj][i] {
+				fn++
+			}
+		}
+	}
+	return FMeasure(tp, fp, fn)
+}

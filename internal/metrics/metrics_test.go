@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/trace"
+)
+
+func TestCountsRate(t *testing.T) {
+	var c Counts
+	if c.Rate() != 0 {
+		t.Fatal("empty counts rate")
+	}
+	c.Add(Counts{Wrong: 1, Total: 4})
+	c.Add(Counts{Wrong: 1, Total: 4})
+	if got := c.Rate(); got != 25 {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestFMeasure(t *testing.T) {
+	prf := FMeasure(0, 0, 0)
+	if prf.F != 0 || prf.Precision != 0 || prf.Recall != 0 {
+		t.Fatalf("zero counts: %+v", prf)
+	}
+	prf = FMeasure(10, 0, 0)
+	if prf.F != 100 {
+		t.Fatalf("perfect: %+v", prf)
+	}
+	prf = FMeasure(5, 5, 5)
+	if prf.Precision != 50 || prf.Recall != 50 || prf.F != 50 {
+		t.Fatalf("half: %+v", prf)
+	}
+}
+
+func TestFMeasureBoundsProperty(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		prf := FMeasure(int(tp), int(fp), int(fn))
+		return prf.Precision >= 0 && prf.Precision <= 100 &&
+			prf.Recall >= 0 && prf.Recall <= 100 &&
+			prf.F >= 0 && prf.F <= 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchChanges(t *testing.T) {
+	truth := []ChangeEvent{{Object: 1, T: 100}, {Object: 2, T: 200}, {Object: 1, T: 500}}
+	det := []ChangeEvent{
+		{Object: 1, T: 120}, // TP (matches 100)
+		{Object: 2, T: 600}, // FP (tolerance 50)
+		{Object: 1, T: 480}, // TP (matches 500)
+		{Object: 3, T: 100}, // FP (no truth for object 3)
+	}
+	prf := MatchChanges(truth, det, 50)
+	if prf.TP != 2 || prf.FP != 2 || prf.FN != 1 {
+		t.Fatalf("TP/FP/FN = %d/%d/%d", prf.TP, prf.FP, prf.FN)
+	}
+}
+
+func TestMatchChangesNoDoubleCount(t *testing.T) {
+	truth := []ChangeEvent{{Object: 1, T: 100}}
+	det := []ChangeEvent{{Object: 1, T: 90}, {Object: 1, T: 110}}
+	prf := MatchChanges(truth, det, 50)
+	if prf.TP != 1 || prf.FP != 1 {
+		t.Fatalf("double-counted: TP=%d FP=%d", prf.TP, prf.FP)
+	}
+}
+
+func TestMatchChangesEmpty(t *testing.T) {
+	prf := MatchChanges(nil, nil, 10)
+	if prf.TP != 0 || prf.FP != 0 || prf.FN != 0 {
+		t.Fatalf("empty: %+v", prf)
+	}
+}
+
+func scoredTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	rates, err := model.UniformReadRates(2, 0.8, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{
+		Epochs:  100,
+		Readers: []trace.Reader{{Loc: 0}, {Loc: 1}},
+		Rates:   rates,
+		Tags: []trace.Tag{
+			{ID: 0, Kind: model.KindCase},
+			{ID: 1, Kind: model.KindItem},
+			{ID: 2, Kind: model.KindItem},
+			{ID: 3, Kind: model.KindItem}, // absent: never scored
+		},
+	}
+	for _, id := range []int{0, 1, 2} {
+		tr.Tags[id].TrueLoc = []trace.LocSpan{{From: 0, To: 100, Loc: 1}}
+	}
+	tr.Tags[1].TrueCont = []trace.ContSpan{{From: 0, To: 100, Container: 0}}
+	tr.Tags[2].TrueCont = []trace.ContSpan{{From: 0, To: 100, Container: 0}}
+	return tr
+}
+
+func TestContainmentErrorAt(t *testing.T) {
+	tr := scoredTrace(t)
+	c := ContainmentErrorAt(tr, 50, func(id model.TagID) model.TagID {
+		if id == 1 {
+			return 0 // right
+		}
+		return 9 // wrong
+	})
+	if c.Total != 2 || c.Wrong != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestLocationErrorAt(t *testing.T) {
+	tr := scoredTrace(t)
+	c := LocationErrorAt(tr, 50, model.KindItem, func(id model.TagID) model.Loc {
+		return 1
+	})
+	if c.Total != 2 || c.Wrong != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+	// Absent tags (id 3) are skipped; cases are not items.
+	c = LocationErrorAt(tr, 50, model.KindCase, func(model.TagID) model.Loc { return 0 })
+	if c.Total != 1 || c.Wrong != 1 {
+		t.Fatalf("case counts = %+v", c)
+	}
+}

@@ -1,0 +1,20 @@
+// Package model implements the probabilistic graphical model of Section 3.1
+// of the paper: container locations, object locations, and noisy RFID
+// readings.
+//
+// The model discretizes time into epochs and space into the set of static
+// reader locations R. For each epoch t and container c the latent location
+// l_tc is uniform over R; objects share their container's location. Each
+// reader r independently detects a tag at true location a with probability
+// pi(r, a), the read rate (Eq 1 of the paper).
+//
+// Readings for one tag in one epoch are stored as a bitmask over reader
+// locations, so the per-epoch observation log-likelihood at a hypothesised
+// location a decomposes as
+//
+//	log p(mask | a) = base(a) + sum_{r in mask} delta(r, a)
+//
+// with base(a) = sum_r log(1-pi(r,a)) and delta(r,a) = log pi(r,a) -
+// log(1-pi(r,a)), both precomputed by ReadRates. This decomposition is what
+// makes the E-step of RFINFER linear in the number of stored readings.
+package model

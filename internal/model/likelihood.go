@@ -1,0 +1,107 @@
+package model
+
+import "math"
+
+// Likelihood combines a per-scan read-rate table with a reader schedule
+// into the full observation model: at epoch t, only the readers scanning at
+// t contribute evidence, so the all-miss log-likelihood ("base") is
+// per-phase.
+//
+// A Likelihood is immutable after New and safe for concurrent use.
+type Likelihood struct {
+	rates *ReadRates
+	sched *Schedule
+
+	base        [][]float64 // [phase][a]: sum over scanning r of log(1-pi(r,a))
+	uniformBase []float64   // [phase]: mean over a of base[phase][a]
+	meanDelta   []float64   // [r]: mean over a of delta(r,a)
+}
+
+// NewLikelihood precomputes the per-phase tables.
+func NewLikelihood(rates *ReadRates, sched *Schedule) *Likelihood {
+	n := rates.N()
+	l := &Likelihood{
+		rates:       rates,
+		sched:       sched,
+		base:        make([][]float64, sched.Cycle()),
+		uniformBase: make([]float64, sched.Cycle()),
+		meanDelta:   make([]float64, n),
+	}
+	for p := 0; p < sched.Cycle(); p++ {
+		row := make([]float64, n)
+		m := sched.masks[p]
+		for a := 0; a < n; a++ {
+			sum := 0.0
+			mm := m
+			for mm != 0 {
+				r := mm.First()
+				sum += logq(rates, r, Loc(a))
+				mm &= mm - 1
+			}
+			row[a] = sum
+			l.uniformBase[p] += sum
+		}
+		l.base[p] = row
+		l.uniformBase[p] /= float64(n)
+	}
+	for r := 0; r < n; r++ {
+		s := 0.0
+		for a := 0; a < n; a++ {
+			s += rates.Delta(Loc(r), Loc(a))
+		}
+		l.meanDelta[r] = s / float64(n)
+	}
+	return l
+}
+
+// logq returns log(1 - pi(r, a)).
+func logq(rates *ReadRates, r, a Loc) float64 {
+	return math.Log1p(-rates.Prob(r, a))
+}
+
+// Rates returns the underlying per-scan read-rate table.
+func (l *Likelihood) Rates() *ReadRates { return l.rates }
+
+// Schedule returns the reader schedule.
+func (l *Likelihood) Schedule() *Schedule { return l.sched }
+
+// N returns the number of reader locations.
+func (l *Likelihood) N() int { return l.rates.N() }
+
+// Base returns the all-miss log-likelihood at epoch t for true location a:
+// the log-probability that every reader scanning at t missed the tag.
+func (l *Likelihood) Base(t Epoch, a Loc) float64 {
+	return l.base[l.sched.Phase(t)][a]
+}
+
+// BaseRow returns the per-location all-miss log-likelihood row for epoch t.
+// Callers must not modify it.
+func (l *Likelihood) BaseRow(t Epoch) []float64 { return l.base[l.sched.Phase(t)] }
+
+// UniformBase returns the mean over locations of Base(t, ·): the all-miss
+// evidence under a uniform location posterior.
+func (l *Likelihood) UniformBase(t Epoch) float64 {
+	return l.uniformBase[l.sched.Phase(t)]
+}
+
+// Delta returns log pi(r,a) - log(1-pi(r,a)), the evidence adjustment for
+// reader r detecting the tag given true location a. Only meaningful for
+// epochs where r scans, which is guaranteed whenever a reading exists.
+func (l *Likelihood) Delta(r, a Loc) float64 { return l.rates.Delta(r, a) }
+
+// MeanDelta returns the mean over locations of Delta(r, ·).
+func (l *Likelihood) MeanDelta(r Loc) float64 { return l.meanDelta[r] }
+
+// MaskLogLik returns log p(mask | location=a, epoch t): the probability
+// that exactly the readers in mask (among those scanning at t) detected a
+// tag at location a.
+func (l *Likelihood) MaskLogLik(t Epoch, m Mask, a Loc) float64 {
+	ll := l.base[l.sched.Phase(t)][a]
+	n := l.rates.N()
+	for m != 0 {
+		r := m.First()
+		ll += l.rates.delta[int(r)*n+int(a)]
+		m &= m - 1
+	}
+	return ll
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TagID identifies a tagged physical object (item, case, or pallet). IDs are
+// dense integers assigned by the trace builder so they can index slices.
+type TagID int32
+
+// Epoch is a discrete time step (one second in all paper experiments).
+type Epoch int32
+
+// Loc indexes a reader location within a site. The set of possible object
+// locations is exactly the set of reader locations (Section 3.1).
+type Loc int32
+
+// NoLoc marks an unknown or out-of-site location.
+const NoLoc Loc = -1
+
+// MaxReaders bounds the number of reader locations per site so that one
+// epoch's readings for a tag fit in a single 64-bit mask.
+const MaxReaders = 64
+
+// TagKind classifies a tag by packaging level, derivable from the tag id
+// under the EPC tag data standard (Section 2).
+type TagKind uint8
+
+const (
+	// KindItem tags an individual object.
+	KindItem TagKind = iota
+	// KindCase tags a case containing items.
+	KindCase
+	// KindPallet tags a pallet containing cases.
+	KindPallet
+)
+
+// String returns the lower-case name of the kind.
+func (k TagKind) String() string {
+	switch k {
+	case KindItem:
+		return "item"
+	case KindCase:
+		return "case"
+	case KindPallet:
+		return "pallet"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Mask records which readers detected a tag during one epoch: bit r is set
+// iff the reader at location r returned a reading.
+type Mask uint64
+
+// Set returns m with the bit for reader r set.
+func (m Mask) Set(r Loc) Mask { return m | 1<<uint(r) }
+
+// Has reports whether the bit for reader r is set.
+func (m Mask) Has(r Loc) bool { return m&(1<<uint(r)) != 0 }
+
+// Count returns the number of readers that detected the tag.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Locs appends the set reader locations to dst and returns it.
+func (m Mask) Locs(dst []Loc) []Loc {
+	for m != 0 {
+		r := Loc(bits.TrailingZeros64(uint64(m)))
+		dst = append(dst, r)
+		m &= m - 1
+	}
+	return dst
+}
+
+// First returns the lowest set reader location, or NoLoc if the mask is
+// empty.
+func (m Mask) First() Loc {
+	if m == 0 {
+		return NoLoc
+	}
+	return Loc(bits.TrailingZeros64(uint64(m)))
+}
+
+// Reading is one epoch's observation bitmask for a single tag. Epochs with
+// an all-zero mask are not stored; their absence is the observation.
+type Reading struct {
+	T    Epoch
+	Mask Mask
+}
+
+// Containment is a set of (object, container) pairs, the C of the paper.
+// Index is the object tag; value is the container tag or -1 if unassigned.
+type Containment []TagID
+
+// NewContainment returns a containment relation over n objects with every
+// object unassigned.
+func NewContainment(n int) Containment {
+	c := make(Containment, n)
+	for i := range c {
+		c[i] = -1
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (c Containment) Clone() Containment {
+	out := make(Containment, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether two relations assign every object identically.
+func (c Containment) Equal(other Containment) bool {
+	if len(c) != len(other) {
+		return false
+	}
+	for i := range c {
+		if c[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskOps(t *testing.T) {
+	var m Mask
+	if m.Count() != 0 || m.First() != NoLoc {
+		t.Fatalf("empty mask: count=%d first=%d", m.Count(), m.First())
+	}
+	m = m.Set(3).Set(7).Set(3)
+	if m.Count() != 2 {
+		t.Fatalf("count=%d, want 2", m.Count())
+	}
+	if !m.Has(3) || !m.Has(7) || m.Has(5) {
+		t.Fatalf("membership wrong: %b", m)
+	}
+	if m.First() != 3 {
+		t.Fatalf("first=%d, want 3", m.First())
+	}
+	locs := m.Locs(nil)
+	if len(locs) != 2 || locs[0] != 3 || locs[1] != 7 {
+		t.Fatalf("locs=%v", locs)
+	}
+}
+
+func TestMaskLocsProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		m := Mask(raw)
+		locs := m.Locs(nil)
+		if len(locs) != m.Count() {
+			return false
+		}
+		var rebuilt Mask
+		for _, r := range locs {
+			rebuilt = rebuilt.Set(r)
+		}
+		return rebuilt == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagKindString(t *testing.T) {
+	cases := map[TagKind]string{KindItem: "item", KindCase: "case", KindPallet: "pallet", TagKind(9): "kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestContainment(t *testing.T) {
+	c := NewContainment(3)
+	for i, v := range c {
+		if v != -1 {
+			t.Fatalf("slot %d = %d, want -1", i, v)
+		}
+	}
+	c[1] = 7
+	cl := c.Clone()
+	if !c.Equal(cl) {
+		t.Fatal("clone not equal")
+	}
+	cl[2] = 5
+	if c.Equal(cl) {
+		t.Fatal("mutated clone still equal")
+	}
+	if c.Equal(NewContainment(2)) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func newTestRates(t *testing.T, n int) *ReadRates {
+	t.Helper()
+	pi := make([][]float64, n)
+	for r := range pi {
+		pi[r] = make([]float64, n)
+		for a := range pi[r] {
+			if r == a {
+				pi[r][a] = 0.8
+			} else if r-a == 1 || a-r == 1 {
+				pi[r][a] = 0.3
+			}
+		}
+	}
+	rr, err := NewReadRates(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+func TestReadRatesValidation(t *testing.T) {
+	if _, err := NewReadRates(nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := NewReadRates([][]float64{{0.5, 0.5}, {0.5}}); err == nil {
+		t.Error("ragged table accepted")
+	}
+	big := make([][]float64, MaxReaders+1)
+	for i := range big {
+		big[i] = make([]float64, MaxReaders+1)
+	}
+	if _, err := NewReadRates(big); err == nil {
+		t.Error("oversized table accepted")
+	}
+}
+
+func TestReadRatesClamping(t *testing.T) {
+	rr, err := NewReadRates([][]float64{{1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := rr.Prob(0, 0); p >= 1 || p <= 0 {
+		t.Errorf("probability %v not clamped into (0,1)", p)
+	}
+	if math.IsInf(rr.Base(0), 0) || math.IsNaN(rr.Base(0)) {
+		t.Errorf("base not finite: %v", rr.Base(0))
+	}
+}
+
+func TestMaskLogLikDecomposition(t *testing.T) {
+	rr := newTestRates(t, 4)
+	// Direct computation for mask {0, 2} at every location.
+	m := Mask(0).Set(0).Set(2)
+	for a := Loc(0); a < 4; a++ {
+		want := 0.0
+		for r := Loc(0); r < 4; r++ {
+			p := rr.Prob(r, a)
+			if m.Has(r) {
+				want += math.Log(p)
+			} else {
+				want += math.Log(1 - p)
+			}
+		}
+		got := rr.MaskLogLik(m, a)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("MaskLogLik(m, %d) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestMaskLogLiksMatchesScalar(t *testing.T) {
+	rr := newTestRates(t, 5)
+	f := func(raw uint16) bool {
+		m := Mask(raw & 0x1f)
+		dst := make([]float64, 5)
+		rr.MaskLogLiks(m, dst)
+		for a := Loc(0); a < 5; a++ {
+			if math.Abs(dst[a]-rr.MaskLogLik(m, a)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformReadRates(t *testing.T) {
+	rr, err := UniformReadRates(4, 0.8, 0.3, 0, func(r, a int) bool { return r-a == 1 || a-r == 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rr.Prob(1, 1); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("main rate %v", got)
+	}
+	if got := rr.Prob(1, 2); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("overlap rate %v", got)
+	}
+	if got := rr.Prob(0, 3); got > 1e-5 {
+		t.Errorf("far rate %v not near floor", got)
+	}
+}

@@ -1,0 +1,134 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// probFloor keeps read probabilities strictly inside (0, 1) so that log
+// terms stay finite. Real deployments measure rates with reference tags
+// (Section 3.1), which can never observe an exact 0 or 1 either.
+const probFloor = 1e-6
+
+// ReadRates holds the read-rate table pi(r, a): the probability that the
+// reader at location r detects a tag whose true location is a. The paper
+// measures this table with reference tags; the simulator constructs it from
+// the same RR/OR parameters used to generate readings.
+//
+// ReadRates precomputes the log-space tables used by the likelihood
+// decomposition documented in the package comment. A ReadRates value is
+// immutable after New and safe for concurrent use.
+type ReadRates struct {
+	n     int
+	pi    []float64 // pi[r*n+a]
+	delta []float64 // log pi - log(1-pi), same layout
+	base  []float64 // base[a] = sum_r log(1-pi(r,a))
+}
+
+// NewReadRates builds the table from pi, an n x n matrix where pi[r][a] is
+// the probability that reader r reads a tag at location a. Probabilities
+// are clamped into (0,1).
+func NewReadRates(pi [][]float64) (*ReadRates, error) {
+	n := len(pi)
+	if n == 0 {
+		return nil, fmt.Errorf("model: empty read-rate table")
+	}
+	if n > MaxReaders {
+		return nil, fmt.Errorf("model: %d readers exceeds MaxReaders=%d", n, MaxReaders)
+	}
+	rr := &ReadRates{
+		n:     n,
+		pi:    make([]float64, n*n),
+		delta: make([]float64, n*n),
+		base:  make([]float64, n),
+	}
+	for r := 0; r < n; r++ {
+		if len(pi[r]) != n {
+			return nil, fmt.Errorf("model: read-rate row %d has %d entries, want %d", r, len(pi[r]), n)
+		}
+		for a := 0; a < n; a++ {
+			p := clampProb(pi[r][a])
+			rr.pi[r*n+a] = p
+			lp, lq := math.Log(p), math.Log1p(-p)
+			rr.delta[r*n+a] = lp - lq
+			rr.base[a] += lq
+		}
+	}
+	return rr, nil
+}
+
+// UniformReadRates builds a table for n readers where each reader detects a
+// co-located tag with probability main, detects a tag at an overlapping
+// location with probability overlap (only for pairs marked adjacent), and
+// otherwise with probability far (typically ~0).
+func UniformReadRates(n int, main, overlap, far float64, adjacent func(r, a int) bool) (*ReadRates, error) {
+	pi := make([][]float64, n)
+	for r := range pi {
+		pi[r] = make([]float64, n)
+		for a := 0; a < n; a++ {
+			switch {
+			case r == a:
+				pi[r][a] = main
+			case adjacent != nil && adjacent(r, a):
+				pi[r][a] = overlap
+			default:
+				pi[r][a] = far
+			}
+		}
+	}
+	return NewReadRates(pi)
+}
+
+func clampProb(p float64) float64 {
+	if p < probFloor {
+		return probFloor
+	}
+	if p > 1-probFloor {
+		return 1 - probFloor
+	}
+	return p
+}
+
+// N returns the number of reader locations.
+func (rr *ReadRates) N() int { return rr.n }
+
+// Prob returns pi(r, a).
+func (rr *ReadRates) Prob(r, a Loc) float64 { return rr.pi[int(r)*rr.n+int(a)] }
+
+// Base returns sum_r log(1 - pi(r, a)), the log-likelihood at location a of
+// an epoch in which no reader detected the tag.
+func (rr *ReadRates) Base(a Loc) float64 { return rr.base[a] }
+
+// Delta returns log pi(r,a) - log(1-pi(r,a)), the log-likelihood adjustment
+// for reader r detecting the tag given true location a.
+func (rr *ReadRates) Delta(r, a Loc) float64 { return rr.delta[int(r)*rr.n+int(a)] }
+
+// MaskLogLik returns log p(mask | location=a): the log-probability that
+// exactly the readers in mask (and no others) detected a tag at location a
+// during one epoch (Eq 1 applied over all readers).
+func (rr *ReadRates) MaskLogLik(m Mask, a Loc) float64 {
+	ll := rr.base[a]
+	n := rr.n
+	for m != 0 {
+		r := m.First()
+		ll += rr.delta[int(r)*n+int(a)]
+		m &= m - 1
+	}
+	return ll
+}
+
+// MaskLogLiks fills dst[a] with MaskLogLik(m, a) for every location a. dst
+// must have length N(). Filling all locations at once lets the E-step reuse
+// the mask decomposition across the location loop.
+func (rr *ReadRates) MaskLogLiks(m Mask, dst []float64) {
+	copy(dst, rr.base)
+	n := rr.n
+	for m != 0 {
+		r := int(m.First())
+		row := rr.delta[r*n : r*n+n]
+		for a := 0; a < n; a++ {
+			dst[a] += row[a]
+		}
+		m &= m - 1
+	}
+}

@@ -1,0 +1,63 @@
+package model
+
+import "fmt"
+
+// Schedule records when each reader interrogates. Readers only produce
+// evidence (positive or negative) at their scan epochs: a tag unread by a
+// reader that was not interrogating says nothing about the tag's location.
+//
+// Schedules are periodic with a small cycle (the lcm of the reader periods;
+// e.g. 10 for the paper's 1 s non-shelf / 10 s shelf deployment, or the
+// sweep cycle for mobile readers), so per-phase likelihood tables can be
+// precomputed.
+type Schedule struct {
+	cycle int
+	masks []Mask // masks[p] = readers scanning at epochs t with t%cycle == p
+}
+
+// NewSchedule builds a schedule with the given cycle length; scanning
+// reports whether reader r interrogates at phase p.
+func NewSchedule(cycle, readers int, scanning func(r, p int) bool) (*Schedule, error) {
+	if cycle < 1 {
+		return nil, fmt.Errorf("model: schedule cycle must be >= 1")
+	}
+	if readers > MaxReaders {
+		return nil, fmt.Errorf("model: %d readers exceeds MaxReaders", readers)
+	}
+	s := &Schedule{cycle: cycle, masks: make([]Mask, cycle)}
+	for p := 0; p < cycle; p++ {
+		for r := 0; r < readers; r++ {
+			if scanning(r, p) {
+				s.masks[p] = s.masks[p].Set(Loc(r))
+			}
+		}
+	}
+	return s, nil
+}
+
+// AlwaysOn returns the schedule where every reader scans every epoch.
+func AlwaysOn(readers int) *Schedule {
+	s, err := NewSchedule(1, readers, func(_, _ int) bool { return true })
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Cycle returns the schedule period.
+func (s *Schedule) Cycle() int { return s.cycle }
+
+// Phase maps an epoch to its phase index.
+func (s *Schedule) Phase(t Epoch) int {
+	p := int(t) % s.cycle
+	if p < 0 {
+		p += s.cycle
+	}
+	return p
+}
+
+// ScanMask returns the set of readers interrogating at epoch t.
+func (s *Schedule) ScanMask(t Epoch) Mask { return s.masks[s.Phase(t)] }
+
+// Scans reports whether reader r interrogates at epoch t.
+func (s *Schedule) Scans(r Loc, t Epoch) bool { return s.masks[s.Phase(t)].Has(r) }

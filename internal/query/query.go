@@ -1,0 +1,157 @@
+// Package query assembles the paper's monitoring queries Q1 and Q2
+// (Section 2 and Section 5.4) from the stream operators, partitions their
+// computation state per object, and implements the centroid-based query
+// state sharing of Appendix B used for state migration.
+//
+// Q1: "for any temperature-sensitive product, raise an alert if it has been
+// placed outside a freezer and exposed to temperature above a threshold for
+// a duration" — combines inferred location AND containment.
+//
+// Q2: "report the frozen food that has been exposed to temperature over a
+// threshold for a duration" — uses inferred location only.
+package query
+
+import (
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
+)
+
+// Config parameterizes a Q1/Q2-style exposure query. The paper's 6-hour
+// and 10-hour horizons scale down with the trace length.
+type Config struct {
+	// ProductAttr and ProductValue select the monitored products
+	// (e.g. type=frozen). Empty ProductAttr monitors every object.
+	ProductAttr, ProductValue string
+	// TempThreshold is the exposure temperature (0°C for Q1, 10° for Q2).
+	TempThreshold float64
+	// Duration is the required exposure span before alerting.
+	Duration model.Epoch
+	// MaxGap resets an exposure episode after a silence longer than this
+	// (use ~2x the event snapshot interval).
+	MaxGap model.Epoch
+	// UseContainment gates exposure on "container is not a freezer or does
+	// not exist" (Q1). When false only temperature matters (Q2).
+	UseContainment bool
+	// MinEvents is the minimum number of qualifying events an episode needs
+	// before it can fire. A sustained exposure yields one event per
+	// snapshot, so requiring ~duration/interval events rejects episodes
+	// stitched from sporadic mis-localized events.
+	MinEvents int
+}
+
+// Q1Config returns the paper's Q1 scaled to a trace: alert when a frozen
+// product is out of any freezer case and at temperature > 0° for duration.
+func Q1Config(duration, snapshotInterval model.Epoch) Config {
+	return Config{
+		ProductAttr:    "type",
+		ProductValue:   "frozen",
+		TempThreshold:  0,
+		Duration:       duration,
+		MaxGap:         2 * snapshotInterval,
+		UseContainment: true,
+		MinEvents:      minEvents(duration, snapshotInterval),
+	}
+}
+
+// minEvents is the event count a continuous exposure of the given duration
+// produces at the snapshot cadence.
+func minEvents(duration, interval model.Epoch) int {
+	if interval <= 0 {
+		return 2
+	}
+	n := int(duration/interval) + 1
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Q2Config returns the paper's Q2: alert when frozen food sits at a
+// location whose temperature exceeds 10° for duration.
+func Q2Config(duration, snapshotInterval model.Epoch) Config {
+	return Config{
+		ProductAttr:    "type",
+		ProductValue:   "frozen",
+		TempThreshold:  10,
+		Duration:       duration,
+		MaxGap:         2 * snapshotInterval,
+		UseContainment: false,
+		MinEvents:      minEvents(duration, snapshotInterval),
+	}
+}
+
+// Engine runs one exposure query over the inferred object event stream and
+// the raw sensor stream at one site.
+type Engine struct {
+	cfg Config
+	// Freezer reports whether a container tag is a freezer case (the
+	// manufacturer database lookup "container IsA 'freezer'").
+	freezer func(model.TagID) bool
+
+	temps   *stream.RowsTable // latest temperature per location
+	pattern *stream.SeqPattern
+	inner   *stream.LookupJoin
+	matches []stream.Match
+}
+
+// New builds the query pipeline. freezer may be nil when the query does not
+// use containment.
+func New(cfg Config, freezer func(model.TagID) bool) *Engine {
+	e := &Engine{cfg: cfg, freezer: freezer}
+	e.temps = stream.NewRowsTable(func(tu stream.Tuple) int64 { return int64(tu.Loc) })
+	e.pattern = stream.NewSeqPattern(cfg.Duration, cfg.MaxGap, func(m stream.Match) {
+		e.matches = append(e.matches, m)
+	})
+	e.pattern.MinEvents = cfg.MinEvents
+	// Inner block: Products [Now] joined with the latest temperature at the
+	// product's location, keeping rows above the exposure threshold.
+	e.inner = &stream.LookupJoin{
+		Table: e.temps,
+		Key:   func(tu stream.Tuple) int64 { return int64(tu.Loc) },
+		Combine: func(probe, build stream.Tuple) (stream.Tuple, bool) {
+			probe.Temp = build.Temp
+			probe.Sensor = build.Sensor
+			return probe, probe.Temp > e.cfg.TempThreshold
+		},
+		Out: e.pattern.Push,
+	}
+	return e
+}
+
+// PushSensor feeds one temperature reading (build side of the join).
+func (e *Engine) PushSensor(tu stream.Tuple) { e.temps.Push(tu) }
+
+// PushObject feeds one inferred object event (probe side). Non-monitored
+// products are filtered; monitored products that are observably safe (in a
+// freezer, for Q1) reset their exposure episode.
+func (e *Engine) PushObject(tu stream.Tuple) {
+	if e.cfg.ProductAttr != "" && tu.Attr(e.cfg.ProductAttr) != e.cfg.ProductValue {
+		return
+	}
+	if e.cfg.UseContainment {
+		safe := tu.Container >= 0 && e.freezer != nil && e.freezer(tu.Container)
+		if safe {
+			e.pattern.Reset(tu.Tag)
+			return
+		}
+	}
+	if tu.Loc == model.NoLoc {
+		return
+	}
+	e.inner.Push(tu)
+}
+
+// Matches returns every alert emitted so far.
+func (e *Engine) Matches() []stream.Match { return e.matches }
+
+// AlertedTags returns the distinct tags with at least one alert.
+func (e *Engine) AlertedTags() map[model.TagID]bool {
+	out := make(map[model.TagID]bool, len(e.matches))
+	for _, m := range e.matches {
+		out[m.Tag] = true
+	}
+	return out
+}
+
+// Pattern exposes the pattern operator for state migration.
+func (e *Engine) Pattern() *stream.SeqPattern { return e.pattern }

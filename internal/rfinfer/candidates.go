@@ -1,0 +1,97 @@
+package rfinfer
+
+import (
+	"sort"
+
+	"rfidtrack/internal/model"
+)
+
+// contRead is one container's mask at one epoch, used by the co-occurrence
+// index.
+type contRead struct {
+	id   model.TagID
+	mask model.Mask
+}
+
+// buildCandidates performs candidate pruning (Appendix A.3): each object's
+// candidate containers are the ones most frequently co-located with it
+// (read by a common reader in a common epoch) over the retained history,
+// merged with any candidates carried over from migration and the current
+// assignment.
+func (e *Engine) buildCandidates() {
+	// Invert container readings into an epoch index.
+	byEpoch := make(map[model.Epoch][]contRead)
+	for _, cid := range e.containers {
+		for _, rd := range e.tags[cid].series {
+			byEpoch[rd.T] = append(byEpoch[rd.T], contRead{id: cid, mask: rd.Mask})
+		}
+	}
+
+	for _, oid := range e.objects {
+		rec := e.tags[oid]
+		counts := make(map[model.TagID]int)
+		for _, rd := range rec.series {
+			for _, cr := range byEpoch[rd.T] {
+				if cr.mask&rd.Mask != 0 {
+					counts[cr.id]++
+				}
+			}
+		}
+		// Previous candidates (including migrated ones) stay eligible so
+		// their prior weights are not lost.
+		prior := make(map[model.TagID]float64, len(rec.cands))
+		for i, c := range rec.cands {
+			prior[c] = rec.priorW[i]
+			if _, ok := counts[c]; !ok {
+				counts[c] = 0
+			}
+		}
+		if rec.container >= 0 {
+			if _, ok := counts[rec.container]; !ok {
+				counts[rec.container] = 0
+			}
+		}
+
+		type scored struct {
+			id model.TagID
+			n  int
+		}
+		all := make([]scored, 0, len(counts))
+		for id, n := range counts {
+			all = append(all, scored{id, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].id < all[j].id
+		})
+		max := e.cfg.MaxCandidates
+		if max <= 0 {
+			max = len(all)
+		}
+		if len(all) > max {
+			// Never prune the current assignment or a migrated candidate
+			// whose weight beats the default (it carries real co-location
+			// evidence from a previous site).
+			kept := all[:max:max]
+			for _, s := range all[max:] {
+				if w, ok := prior[s.id]; s.id == rec.container || (ok && w > rec.priorDefault) {
+					kept = append(kept, s)
+				}
+			}
+			all = kept
+		}
+		rec.cands = rec.cands[:0]
+		newPrior := rec.priorW[:0]
+		for _, s := range all {
+			rec.cands = append(rec.cands, s.id)
+			if w, ok := prior[s.id]; ok {
+				newPrior = append(newPrior, w)
+			} else {
+				newPrior = append(newPrior, rec.priorDefault)
+			}
+		}
+		rec.priorW = newPrior
+	}
+}

@@ -1,0 +1,151 @@
+package rfinfer
+
+import (
+	"math"
+	"sort"
+
+	"rfidtrack/internal/model"
+)
+
+// groupSignature hashes a sorted group id list (FNV-1a over the ids). It is
+// the memoization key of Appendix A.3: a container whose group and data are
+// unchanged keeps its posterior without recomputation.
+func groupSignature(group []model.TagID) uint64 {
+	h := uint64(1469598103934665603)
+	for _, id := range group {
+		h ^= uint64(uint32(id))
+		h *= 1099511628211
+	}
+	h ^= uint64(len(group)) + 1 // distinguish empty group from "never computed"
+	h *= 1099511628211
+	return h
+}
+
+// computePosterior fills rec.post for the container given its group.
+func (e *Engine) computePosterior(rec *tagRec, group []model.TagID) {
+	// Active epochs: union of the container's and its group's read epochs.
+	epochs := epochUnion(e, rec, group)
+	n := e.lik.N()
+	post := posterior{
+		epochs: epochs,
+		q:      make([][]float64, len(epochs)),
+		qBase:  make([]float64, len(epochs)),
+	}
+	lq := e.scratch
+	for i, t := range epochs {
+		// lq(a) = (1+|group|)·base_t(a) + deltas for every observed read,
+		// which is log p(x_tc | a) + sum_o log p(y_to | a) up to a constant:
+		// every tag of the group contributes the all-miss term for the
+		// readers scanning at t, and each actual read adds its delta.
+		// Untagged containers contribute no observation of their own.
+		base := e.lik.BaseRow(t)
+		gb := float64(1 + len(group))
+		if rec.untagged {
+			gb = float64(len(group))
+		}
+		for a := 0; a < n; a++ {
+			lq[a] = gb * base[a]
+		}
+		addMaskDeltas(e.lik, lq, rec.series.At(t))
+		for _, oid := range group {
+			addMaskDeltas(e.lik, lq, e.tags[oid].series.At(t))
+		}
+		q := make([]float64, n)
+		normalizeLog(lq, q)
+		post.q[i] = q
+		dot := 0.0
+		for a := 0; a < n; a++ {
+			dot += q[a] * base[a]
+		}
+		post.qBase[i] = dot
+	}
+	rec.post = post
+}
+
+// addMaskDeltas adds delta(r, a) to lq[a] for every reader r set in mask.
+func addMaskDeltas(lik *model.Likelihood, lq []float64, m model.Mask) {
+	n := lik.N()
+	for m != 0 {
+		r := m.First()
+		for a := 0; a < n; a++ {
+			lq[a] += lik.Delta(r, model.Loc(a))
+		}
+		m &= m - 1
+	}
+}
+
+// normalizeLog converts unnormalized log-scores into a probability vector
+// using a numerically stable log-sum-exp.
+func normalizeLog(lq []float64, q []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range lq {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	for a, v := range lq {
+		q[a] = math.Exp(v - maxv)
+		sum += q[a]
+	}
+	inv := 1 / sum
+	for a := range q {
+		q[a] *= inv
+	}
+}
+
+// epochUnion returns the sorted union of the container's read epochs and
+// every group member's read epochs.
+func epochUnion(e *Engine, rec *tagRec, group []model.TagID) []model.Epoch {
+	var out []model.Epoch
+	for _, rd := range rec.series {
+		out = append(out, rd.T)
+	}
+	for _, oid := range group {
+		for _, rd := range e.tags[oid].series {
+			out = append(out, rd.T)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:1]
+	for _, t := range out[1:] {
+		if t != dedup[len(dedup)-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup
+}
+
+// locateAt returns the posterior-argmax location of the container at epoch
+// t, aggregating the log-posteriors of the last k active epochs at or
+// before t with geometric recency decay (weight 2^-age). Aggregation makes
+// the read-off robust to epochs whose only evidence is an overlap read from
+// an adjacent shelf reader, while the decay keeps a decisive newest epoch
+// dominant so location transitions are picked up immediately. NoLoc is
+// returned if no active epoch <= t exists.
+func (p *posterior) locateAt(t model.Epoch, k int) model.Loc {
+	hi := sort.Search(len(p.epochs), func(i int) bool { return p.epochs[i] > t })
+	if hi == 0 {
+		return model.NoLoc
+	}
+	lo := hi - k
+	if lo < 0 {
+		lo = 0
+	}
+	n := len(p.q[0])
+	best, bestV := model.NoLoc, math.Inf(-1)
+	for a := 0; a < n; a++ {
+		sum, w := 0.0, 1.0
+		for i := hi - 1; i >= lo; i-- {
+			sum += w * math.Log(p.q[i][a]+1e-300)
+			w *= 0.5
+		}
+		if sum > bestV {
+			best, bestV = model.Loc(a), sum
+		}
+	}
+	return best
+}

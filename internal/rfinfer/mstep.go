@@ -1,0 +1,174 @@
+package rfinfer
+
+import (
+	"sort"
+
+	"rfidtrack/internal/model"
+)
+
+// objEvidence is one object's point-evidence matrix over the union of its
+// own read epochs and its candidates' active epochs: evid[k][i] is
+// e_{c_k,o}(epochs[i]) of Eq 7. totals[k] is the co-location strength
+// w_{c_k,o} of Eq 5 including any migrated prior weight.
+type objEvidence struct {
+	cands  []model.TagID
+	epochs []model.Epoch
+	evid   [][]float64
+	totals []float64
+	// uniTotal sums the uniform-posterior evidence over all epochs: the
+	// score a hypothetical container with no co-location history would
+	// have. It becomes the default prior of the collapsed state.
+	uniTotal float64
+}
+
+// computeEvidence builds the evidence matrix for one object against its
+// candidate containers, using the containers' current posteriors. At epochs
+// where a candidate has no posterior (neither it nor its group was read)
+// the posterior is uniform, so the evidence reduces to precomputed means.
+func (e *Engine) computeEvidence(rec *tagRec) *objEvidence {
+	cands := rec.cands
+	if len(cands) == 0 {
+		return &objEvidence{}
+	}
+	// Union of epochs.
+	var epochs []model.Epoch
+	for _, rd := range rec.series {
+		epochs = append(epochs, rd.T)
+	}
+	for _, cid := range cands {
+		epochs = append(epochs, e.tags[cid].post.epochs...)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	if len(epochs) > 1 {
+		d := epochs[:1]
+		for _, t := range epochs[1:] {
+			if t != d[len(d)-1] {
+				d = append(d, t)
+			}
+		}
+		epochs = d
+	}
+
+	ev := &objEvidence{
+		cands:  cands,
+		epochs: epochs,
+		evid:   make([][]float64, len(cands)),
+		totals: make([]float64, len(cands)),
+	}
+	for k := range cands {
+		ev.evid[k] = make([]float64, len(epochs))
+	}
+
+	n := e.lik.N()
+	objIdx := 0                        // pointer into rec.series
+	postIdx := make([]int, len(cands)) // pointers into candidates' posteriors
+	var readerLocs []model.Loc
+
+	for i, t := range epochs {
+		// Object mask at t.
+		var omask model.Mask
+		for objIdx < len(rec.series) && rec.series[objIdx].T < t {
+			objIdx++
+		}
+		if objIdx < len(rec.series) && rec.series[objIdx].T == t {
+			omask = rec.series[objIdx].Mask
+		}
+		readerLocs = omask.Locs(readerLocs[:0])
+
+		// Uniform-posterior evidence, shared by inactive candidates.
+		uni := e.lik.UniformBase(t)
+		for _, r := range readerLocs {
+			uni += e.lik.MeanDelta(r)
+		}
+		ev.uniTotal += uni
+
+		for k, cid := range cands {
+			post := &e.tags[cid].post
+			j := postIdx[k]
+			for j < len(post.epochs) && post.epochs[j] < t {
+				j++
+			}
+			postIdx[k] = j
+			var v float64
+			if j < len(post.epochs) && post.epochs[j] == t {
+				v = post.qBase[j]
+				q := post.q[j]
+				for _, r := range readerLocs {
+					dot := 0.0
+					for a := 0; a < n; a++ {
+						dot += q[a] * e.lik.Delta(r, model.Loc(a))
+					}
+					v += dot
+				}
+			} else {
+				v = uni
+			}
+			ev.evid[k][i] = v
+			ev.totals[k] += v
+		}
+	}
+	for k := range cands {
+		ev.totals[k] += rec.priorW[k]
+	}
+	ev.uniTotal += rec.priorDefault
+	return ev
+}
+
+// mStep recomputes evidence for every object and reassigns each object to
+// its best-scoring candidate container (lines 12-20 of Algorithm 1). It
+// returns the per-object evidence (reused by change-point detection and
+// critical-region search) and whether any assignment changed.
+func (e *Engine) mStep() (map[model.TagID]*objEvidence, bool) {
+	evidence := make(map[model.TagID]*objEvidence, len(e.objects))
+	changed := false
+	for _, oid := range e.objects {
+		rec := e.tags[oid]
+		ev := e.computeEvidence(rec)
+		evidence[oid] = ev
+		if len(ev.cands) == 0 || len(ev.epochs) == 0 {
+			continue
+		}
+		best := 0
+		for k := 1; k < len(ev.cands); k++ {
+			if ev.totals[k] > ev.totals[best] ||
+				(ev.totals[k] == ev.totals[best] && ev.cands[k] < ev.cands[best]) {
+				best = k
+			}
+		}
+		if ev.cands[best] != rec.container {
+			rec.container = ev.cands[best]
+			changed = true
+		}
+	}
+	return evidence, changed
+}
+
+// groups returns the inverse of the current containment estimate: for each
+// container, the sorted list of objects assigned to it.
+func (e *Engine) groups() map[model.TagID][]model.TagID {
+	g := make(map[model.TagID][]model.TagID, len(e.containers))
+	for _, oid := range e.objects {
+		if c := e.tags[oid].container; c >= 0 {
+			g[c] = append(g[c], oid)
+		}
+	}
+	for _, members := range g {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	}
+	return g
+}
+
+// EvidenceSeries exposes an object's point evidence of co-location against
+// each candidate container (Eq 7), recomputed from the current posteriors.
+// It is the diagnostic behind Figure 4: cumulative evidence is the running
+// sum of each row. The slices are freshly allocated.
+func (e *Engine) EvidenceSeries(oid model.TagID) (cands []model.TagID, epochs []model.Epoch, point [][]float64) {
+	rec, ok := e.tags[oid]
+	if !ok || rec.isContainer {
+		return nil, nil, nil
+	}
+	ev := e.computeEvidence(rec)
+	return append([]model.TagID(nil), ev.cands...),
+		append([]model.Epoch(nil), ev.epochs...),
+		ev.evid
+}

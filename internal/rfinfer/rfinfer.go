@@ -1,0 +1,294 @@
+// Package rfinfer implements RFINFER (Section 3.2 of the paper): an
+// expectation-maximization algorithm that jointly infers object containment
+// and location from noisy RFID readings by smoothing over containment
+// relations.
+//
+// The Engine is the deployed form of the algorithm: readings stream in via
+// Observe, and Run executes RFINFER over the retained history (critical
+// region plus recent history H̄), updates containment estimates, detects
+// containment change points (Section 3.3), recomputes per-object critical
+// regions, and truncates history (Section 4.1). Engines are single-site;
+// state migration between sites uses ExportCollapsed/ExportCR and the
+// corresponding imports.
+package rfinfer
+
+import (
+	"fmt"
+	"sort"
+
+	"rfidtrack/internal/model"
+)
+
+// Truncation selects the history-retention strategy compared in Figures
+// 5(a,b) and 6(b).
+type Truncation uint8
+
+const (
+	// TruncateCR keeps each object's critical region plus the recent
+	// history H̄ (the paper's CR method, the default).
+	TruncateCR Truncation = iota
+	// TruncateNone keeps the entire history (the "All" baseline).
+	TruncateNone
+	// TruncateWindow keeps only the most recent FixedWindow epochs (the
+	// "W1200" baseline).
+	TruncateWindow
+)
+
+// Config tunes the engine. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// RecentHistory is H̄: how many epochs of recent history inference and
+	// change-point detection use (600 by default, as in Section 5.1).
+	RecentHistory model.Epoch
+	// Truncation selects the retention strategy.
+	Truncation Truncation
+	// FixedWindow is the window size for TruncateWindow (1200 in Fig 5a).
+	FixedWindow model.Epoch
+	// MaxCandidates bounds candidate pruning (Appendix A.3).
+	MaxCandidates int
+	// MaxIters caps EM iterations; RFINFER usually converges in a few.
+	MaxIters int
+	// CRWindow is the sliding window width w of the critical-region search.
+	CRWindow model.Epoch
+	// CRThreshold is the heuristic margin between the best and second-best
+	// candidate's windowed evidence required to declare a critical region.
+	CRThreshold float64
+	// Delta is the change-point threshold δ; <= 0 disables change-point
+	// detection. Use changepoint.ChooseThreshold for the offline value.
+	Delta float64
+	// LocEpochs is how many recent active epochs a location read-off
+	// aggregates (3 by default); see posterior.locateAt.
+	LocEpochs int
+	// CollectDeltas records every computed Δ statistic (without acting on
+	// it unless Delta is also set). Used to calibrate δ offline on
+	// change-free simulated traces.
+	CollectDeltas bool
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{
+		RecentHistory: 600,
+		Truncation:    TruncateCR,
+		FixedWindow:   1200,
+		MaxCandidates: 8,
+		MaxIters:      10,
+		CRWindow:      60,
+		CRThreshold:   10,
+		LocEpochs:     3,
+	}
+}
+
+// window is a half-open epoch interval [From, To).
+type window struct {
+	From, To model.Epoch
+}
+
+func (w window) empty() bool { return w.From >= w.To }
+
+// Detection records a detected containment change point.
+type Detection struct {
+	// Object is the object whose containment changed.
+	Object model.TagID
+	// At is the estimated change epoch t'.
+	At model.Epoch
+	// DetectedAt is the inference-run epoch that flagged the change.
+	DetectedAt model.Epoch
+	// NewContainer is the post-change container estimate (-1 if none).
+	NewContainer model.TagID
+	// Delta is the likelihood-ratio statistic value.
+	Delta float64
+}
+
+// tagRec is the engine's per-tag state.
+type tagRec struct {
+	id          model.TagID
+	isContainer bool
+	series      model.Series
+
+	// Object state.
+	cands  []model.TagID
+	priorW []float64 // aligned with cands; collapsed weights from migration
+	// priorDefault is the prior weight of candidates with no migrated
+	// weight: the uniform-posterior evidence the object accumulated at
+	// previous sites (a container never co-located scores uniform).
+	priorDefault float64
+	container    model.TagID
+	cpStart      model.Epoch // change-point search starts here (A.2)
+	cr           window      // critical region
+
+	// Container state.
+	group    []model.TagID
+	groupSig uint64
+	post     posterior
+	// untagged marks containers without their own tag (Appendix A.4): the
+	// container-reading factors of Eq 4 are omitted for them.
+	untagged bool
+}
+
+// posterior is a container's location posterior q_tc at its active epochs.
+type posterior struct {
+	epochs []model.Epoch
+	q      [][]float64 // per epoch: distribution over locations
+	qBase  []float64   // per epoch: dot(q, base) — evidence of an unread object
+}
+
+// Engine runs RFINFER over a stream of readings at one site.
+type Engine struct {
+	lik *model.Likelihood
+	cfg Config
+
+	tags       map[model.TagID]*tagRec
+	objects    []model.TagID // sorted
+	containers []model.TagID // sorted
+
+	now     model.Epoch
+	lastRun model.Epoch
+	prevRun model.Epoch // the run before lastRun (snapshot presence cutoff)
+	iters   int         // EM iterations used by the last Run
+
+	detections []Detection
+
+	// deltaSamples holds Δ values observed while CollectDeltas is set.
+	deltaSamples []DeltaSample
+
+	scratch []float64
+}
+
+// New returns an engine for a site with the given observation model
+// (measured read rates plus reader schedule).
+func New(lik *model.Likelihood, cfg Config) *Engine {
+	return &Engine{
+		lik:     lik,
+		cfg:     cfg,
+		tags:    make(map[model.TagID]*tagRec),
+		scratch: make([]float64, lik.N()),
+	}
+}
+
+// RegisterObject declares an object tag. Registering twice is a no-op.
+func (e *Engine) RegisterObject(id model.TagID) {
+	if _, ok := e.tags[id]; ok {
+		return
+	}
+	e.tags[id] = &tagRec{id: id, container: -1}
+	e.objects = insertSorted(e.objects, id)
+}
+
+// RegisterContainer declares a container tag. Registering twice is a no-op.
+func (e *Engine) RegisterContainer(id model.TagID) {
+	if _, ok := e.tags[id]; ok {
+		return
+	}
+	e.tags[id] = &tagRec{id: id, isContainer: true, container: -1}
+	e.containers = insertSorted(e.containers, id)
+}
+
+// RegisterUntaggedContainer declares a container that carries no tag of its
+// own (Appendix A.4): it can still be a containment candidate, but its own
+// never-read observations carry no evidence — the container-reading factors
+// are omitted from the posterior.
+func (e *Engine) RegisterUntaggedContainer(id model.TagID) {
+	e.RegisterContainer(id)
+	e.tags[id].untagged = true
+}
+
+func insertSorted(s []model.TagID, id model.TagID) []model.TagID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// Observe records that reader r read tag id at epoch t.
+func (e *Engine) Observe(t model.Epoch, id model.TagID, r model.Loc) error {
+	rec, ok := e.tags[id]
+	if !ok {
+		return fmt.Errorf("rfinfer: reading for unregistered tag %d", id)
+	}
+	if r < 0 || int(r) >= e.lik.N() {
+		return fmt.Errorf("rfinfer: reading from unknown reader %d", r)
+	}
+	rec.series.Add(t, r)
+	if t > e.now {
+		e.now = t
+	}
+	return nil
+}
+
+// ObserveMask records a whole epoch mask for a tag.
+func (e *Engine) ObserveMask(t model.Epoch, id model.TagID, m model.Mask) error {
+	rec, ok := e.tags[id]
+	if !ok {
+		return fmt.Errorf("rfinfer: reading for unregistered tag %d", id)
+	}
+	rec.series.AddMask(t, m)
+	if t > e.now {
+		e.now = t
+	}
+	return nil
+}
+
+// Now returns the latest observed (or Run) epoch.
+func (e *Engine) Now() model.Epoch { return e.now }
+
+// Iterations returns how many EM iterations the last Run used.
+func (e *Engine) Iterations() int { return e.iters }
+
+// locWindow returns the configured location read-off aggregation depth.
+func (e *Engine) locWindow() int {
+	if e.cfg.LocEpochs < 1 {
+		return 1
+	}
+	return e.cfg.LocEpochs
+}
+
+// Container returns the current containment estimate for an object
+// (-1 if unknown or not an object).
+func (e *Engine) Container(id model.TagID) model.TagID {
+	if rec, ok := e.tags[id]; ok && !rec.isContainer {
+		return rec.container
+	}
+	return -1
+}
+
+// Containment returns the full current containment relation as a map from
+// object to container (objects with no estimate map to -1).
+func (e *Engine) Containment() map[model.TagID]model.TagID {
+	out := make(map[model.TagID]model.TagID, len(e.objects))
+	for _, id := range e.objects {
+		out[id] = e.tags[id].container
+	}
+	return out
+}
+
+// DeltaSample is one recorded Δ statistic.
+type DeltaSample struct {
+	Object model.TagID
+	Delta  float64
+}
+
+// DeltaSamples returns the Δ statistics recorded under CollectDeltas.
+func (e *Engine) DeltaSamples() []DeltaSample { return e.deltaSamples }
+
+// Detections returns all change points detected so far, in detection order.
+func (e *Engine) Detections() []Detection { return e.detections }
+
+// Objects returns the sorted registered object IDs.
+func (e *Engine) Objects() []model.TagID { return e.objects }
+
+// Containers returns the sorted registered container IDs.
+func (e *Engine) Containers() []model.TagID { return e.containers }
+
+// CriticalRegion returns the object's current critical region (zero window
+// if none found yet).
+func (e *Engine) CriticalRegion(id model.TagID) (from, to model.Epoch) {
+	if rec, ok := e.tags[id]; ok {
+		return rec.cr.From, rec.cr.To
+	}
+	return 0, 0
+}

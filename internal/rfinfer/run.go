@@ -1,0 +1,254 @@
+package rfinfer
+
+import (
+	"sort"
+
+	"rfidtrack/internal/changepoint"
+	"rfidtrack/internal/model"
+)
+
+// RunResult summarizes one inference run.
+type RunResult struct {
+	// Iterations is the number of EM iterations executed.
+	Iterations int
+	// Changes lists the change points detected during this run.
+	Changes []Detection
+}
+
+// Run executes RFINFER over the retained history up to epoch now, then
+// change-point detection, critical-region search, and history truncation.
+// It is the per-interval inference step of the deployed system (every 300 s
+// in the paper's experiments).
+func (e *Engine) Run(now model.Epoch) RunResult {
+	if now > e.now {
+		e.now = now
+	}
+	e.buildCandidates()
+
+	// EM loop: E-step computes container posteriors, M-step reassigns
+	// objects; stop when the containment relation is stable (Theorem 1
+	// guarantees convergence to a local likelihood maximum).
+	computed := make(map[model.TagID]bool, len(e.containers))
+	var evidence map[model.TagID]*objEvidence
+	iters := 0
+	for iters < e.cfg.MaxIters {
+		iters++
+		e.eStepRun(e.groups(), computed)
+		var changed bool
+		evidence, changed = e.mStep()
+		if !changed {
+			break
+		}
+	}
+	e.iters = iters
+
+	var changes []Detection
+	if e.cfg.Delta > 0 || e.cfg.CollectDeltas {
+		changes = e.detectChanges(now, evidence)
+	}
+	e.updateCriticalRegions(evidence)
+	e.truncate(now)
+	e.prevRun = e.lastRun
+	e.lastRun = now
+	return RunResult{Iterations: iters, Changes: changes}
+}
+
+// eStepRun is the E-step with per-run invalidation: every container is
+// recomputed at least once per Run (its data may have changed), and reuses
+// the memoized posterior in later iterations while its group is unchanged.
+func (e *Engine) eStepRun(groups map[model.TagID][]model.TagID, computed map[model.TagID]bool) {
+	for _, cid := range e.containers {
+		rec := e.tags[cid]
+		group := groups[cid]
+		sig := groupSignature(group)
+		if computed[cid] && sig == rec.groupSig {
+			continue
+		}
+		computed[cid] = true
+		rec.groupSig = sig
+		rec.group = group
+		e.computePosterior(rec, group)
+	}
+}
+
+// detectChanges runs change-point detection (Section 3.3 / Appendix A.2)
+// for every object using the point evidence computed by the last M-step.
+// On detection the object is reassigned to the post-change container, its
+// pre-change history is disregarded, and the detection is recorded.
+func (e *Engine) detectChanges(now model.Epoch, evidence map[model.TagID]*objEvidence) []Detection {
+	var out []Detection
+	for _, oid := range e.objects {
+		rec := e.tags[oid]
+		ev := evidence[oid]
+		if ev == nil || len(ev.cands) == 0 || len(ev.epochs) < 2 {
+			continue
+		}
+		// Only objects with fresh evidence can yield a new change point;
+		// re-testing stale history would re-report old splits (an object
+		// that left the site keeps its record until state migration).
+		if rec.series.Last() <= e.lastRun {
+			continue
+		}
+		// Restrict to epochs at or after the last detected change point.
+		lo := sort.Search(len(ev.epochs), func(i int) bool { return ev.epochs[i] >= rec.cpStart })
+		if len(ev.epochs)-lo < 2 {
+			continue
+		}
+		sub := make([][]float64, len(ev.cands))
+		for k := range sub {
+			sub[k] = ev.evid[k][lo:]
+		}
+		priors := rec.priorW
+		if lo > 0 {
+			// Pre-window evidence is already folded into the totals of the
+			// clipped region's candidates via priors only when nothing was
+			// clipped; otherwise attribute clipped evidence to segment one.
+			priors = make([]float64, len(ev.cands))
+			for k := range priors {
+				priors[k] = rec.priorW[k]
+				for i := 0; i < lo; i++ {
+					priors[k] += ev.evid[k][i]
+				}
+			}
+		}
+		delta, split, before, after := changepoint.Best(sub, priors)
+		if e.cfg.CollectDeltas {
+			e.deltaSamples = append(e.deltaSamples, DeltaSample{Object: oid, Delta: delta})
+		}
+		if e.cfg.Delta <= 0 || delta < e.cfg.Delta || after < 0 {
+			continue
+		}
+		// A split whose two segments pick the same container is not a
+		// containment change, however well it scores.
+		if before == after {
+			continue
+		}
+		var at model.Epoch
+		if split < len(ev.epochs)-lo {
+			at = ev.epochs[lo+split]
+		} else {
+			at = now
+		}
+		d := Detection{
+			Object:       oid,
+			At:           at,
+			DetectedAt:   now,
+			NewContainer: ev.cands[after],
+			Delta:        delta,
+		}
+		out = append(out, d)
+		e.detections = append(e.detections, d)
+
+		// Adopt the post-change container and disregard pre-change history
+		// in all subsequent change-point calls.
+		rec.container = ev.cands[after]
+		rec.cpStart = at
+		for k := range rec.priorW {
+			rec.priorW[k] = 0
+		}
+		rec.series = rec.series.Window(at, e.now+1).Clone()
+		if rec.cr.To <= at {
+			rec.cr = window{}
+		}
+	}
+	return out
+}
+
+// updateCriticalRegions runs the history-truncation search of Section 4.1:
+// slide a window of width CRWindow over each object's evidence; whenever
+// the best candidate's windowed evidence exceeds the second best by
+// CRThreshold, the window becomes the object's (most recent) critical
+// region.
+func (e *Engine) updateCriticalRegions(evidence map[model.TagID]*objEvidence) {
+	w := e.cfg.CRWindow
+	for _, oid := range e.objects {
+		rec := e.tags[oid]
+		ev := evidence[oid]
+		if ev == nil || len(ev.cands) < 2 || len(ev.epochs) == 0 {
+			continue
+		}
+		n := len(ev.epochs)
+		k := len(ev.cands)
+		// Prefix sums per candidate for O(1) window sums.
+		prefix := make([][]float64, k)
+		for j := 0; j < k; j++ {
+			p := make([]float64, n+1)
+			for i := 0; i < n; i++ {
+				p[i+1] = p[i] + ev.evid[j][i]
+			}
+			prefix[j] = p
+		}
+		lo := 0
+		for hi := 0; hi < n; hi++ {
+			t := ev.epochs[hi]
+			for ev.epochs[lo] < t-w {
+				lo++
+			}
+			// Best and second-best windowed evidence over [t-w, t].
+			best, second := -1e308, -1e308
+			for j := 0; j < k; j++ {
+				s := prefix[j][hi+1] - prefix[j][lo]
+				if s > best {
+					second = best
+					best = s
+				} else if s > second {
+					second = s
+				}
+			}
+			if best-second >= e.cfg.CRThreshold {
+				from := ev.epochs[lo]
+				rec.cr = window{From: from, To: t + 1}
+			}
+		}
+	}
+}
+
+// truncate drops readings that the configured strategy no longer needs.
+func (e *Engine) truncate(now model.Epoch) {
+	switch e.cfg.Truncation {
+	case TruncateNone:
+		return
+	case TruncateWindow:
+		from := now - e.cfg.FixedWindow
+		for _, rec := range e.tags {
+			rec.series = rec.series.Window(from, now+1).Clone()
+		}
+		return
+	}
+
+	// CR strategy: an object keeps its critical region plus recent history;
+	// a container keeps the union of its candidate-objects' critical
+	// regions plus recent history.
+	recent := window{From: now - e.cfg.RecentHistory, To: now + 1}
+	keep := make(map[model.TagID][]window, len(e.tags))
+	for _, oid := range e.objects {
+		rec := e.tags[oid]
+		wins := []window{recent}
+		if !rec.cr.empty() {
+			wins = append(wins, rec.cr)
+			for _, cid := range rec.cands {
+				keep[cid] = append(keep[cid], rec.cr)
+			}
+		}
+		rec.series = filterSeries(rec.series, wins)
+	}
+	for _, cid := range e.containers {
+		rec := e.tags[cid]
+		wins := append(keep[cid], recent)
+		rec.series = filterSeries(rec.series, wins)
+	}
+}
+
+// filterSeries keeps only readings inside any of the windows.
+func filterSeries(s model.Series, wins []window) model.Series {
+	out := s[:0:0]
+	for _, rd := range s {
+		for _, w := range wins {
+			if rd.T >= w.From && rd.T < w.To {
+				out = append(out, rd)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package sim generates RFID traces by simulating an RFID-enabled supply
+// chain, reproducing the CSIM-based workload generator of Appendix C.1
+// (Table 2 parameters) and the lab deployment of Appendix C.2 (traces
+// T1–T8).
+//
+// A warehouse has an entry reader, a conveyor-belt reader, a row of shelf
+// readers with overlapping ranges, and an exit reader. Pallets of cases of
+// items are injected periodically, unpacked, belt-scanned one case at a
+// time, shelved, repacked and dispatched. Anomalies move a random item to a
+// different case at a configurable frequency. All readings are Bernoulli
+// draws with the configured read rate RR (shelf overlap OR for adjacent
+// shelf readers), and ground-truth locations and containment are recorded
+// alongside.
+package sim
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/model"
+)
+
+// Config holds the workload parameters of Table 2 plus the scheduling knobs
+// the paper fixes implicitly. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// Warehouses is N of Table 2 (1-10 in the paper).
+	Warehouses int
+	// PathLength is how many warehouses each pallet visits in the DAG
+	// (source first, then round-robin successors).
+	PathLength int
+
+	// Epochs is the simulated duration in seconds.
+	Epochs model.Epoch
+
+	// InjectEvery is the pallet injection period in seconds (fixed at 60).
+	InjectEvery int
+	// CasesPerPallet is fixed at 5 in the paper.
+	CasesPerPallet int
+	// ItemsPerCase is fixed at 20 in the paper (varied 5-100 in C.4).
+	ItemsPerCase int
+	// Shelves is the number of shelf readers per warehouse.
+	Shelves int
+
+	// RR is the main read rate of readers. If RRUniform, each reader's rate
+	// is instead sampled uniformly from [0.6, 1].
+	RR        float64
+	RRUniform bool
+	// OR is the overlap rate for adjacent shelf readers. If ORUniform, each
+	// pair's rate is sampled uniformly from [0.2, 0.8].
+	OR        float64
+	ORUniform bool
+
+	// NonShelfPeriod and ShelfPeriod are interrogation periods in seconds
+	// (1 and 10 in Table 2).
+	NonShelfPeriod int
+	ShelfPeriod    int
+
+	// AnomalyEvery is FA of Table 2: every FA seconds a random shelved item
+	// is moved to a different case. 0 disables anomalies.
+	AnomalyEvery int
+	// AnomalyRemoveFrac is the fraction of anomalies that remove the item
+	// from the warehouse entirely instead of re-casing it (the lab traces
+	// removed 1 of 4 moved items).
+	AnomalyRemoveFrac float64
+	// AnomalyRemoveEvery, when positive, makes exactly every k-th anomaly a
+	// removal (deterministic, used by the lab traces); it overrides
+	// AnomalyRemoveFrac.
+	AnomalyRemoveEvery int
+
+	// Dwell parameters (seconds): how long tags sit at the entry door, on
+	// the belt per case, and at the exit door; and how long cases stay
+	// shelved before repacking.
+	EntryDwell int
+	BeltDwell  int
+	ExitDwell  int
+	ShelfDwell int
+
+	// TransitTime is the inter-warehouse shipping delay in seconds.
+	TransitTime int
+
+	// BeltEverywhere makes every warehouse unpack pallets onto the conveyor
+	// belt. By default only the source warehouse belt-scans cases one at a
+	// time; downstream warehouses move cases from the entry door straight
+	// to shelves, which is what makes migrated inference state valuable
+	// (Section 4.1).
+	BeltEverywhere bool
+
+	// MobileShelves switches shelf scanning to the Section 5.3 mobile-reader
+	// deployment: one mobile reader sweeps the shelf aisle, spending
+	// MobileDwell seconds at each shelf per sweep.
+	MobileShelves bool
+	MobileDwell   int
+}
+
+// DefaultConfig returns the paper's fixed parameters at a laptop-friendly
+// scale (a single warehouse; callers override Epochs, RR, etc.).
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Warehouses:     1,
+		PathLength:     1,
+		Epochs:         1500,
+		InjectEvery:    60,
+		CasesPerPallet: 5,
+		ItemsPerCase:   20,
+		Shelves:        8,
+		RR:             0.8,
+		OR:             0.5,
+		NonShelfPeriod: 1,
+		ShelfPeriod:    10,
+		EntryDwell:     20,
+		BeltDwell:      5,
+		ExitDwell:      20,
+		ShelfDwell:     600,
+		TransitTime:    120,
+		MobileDwell:    10,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (c *Config) Validate() error {
+	switch {
+	case c.Warehouses < 1:
+		return fmt.Errorf("sim: Warehouses must be >= 1")
+	case c.PathLength < 1 || c.PathLength > c.Warehouses:
+		return fmt.Errorf("sim: PathLength must be in [1, Warehouses]")
+	case c.Epochs <= 0:
+		return fmt.Errorf("sim: Epochs must be positive")
+	case c.InjectEvery <= 0:
+		return fmt.Errorf("sim: InjectEvery must be positive")
+	case c.CasesPerPallet < 1:
+		return fmt.Errorf("sim: CasesPerPallet must be >= 1")
+	case c.ItemsPerCase < 1:
+		return fmt.Errorf("sim: ItemsPerCase must be >= 1")
+	case c.Shelves < 1:
+		return fmt.Errorf("sim: Shelves must be >= 1")
+	case !c.RRUniform && (c.RR <= 0 || c.RR > 1):
+		return fmt.Errorf("sim: RR must be in (0, 1]")
+	case !c.ORUniform && (c.OR < 0 || c.OR > 1):
+		return fmt.Errorf("sim: OR must be in [0, 1]")
+	case c.NonShelfPeriod < 1 || c.ShelfPeriod < 1:
+		return fmt.Errorf("sim: reader periods must be >= 1")
+	case c.EntryDwell < 1 || c.BeltDwell < 1 || c.ExitDwell < 1 || c.ShelfDwell < 1:
+		return fmt.Errorf("sim: dwell times must be >= 1")
+	case c.MobileShelves && c.MobileDwell < 1:
+		return fmt.Errorf("sim: MobileDwell must be >= 1 with MobileShelves")
+	case c.AnomalyRemoveFrac < 0 || c.AnomalyRemoveFrac > 1:
+		return fmt.Errorf("sim: AnomalyRemoveFrac must be in [0, 1]")
+	}
+	// The warehouse must be long enough to pass a pallet through.
+	minDwell := c.EntryDwell + c.CasesPerPallet*c.BeltDwell + c.ExitDwell
+	if c.ShelfDwell < 1 || minDwell+c.ShelfDwell > int(c.Epochs) {
+		return fmt.Errorf("sim: Epochs=%d too short for dwell %d", c.Epochs, minDwell+c.ShelfDwell)
+	}
+	return nil
+}
+
+// siteDwell is the total time a pallet's contents spend in one warehouse.
+func (c *Config) siteDwell() int {
+	return c.EntryDwell + c.CasesPerPallet*c.BeltDwell + c.ShelfDwell + c.ExitDwell
+}
+
+// numLocs is the number of reader locations per warehouse.
+func (c *Config) numLocs() int { return c.Shelves + 3 }
+
+// Reader location layout within a site.
+func (c *Config) entryLoc() model.Loc { return 0 }
+func (c *Config) beltLoc() model.Loc  { return 1 }
+func (c *Config) shelfLoc(s int) model.Loc {
+	return model.Loc(2 + s)
+}
+func (c *Config) exitLoc() model.Loc { return model.Loc(2 + c.Shelves) }

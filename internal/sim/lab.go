@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/trace"
+)
+
+// LabTraceParams describes one of the eight lab traces of Appendix C.2.
+type LabTraceParams struct {
+	// Name is T1..T8.
+	Name string
+	// RR is the average read rate across readers.
+	RR float64
+	// OR is the average shelf-reader overlap rate.
+	OR float64
+	// Changes reports whether the trace includes containment changes
+	// (3 items moved between cases plus 1 item removed, while shelved).
+	Changes bool
+}
+
+// LabTraces lists the published characteristics of traces T1-T8:
+// T1 (RR=0.85, OR=0.25), T2 (RR=0.85, OR=0.5), T3 (RR=0.7, OR=0.25),
+// T4 (RR=0.7, OR=0.5); T5-T8 repeat T1-T4 with containment changes.
+func LabTraces() []LabTraceParams {
+	base := []LabTraceParams{
+		{Name: "T1", RR: 0.85, OR: 0.25},
+		{Name: "T2", RR: 0.85, OR: 0.5},
+		{Name: "T3", RR: 0.7, OR: 0.25},
+		{Name: "T4", RR: 0.7, OR: 0.5},
+	}
+	out := make([]LabTraceParams, 0, 8)
+	out = append(out, base...)
+	for i, p := range base {
+		p.Name = fmt.Sprintf("T%d", 5+i)
+		p.Changes = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// LabConfig returns the simulator configuration reproducing the lab
+// deployment: 7 readers (1 entry, 1 belt, 4 shelves, 1 exit), 20 cases of
+// 5 items each, cases receiving 5 interrogations from each non-shelf reader
+// and dozens from a shelf reader. Substitution note: the paper's physical
+// ThingMagic/Alien testbed is replaced by the same generative read process
+// with the published RR/OR of each trace.
+func LabConfig(p LabTraceParams, seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Warehouses = 1
+	cfg.PathLength = 1
+	cfg.Shelves = 4
+	cfg.CasesPerPallet = 20
+	cfg.ItemsPerCase = 5
+	cfg.RR = p.RR
+	cfg.OR = p.OR
+	cfg.EntryDwell = 5 // 5 interrogations at 1 Hz
+	cfg.BeltDwell = 5  // 5 interrogations per case
+	cfg.ExitDwell = 20
+	cfg.ShelfDwell = 600 // dozens of shelf interrogations at 0.1 Hz
+	// Single pallet-load: one injection for the whole trace.
+	cfg.Epochs = 730
+	cfg.InjectEvery = int(cfg.Epochs)
+	if p.Changes {
+		// 4 anomalies while all cases are shelved; the 4th is a removal
+		// ("3 items were moved from one case to another and 1 was simply
+		// removed").
+		cfg.AnomalyEvery = 145
+		cfg.AnomalyRemoveEvery = 4
+	}
+	return cfg
+}
+
+// LabTrace generates lab trace p and returns its single-site trace.
+func LabTrace(p LabTraceParams, seed int64) (*trace.Trace, *World, error) {
+	w, err := Generate(LabConfig(p, seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return w.Single(), w, nil
+}

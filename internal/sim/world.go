@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/trace"
+)
+
+// Visit records one tag's stay at one site.
+type Visit struct {
+	Site           int
+	Arrive, Depart model.Epoch
+}
+
+// ContChange is a ground-truth containment change for an object: from epoch
+// T its container is To (-1 when removed from the warehouse entirely).
+type ContChange struct {
+	T      model.Epoch
+	Object model.TagID
+	To     model.TagID
+}
+
+// World is the output of a simulation run: one trace per site over a shared
+// global tag space and clock, plus the global ground truth needed by the
+// distributed experiments.
+type World struct {
+	Cfg    Config
+	Epochs model.Epoch
+	// Sites holds one trace per warehouse. Tag IDs are global: every site
+	// trace has the same Tags slice length; a tag that never visits a site
+	// simply has no readings and no location spans there.
+	Sites []*trace.Trace
+	// Visits lists, per tag, the sites it visited in order.
+	Visits [][]Visit
+	// Changes lists all ground-truth containment changes in time order.
+	Changes []ContChange
+}
+
+// Single returns the site trace of a one-warehouse world.
+func (w *World) Single() *trace.Trace { return w.Sites[0] }
+
+// NumTags returns the size of the global tag space.
+func (w *World) NumTags() int { return len(w.Sites[0].Tags) }
+
+// stay is an internal contiguous residence of a tag at one location.
+type stay struct {
+	site     int
+	from, to model.Epoch
+	loc      model.Loc
+}
+
+// pendRead is an unsorted generated reading, folded into a Series at the end.
+type pendRead struct {
+	t model.Epoch
+	r model.Loc
+}
+
+// tagState accumulates a tag's simulation output before trace assembly.
+type tagState struct {
+	kind  model.TagKind
+	name  string
+	stays []stay
+	reads [][]pendRead // per site
+	cont  []trace.ContSpan
+}
+
+// newRand returns the deterministic generator for a config.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x9e3779b97f4a7c15))
+}

@@ -1,0 +1,399 @@
+// Package smurf implements the SMURF* baseline of Appendix C.3: SMURF
+// (Jeffery et al., VLDB Journal 2007) per-tag adaptive-window smoothing for
+// location estimation, extended with co-location heuristics for containment
+// inference and containment change detection.
+//
+// SMURF models reads within a window as Bernoulli samples: the window is
+// sized so that a present tag is read with high probability
+// (w* = ln(2/δ)/p̂ scans), and is halved when the read counts of the two
+// window halves differ by more than two standard deviations (a detected
+// transition). Location is the per-reader majority vote inside the window.
+//
+// SMURF* then treats the most frequently co-located case as an item's
+// container. At a candidate change time t (the start of the item's current
+// adaptive window after a transition), if the top co-located case before t
+// differs from the one after t and the top-k sets before and after are
+// disjoint, a containment change is reported at t and the container is
+// re-estimated from the data after t.
+package smurf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rfidtrack/internal/model"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// MinWindow and MaxWindow bound the adaptive window (epochs).
+	MinWindow, MaxWindow model.Epoch
+	// Confidence is the δ of the SMURF window-sizing formula.
+	Confidence float64
+	// TopK is the size of the co-location sets compared around a candidate
+	// change time.
+	TopK int
+}
+
+// DefaultConfig returns the configuration used in the paper's comparison.
+func DefaultConfig() Config {
+	return Config{MinWindow: 10, MaxWindow: 300, Confidence: 0.05, TopK: 3}
+}
+
+// ChangeReport is a containment change detected by SMURF*.
+type ChangeReport struct {
+	Object       model.TagID
+	At           model.Epoch
+	DetectedAt   model.Epoch
+	NewContainer model.TagID
+}
+
+type tagState struct {
+	id          model.TagID
+	isContainer bool
+	series      model.Series
+	window      model.Epoch // current adaptive window size
+	transition  model.Epoch // start epoch of post-transition data (0 if none)
+	container   model.TagID
+}
+
+// Engine is the SMURF* pipeline: feed readings with ObserveMask, call Run
+// periodically, then query Container and LocationAt.
+type Engine struct {
+	cfg     Config
+	lik     *model.Likelihood
+	tags    map[model.TagID]*tagState
+	objects []model.TagID
+	conts   []model.TagID
+	now     model.Epoch
+	changes []ChangeReport
+}
+
+// New returns a SMURF* engine. Like SMURF, it knows the measured per-reader
+// read rates (reference-tag calibration) and the interrogation schedule,
+// and uses them to normalize observed counts by expected counts.
+func New(lik *model.Likelihood, cfg Config) *Engine {
+	return &Engine{cfg: cfg, lik: lik, tags: make(map[model.TagID]*tagState)}
+}
+
+// RegisterObject declares an item tag.
+func (e *Engine) RegisterObject(id model.TagID) {
+	if _, ok := e.tags[id]; ok {
+		return
+	}
+	e.tags[id] = &tagState{id: id, container: -1, window: e.cfg.MinWindow}
+	e.objects = append(e.objects, id)
+}
+
+// RegisterContainer declares a case tag.
+func (e *Engine) RegisterContainer(id model.TagID) {
+	if _, ok := e.tags[id]; ok {
+		return
+	}
+	e.tags[id] = &tagState{id: id, isContainer: true, container: -1, window: e.cfg.MinWindow}
+	e.conts = append(e.conts, id)
+}
+
+// ObserveMask records one epoch's readings for a tag.
+func (e *Engine) ObserveMask(t model.Epoch, id model.TagID, m model.Mask) error {
+	st, ok := e.tags[id]
+	if !ok {
+		return fmt.Errorf("smurf: reading for unregistered tag %d", id)
+	}
+	st.series.AddMask(t, m)
+	if t > e.now {
+		e.now = t
+	}
+	return nil
+}
+
+// Run adapts every tag's window (SMURF) and re-estimates containment
+// (SMURF*) as of epoch now.
+func (e *Engine) Run(now model.Epoch) {
+	if now > e.now {
+		e.now = now
+	}
+	for _, st := range e.tags {
+		e.adaptWindow(st, now)
+	}
+	e.inferContainment(now)
+}
+
+// adaptWindow applies SMURF's binomial window adaptation for one tag. The
+// window is sized in interrogation cycles of the tag's dominant reader
+// (SMURF's unit is the reader's interrogation cycle, which for shelf
+// readers is 10 epochs), then converted back to epochs.
+func (e *Engine) adaptWindow(st *tagState, now model.Epoch) {
+	w := st.window
+	if w < e.cfg.MinWindow {
+		w = e.cfg.MinWindow
+	}
+	from := now - w
+	if st.series.CountIn(from, now+1) == 0 {
+		// Nothing observed: widen to gather evidence.
+		st.window = clampW(w*2, e.cfg.MinWindow, e.cfg.MaxWindow)
+		return
+	}
+	// Dominant reader: the most frequent reader of this tag in the window.
+	counts := make(map[model.Loc]int)
+	for _, rd := range st.series.Window(from, now+1) {
+		for m := rd.Mask; m != 0; m &= m - 1 {
+			counts[m.First()]++
+		}
+	}
+	var dom model.Loc = model.NoLoc
+	nDom := 0
+	for loc, n := range counts {
+		if n > nDom || (n == nDom && loc < dom) {
+			dom, nDom = loc, n
+		}
+	}
+	sDom := e.scansIn(dom, from, now+1)
+	if sDom == 0 {
+		st.window = clampW(w*2, e.cfg.MinWindow, e.cfg.MaxWindow)
+		return
+	}
+	p := float64(nDom) / float64(sDom)
+	if p > 1 {
+		p = 1
+	}
+	period := float64(w) / float64(sDom)
+	// Required window: ln(2/δ)/p̂ interrogation cycles of the dominant
+	// reader, converted to epochs.
+	wStar := model.Epoch(math.Ceil(math.Log(2/e.cfg.Confidence) / p * period))
+
+	// Transition check: compare the dominant reader's second-half reads
+	// against the binomial expectation from the whole window.
+	half := w / 2
+	n2 := 0
+	for _, rd := range st.series.Window(now-half, now+1) {
+		if rd.Mask.Has(dom) {
+			n2++
+		}
+	}
+	exp := float64(nDom) / 2
+	sigma := math.Sqrt(float64(sDom) / 2 * p * (1 - p))
+	if math.Abs(float64(n2)-exp) > 2*sigma+1 {
+		// Likely moved: shrink and mark the transition at the halfway point.
+		st.window = clampW(w/2, e.cfg.MinWindow, e.cfg.MaxWindow)
+		st.transition = now - half
+		return
+	}
+	st.window = clampW(wStar, e.cfg.MinWindow, e.cfg.MaxWindow)
+}
+
+func clampW(w, lo, hi model.Epoch) model.Epoch {
+	if w < lo {
+		return lo
+	}
+	if w > hi {
+		return hi
+	}
+	return w
+}
+
+// LocationAt estimates a tag's location at epoch t by per-tag maximum
+// likelihood over the tag's adaptive window: each reader's read count in
+// the window is a binomial sample with the calibrated per-scan rate
+// pi(r, a), so the location maximizing the product of binomial likelihoods
+// is chosen. This is "smoothing over time for individual objects" — it
+// uses no containment information, which is exactly what SMURF* lacks
+// relative to RFINFER.
+func (e *Engine) LocationAt(id model.TagID, t model.Epoch) model.Loc {
+	st, ok := e.tags[id]
+	if !ok {
+		return model.NoLoc
+	}
+	w := st.window
+	if w < e.cfg.MinWindow {
+		w = e.cfg.MinWindow
+	}
+	n := e.lik.N()
+	reads := make([]int, n)
+	any := false
+	for _, rd := range st.series.Window(t-w, t+1) {
+		for m := rd.Mask; m != 0; m &= m - 1 {
+			reads[m.First()]++
+			any = true
+		}
+	}
+	if !any {
+		// Fall back to the most recent read anywhere in history.
+		i := sort.Search(len(st.series), func(i int) bool { return st.series[i].T > t })
+		if i == 0 {
+			return model.NoLoc
+		}
+		return st.series[i-1].Mask.First()
+	}
+	scans := make([]int, n)
+	for r := 0; r < n; r++ {
+		scans[r] = e.scansIn(model.Loc(r), t-w, t+1)
+	}
+	rates := e.lik.Rates()
+	best, bestLL := model.NoLoc, math.Inf(-1)
+	for a := 0; a < n; a++ {
+		ll := 0.0
+		for r := 0; r < n; r++ {
+			if scans[r] == 0 {
+				continue
+			}
+			p := rates.Prob(model.Loc(r), model.Loc(a))
+			ll += float64(reads[r])*math.Log(p) + float64(scans[r]-reads[r])*math.Log1p(-p)
+		}
+		if ll > bestLL {
+			best, bestLL = model.Loc(a), ll
+		}
+	}
+	return best
+}
+
+// scansIn counts reader r's interrogations in [from, to).
+func (e *Engine) scansIn(r model.Loc, from, to model.Epoch) int {
+	if from < 0 {
+		from = 0
+	}
+	sched := e.lik.Schedule()
+	n := 0
+	for t := from; t < to; t++ {
+		if sched.Scans(r, t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Container returns the current SMURF* containment estimate for an item.
+func (e *Engine) Container(id model.TagID) model.TagID {
+	if st, ok := e.tags[id]; ok && !st.isContainer {
+		return st.container
+	}
+	return -1
+}
+
+// Changes returns all containment changes reported so far.
+func (e *Engine) Changes() []ChangeReport { return e.changes }
+
+// inferContainment applies the SMURF* heuristics of Appendix C.3.
+func (e *Engine) inferContainment(now model.Epoch) {
+	// Epoch-indexed container reads for co-location counting.
+	byEpoch := make(map[model.Epoch][]struct {
+		id   model.TagID
+		mask model.Mask
+	})
+	for _, cid := range e.conts {
+		for _, rd := range e.tags[cid].series {
+			byEpoch[rd.T] = append(byEpoch[rd.T], struct {
+				id   model.TagID
+				mask model.Mask
+			}{cid, rd.Mask})
+		}
+	}
+
+	for _, oid := range e.objects {
+		st := e.tags[oid]
+		t := st.transition
+		before := make(map[model.TagID]int)
+		after := make(map[model.TagID]int)
+		for _, rd := range st.series {
+			for _, cr := range byEpoch[rd.T] {
+				if cr.mask&rd.Mask == 0 {
+					continue
+				}
+				if rd.T < t {
+					before[cr.id]++
+				} else {
+					after[cr.id]++
+				}
+			}
+		}
+		if len(before) == 0 && len(after) == 0 {
+			continue
+		}
+		topBefore := topK(before, e.cfg.TopK)
+		topAfter := topK(after, e.cfg.TopK)
+		switch {
+		case t == 0 || len(topBefore) == 0:
+			st.container = first(topAfter, st.container)
+		case len(topAfter) == 0:
+			st.container = first(topBefore, st.container)
+		case topBefore[0] == topAfter[0]:
+			st.container = topBefore[0]
+			st.transition = 0
+		case disjoint(topBefore, topAfter):
+			// Containment change at t: pick the case most co-located since.
+			st.container = topAfter[0]
+			e.changes = append(e.changes, ChangeReport{
+				Object: oid, At: t, DetectedAt: now, NewContainer: topAfter[0],
+			})
+			st.transition = 0
+		default:
+			// A shared case between the top-k sets is likely the true
+			// container whose reads were missed (Appendix C.3's second
+			// check).
+			st.container = sharedBest(topBefore, topAfter, before, after)
+		}
+	}
+}
+
+func topK(counts map[model.TagID]int, k int) []model.TagID {
+	type kv struct {
+		id model.TagID
+		n  int
+	}
+	all := make([]kv, 0, len(counts))
+	for id, n := range counts {
+		all = append(all, kv{id, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].id < all[j].id
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]model.TagID, len(all))
+	for i, x := range all {
+		out[i] = x.id
+	}
+	return out
+}
+
+func first(ids []model.TagID, fallback model.TagID) model.TagID {
+	if len(ids) > 0 {
+		return ids[0]
+	}
+	return fallback
+}
+
+func disjoint(a, b []model.TagID) bool {
+	set := make(map[model.TagID]bool, len(a))
+	for _, id := range a {
+		set[id] = true
+	}
+	for _, id := range b {
+		if set[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func sharedBest(a, b []model.TagID, before, after map[model.TagID]int) model.TagID {
+	set := make(map[model.TagID]bool, len(a))
+	for _, id := range a {
+		set[id] = true
+	}
+	best, bestN := model.TagID(-1), -1
+	for _, id := range b {
+		if !set[id] {
+			continue
+		}
+		if n := before[id] + after[id]; n > bestN || (n == bestN && id < best) {
+			best, bestN = id, n
+		}
+	}
+	return best
+}

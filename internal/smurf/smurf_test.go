@@ -1,0 +1,143 @@
+package smurf
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rfidtrack/internal/model"
+)
+
+func testLik(t *testing.T) *model.Likelihood {
+	t.Helper()
+	pi := [][]float64{
+		{0.8, 0, 0, 0},
+		{0, 0.8, 0, 0},
+		{0, 0, 0.8, 0.3},
+		{0, 0, 0.3, 0.8},
+	}
+	rates, err := model.NewReadRates(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := model.NewSchedule(5, 4, func(r, p int) bool {
+		if r < 2 {
+			return true
+		}
+		return p == r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model.NewLikelihood(rates, sched)
+}
+
+func feed(t *testing.T, e *Engine, rng *rand.Rand, lik *model.Likelihood,
+	id model.TagID, at model.Loc, from, to model.Epoch) {
+	t.Helper()
+	for ep := from; ep < to; ep++ {
+		var m model.Mask
+		scan := lik.Schedule().ScanMask(ep)
+		for scan != 0 {
+			r := scan.First()
+			if rng.Float64() < lik.Rates().Prob(r, at) {
+				m = m.Set(r)
+			}
+			scan &= scan - 1
+		}
+		if m != 0 {
+			if err := e.ObserveMask(ep, id, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSmurfLocation(t *testing.T) {
+	lik := testLik(t)
+	e := New(lik, DefaultConfig())
+	rng := rand.New(rand.NewPCG(1, 1))
+	e.RegisterObject(1)
+	feed(t, e, rng, lik, 1, 2, 0, 300)
+	e.Run(299)
+	if loc := e.LocationAt(1, 299); loc != 2 {
+		t.Errorf("location = %d, want 2", loc)
+	}
+}
+
+func TestSmurfLocationFallback(t *testing.T) {
+	e := New(testLik(t), DefaultConfig())
+	e.RegisterObject(1)
+	if err := e.ObserveMask(5, 1, model.Mask(0).Set(3)); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(500)
+	// Reading far outside the window: falls back to the last read.
+	if loc := e.LocationAt(1, 500); loc != 3 {
+		t.Errorf("fallback location = %d, want 3", loc)
+	}
+	if loc := e.LocationAt(1, 2); loc != model.NoLoc {
+		t.Errorf("location before data = %d", loc)
+	}
+	if loc := e.LocationAt(99, 0); loc != model.NoLoc {
+		t.Errorf("unknown tag located at %d", loc)
+	}
+}
+
+func TestSmurfContainment(t *testing.T) {
+	lik := testLik(t)
+	e := New(lik, DefaultConfig())
+	rng := rand.New(rand.NewPCG(2, 2))
+	e.RegisterContainer(10)
+	e.RegisterContainer(11)
+	e.RegisterObject(1)
+	feed(t, e, rng, lik, 10, 2, 0, 300) // true container co-located
+	feed(t, e, rng, lik, 11, 3, 0, 300) // decoy elsewhere
+	feed(t, e, rng, lik, 1, 2, 0, 300)
+	e.Run(299)
+	if got := e.Container(1); got != 10 {
+		t.Errorf("container = %d, want 10", got)
+	}
+	if got := e.Container(10); got != -1 {
+		t.Errorf("container of a container = %d", got)
+	}
+}
+
+func TestSmurfChangeDetection(t *testing.T) {
+	lik := testLik(t)
+	cfg := DefaultConfig()
+	e := New(lik, cfg)
+	rng := rand.New(rand.NewPCG(3, 3))
+	e.RegisterContainer(10)
+	e.RegisterContainer(11)
+	e.RegisterObject(1)
+	// Both containers resident throughout; the object moves from 10 (loc 2)
+	// to 11 (loc 3) at epoch 400.
+	feed(t, e, rng, lik, 10, 2, 0, 800)
+	feed(t, e, rng, lik, 11, 3, 0, 800)
+	feed(t, e, rng, lik, 1, 2, 0, 400)
+	feed(t, e, rng, lik, 1, 3, 400, 800)
+	for ckpt := model.Epoch(100); ckpt <= 800; ckpt += 100 {
+		e.Run(ckpt - 1)
+	}
+	if got := e.Container(1); got != 11 {
+		t.Errorf("container after move = %d, want 11", got)
+	}
+}
+
+func TestSmurfRejectsUnknown(t *testing.T) {
+	e := New(testLik(t), DefaultConfig())
+	if err := e.ObserveMask(0, 7, 1); err == nil {
+		t.Error("unregistered tag accepted")
+	}
+}
+
+func TestAdaptWindowGrowsWhenSilent(t *testing.T) {
+	e := New(testLik(t), DefaultConfig())
+	e.RegisterObject(1)
+	st := e.tags[model.TagID(1)]
+	st.window = 20
+	e.adaptWindow(st, 1000) // no readings at all
+	if st.window <= 20 {
+		t.Errorf("window did not grow: %d", st.window)
+	}
+}

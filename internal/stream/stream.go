@@ -1,0 +1,141 @@
+// Package stream implements the continuous query processing substrate of
+// Section 4.2 and Appendix B: CQL-style relational operators over event
+// streams (selection, projection, partitioned row windows, lookup joins,
+// Rstream) plus an automaton-based SEQ(A+) pattern matcher whose
+// computation state is partitioned per object and serializable so it can be
+// migrated between sites.
+//
+// The engine is push-based: every operator consumes tuples and pushes
+// results to its sink. A pipeline for one query block is assembled by
+// chaining operators; Rstream semantics fall out naturally because each
+// emission is a stream element.
+package stream
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/model"
+)
+
+// Tuple is one stream element. The schema unions the object event stream
+// (time, tag id, location, container) of Section 2 with sensor readings and
+// optional manufacturer attributes.
+type Tuple struct {
+	// T is the event timestamp (epoch).
+	T model.Epoch
+	// Tag is the object id, or -1 for pure sensor tuples.
+	Tag model.TagID
+	// Loc is the object or sensor location.
+	Loc model.Loc
+	// Container is the object's inferred container (-1 if none/unknown).
+	Container model.TagID
+	// Sensor is the sensor id, or -1 for object tuples.
+	Sensor int32
+	// Temp is the joined or measured temperature.
+	Temp float64
+	// Attrs carries optional object properties from the manufacturer's
+	// database (e.g. product type). May be nil.
+	Attrs map[string]string
+}
+
+// Attr returns an attribute value or "".
+func (t Tuple) Attr(key string) string {
+	if t.Attrs == nil {
+		return ""
+	}
+	return t.Attrs[key]
+}
+
+// String renders the tuple compactly for logs and examples.
+func (t Tuple) String() string {
+	return fmt.Sprintf("t=%d tag=%d loc=%d cont=%d sensor=%d temp=%.1f",
+		t.T, t.Tag, t.Loc, t.Container, t.Sensor, t.Temp)
+}
+
+// Sink consumes tuples produced by an operator.
+type Sink func(Tuple)
+
+// Operator transforms a stream: it consumes tuples via Push and emits to
+// the sink given at construction.
+type Operator interface {
+	Push(Tuple)
+}
+
+// Filter emits only tuples satisfying pred.
+type Filter struct {
+	Pred func(Tuple) bool
+	Out  Sink
+}
+
+// Push implements Operator.
+func (f *Filter) Push(tu Tuple) {
+	if f.Pred(tu) {
+		f.Out(tu)
+	}
+}
+
+// Map transforms each tuple.
+type Map struct {
+	Fn  func(Tuple) Tuple
+	Out Sink
+}
+
+// Push implements Operator.
+func (m *Map) Push(tu Tuple) { m.Out(m.Fn(tu)) }
+
+// RowsTable materializes a "[Partition By key Rows 1]" window: the latest
+// tuple per partition key. It is the build side of a lookup join.
+type RowsTable struct {
+	Key  func(Tuple) int64
+	rows map[int64]Tuple
+}
+
+// NewRowsTable returns an empty table partitioned by key.
+func NewRowsTable(key func(Tuple) int64) *RowsTable {
+	return &RowsTable{Key: key, rows: make(map[int64]Tuple)}
+}
+
+// Push implements Operator (updates the partition's latest row).
+func (rt *RowsTable) Push(tu Tuple) { rt.rows[rt.Key(tu)] = tu }
+
+// Lookup returns the latest row for a key.
+func (rt *RowsTable) Lookup(key int64) (Tuple, bool) {
+	tu, ok := rt.rows[key]
+	return tu, ok
+}
+
+// Len returns the number of partitions with a row.
+func (rt *RowsTable) Len() int { return len(rt.rows) }
+
+// LookupJoin joins a probe stream ("[Now]" window) against a RowsTable and
+// emits the combined tuple via Combine for every match — the CQL
+// Rstream(probe [Now] ⋈ table) block of Query 1.
+type LookupJoin struct {
+	Table   *RowsTable
+	Key     func(Tuple) int64
+	Combine func(probe, build Tuple) (Tuple, bool)
+	Out     Sink
+}
+
+// Push implements Operator for the probe side.
+func (j *LookupJoin) Push(tu Tuple) {
+	build, ok := j.Table.Lookup(j.Key(tu))
+	if !ok {
+		return
+	}
+	if out, ok := j.Combine(tu, build); ok {
+		j.Out(out)
+	}
+}
+
+// Tee pushes every tuple to multiple sinks in order.
+type Tee struct {
+	Outs []Sink
+}
+
+// Push implements Operator.
+func (t *Tee) Push(tu Tuple) {
+	for _, out := range t.Outs {
+		out(tu)
+	}
+}

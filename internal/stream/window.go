@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"container/list"
+
+	"rfidtrack/internal/model"
+)
+
+// SlidingWindow materializes a CQL "[Range N]" time window per partition:
+// tuples older than Range relative to the newest tuple of the same
+// partition are evicted. Downstream aggregates read the live window.
+type SlidingWindow struct {
+	// Range is the window span in epochs.
+	Range model.Epoch
+	// Key partitions the stream (e.g. by tag or by sensor).
+	Key func(Tuple) int64
+	// Out, when set, receives every inserted tuple after eviction (IStream
+	// semantics on the insert side).
+	Out Sink
+
+	parts map[int64]*list.List
+}
+
+// NewSlidingWindow returns an empty window.
+func NewSlidingWindow(rng model.Epoch, key func(Tuple) int64) *SlidingWindow {
+	return &SlidingWindow{Range: rng, Key: key, parts: make(map[int64]*list.List)}
+}
+
+// Push implements Operator.
+func (w *SlidingWindow) Push(tu Tuple) {
+	k := w.Key(tu)
+	l := w.parts[k]
+	if l == nil {
+		l = list.New()
+		w.parts[k] = l
+	}
+	l.PushBack(tu)
+	for l.Len() > 0 {
+		front := l.Front().Value.(Tuple)
+		if front.T+w.Range > tu.T {
+			break
+		}
+		l.Remove(l.Front())
+	}
+	if w.Out != nil {
+		w.Out(tu)
+	}
+}
+
+// Contents returns the partition's live tuples in arrival order.
+func (w *SlidingWindow) Contents(key int64) []Tuple {
+	l := w.parts[key]
+	if l == nil {
+		return nil
+	}
+	out := make([]Tuple, 0, l.Len())
+	for e := l.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(Tuple))
+	}
+	return out
+}
+
+// Aggregate computes per-partition running aggregates over a sliding
+// window: count, sum, min, max, and mean of Temp. It emits one aggregate
+// tuple downstream per input tuple (Rstream over the aggregate view).
+type Aggregate struct {
+	Window *SlidingWindow
+	// Out receives one tuple per input with Temp = the selected aggregate.
+	Out Sink
+	// Fn selects the aggregate: one of "count", "sum", "min", "max", "avg".
+	Fn string
+}
+
+// Push implements Operator.
+func (a *Aggregate) Push(tu Tuple) {
+	a.Window.Push(tu)
+	if a.Out == nil {
+		return
+	}
+	contents := a.Window.Contents(a.Window.Key(tu))
+	if len(contents) == 0 {
+		return
+	}
+	count := float64(len(contents))
+	sum, minV, maxV := 0.0, contents[0].Temp, contents[0].Temp
+	for _, c := range contents {
+		sum += c.Temp
+		if c.Temp < minV {
+			minV = c.Temp
+		}
+		if c.Temp > maxV {
+			maxV = c.Temp
+		}
+	}
+	out := tu
+	switch a.Fn {
+	case "count":
+		out.Temp = count
+	case "sum":
+		out.Temp = sum
+	case "min":
+		out.Temp = minV
+	case "max":
+		out.Temp = maxV
+	default: // avg
+		out.Temp = sum / count
+	}
+	a.Out(out)
+}
+
+// Union merges several upstream operators into one sink; tuples pass
+// through unchanged (CQL's bag union over streams).
+type Union struct {
+	Out Sink
+}
+
+// Push implements Operator.
+func (u *Union) Push(tu Tuple) { u.Out(tu) }

@@ -1,0 +1,123 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rfidtrack/internal/model"
+)
+
+func TestSlidingWindowEviction(t *testing.T) {
+	w := NewSlidingWindow(10, func(tu Tuple) int64 { return int64(tu.Tag) })
+	for _, e := range []model.Epoch{0, 5, 9, 12} {
+		w.Push(Tuple{Tag: 1, T: e, Temp: float64(e)})
+	}
+	got := w.Contents(1)
+	// Range 10 relative to newest (12): epochs 0 evicted (0+10 <= 12),
+	// 5, 9, 12 remain.
+	if len(got) != 3 || got[0].T != 5 {
+		t.Fatalf("contents = %v", got)
+	}
+	if w.Contents(9) != nil {
+		t.Fatal("phantom partition")
+	}
+}
+
+func TestSlidingWindowPartitions(t *testing.T) {
+	w := NewSlidingWindow(100, func(tu Tuple) int64 { return int64(tu.Tag) })
+	w.Push(Tuple{Tag: 1, T: 0})
+	w.Push(Tuple{Tag: 2, T: 0})
+	if len(w.Contents(1)) != 1 || len(w.Contents(2)) != 1 {
+		t.Fatal("partitions mixed")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	for _, tc := range []struct {
+		fn   string
+		want float64
+	}{
+		{"count", 3}, {"sum", 60}, {"min", 10}, {"max", 30}, {"avg", 20},
+	} {
+		var got []Tuple
+		agg := &Aggregate{
+			Window: NewSlidingWindow(100, func(tu Tuple) int64 { return int64(tu.Tag) }),
+			Fn:     tc.fn,
+			Out:    collect(&got),
+		}
+		for i, v := range []float64{10, 20, 30} {
+			agg.Push(Tuple{Tag: 1, T: model.Epoch(i), Temp: v})
+		}
+		last := got[len(got)-1]
+		if math.Abs(last.Temp-tc.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", tc.fn, last.Temp, tc.want)
+		}
+	}
+}
+
+func TestAggregateWindowed(t *testing.T) {
+	var got []Tuple
+	agg := &Aggregate{
+		Window: NewSlidingWindow(10, func(tu Tuple) int64 { return int64(tu.Tag) }),
+		Fn:     "avg",
+		Out:    collect(&got),
+	}
+	agg.Push(Tuple{Tag: 1, T: 0, Temp: 100})
+	agg.Push(Tuple{Tag: 1, T: 20, Temp: 10}) // first tuple evicted
+	if got[len(got)-1].Temp != 10 {
+		t.Fatalf("windowed avg = %v", got[len(got)-1].Temp)
+	}
+}
+
+// TestWindowInvariantProperty: contents are always within Range of the
+// newest tuple and in non-decreasing time order.
+func TestWindowInvariantProperty(t *testing.T) {
+	f := func(epochs []uint16) bool {
+		w := NewSlidingWindow(50, func(tu Tuple) int64 { return 0 })
+		var newest model.Epoch = -1
+		prev := model.Epoch(0)
+		for _, e := range epochs {
+			// Streams are time-ordered.
+			te := prev + model.Epoch(e%20)
+			prev = te
+			w.Push(Tuple{T: te})
+			if te > newest {
+				newest = te
+			}
+			last := model.Epoch(-1)
+			for _, tu := range w.Contents(0) {
+				if tu.T+50 <= newest {
+					return false // stale tuple survived
+				}
+				if tu.T < last {
+					return false // order broken
+				}
+				last = tu.T
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	var out []Tuple
+	u := &Union{Out: collect(&out)}
+	u.Push(Tuple{Tag: 1})
+	u.Push(Tuple{Tag: 2})
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestAggregateNoOut(t *testing.T) {
+	agg := &Aggregate{
+		Window: NewSlidingWindow(10, func(tu Tuple) int64 { return 0 }),
+		Fn:     "avg",
+	}
+	// Must not panic without a sink.
+	agg.Push(Tuple{T: 0, Temp: 1})
+}

@@ -1,0 +1,139 @@
+package rfidtrack
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestPublicAPI exercises the re-exported facade end to end: simulate,
+// infer, query locations and containment, export/import migration state.
+func TestPublicAPI(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Epochs = 900
+	cfg.ItemsPerCase = 5
+	world, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := world.Single()
+	if tr.NumReadings() == 0 {
+		t.Fatal("no readings generated")
+	}
+
+	eng := NewEngine(tr.Likelihood(), DefaultInferConfig())
+	for i := range tr.Tags {
+		switch tr.Tags[i].Kind {
+		case KindCase:
+			eng.RegisterContainer(tr.Tags[i].ID)
+		case KindItem:
+			eng.RegisterObject(tr.Tags[i].ID)
+		}
+	}
+	type ev struct {
+		t    Epoch
+		id   TagID
+		mask Mask
+	}
+	var feed []ev
+	for i := range tr.Tags {
+		if tr.Tags[i].Kind == KindPallet {
+			continue
+		}
+		for _, rd := range tr.Tags[i].Readings {
+			feed = append(feed, ev{rd.T, tr.Tags[i].ID, rd.Mask})
+		}
+	}
+	sort.Slice(feed, func(i, j int) bool { return feed[i].t < feed[j].t })
+	for _, e := range feed {
+		if err := eng.ObserveMask(e.t, e.id, e.mask); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := eng.Run(tr.Epochs - 1)
+	if res.Iterations == 0 {
+		t.Fatal("no EM iterations")
+	}
+
+	evalAt := tr.Epochs - 1
+	wrong, total := 0, 0
+	for i := range tr.Tags {
+		tg := &tr.Tags[i]
+		if tg.Kind != KindItem || tg.TrueLocAt(evalAt) == NoLoc {
+			continue
+		}
+		total++
+		if eng.Container(tg.ID) != tg.TrueContAt(evalAt) {
+			wrong++
+		}
+	}
+	if total == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	if rate := 100 * float64(wrong) / float64(total); rate > 10 {
+		t.Errorf("containment error %.1f%% via public API", rate)
+	}
+
+	// Events and migration state through the facade.
+	if evs := eng.Snapshot(evalAt); len(evs) == 0 {
+		t.Error("empty snapshot")
+	}
+	items := tr.Items()
+	st, err := eng.ExportCollapsed(items[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewEngine(tr.Likelihood(), DefaultInferConfig())
+	eng2.ImportCollapsed(st)
+	if eng2.Container(items[0]) != st.Container {
+		t.Error("imported container mismatch")
+	}
+}
+
+func TestPublicQueryAPI(t *testing.T) {
+	q := NewQuery(Q1Config(500, 300), func(id TagID) bool { return id == 9 })
+	q.PushSensor(Tuple{T: 0, Loc: 2, Sensor: 2, Temp: 21})
+	attrs := map[string]string{"type": "frozen"}
+	for _, ts := range []Epoch{0, 300, 600} {
+		q.PushSensor(Tuple{T: ts, Loc: 2, Sensor: 2, Temp: 21})
+		q.PushObject(Tuple{T: ts, Tag: 1, Loc: 2, Container: 5, Sensor: -1, Attrs: attrs})
+	}
+	if len(q.Matches()) != 1 {
+		t.Fatalf("matches = %d", len(q.Matches()))
+	}
+}
+
+func TestPublicLabTraces(t *testing.T) {
+	params := LabTraces()
+	if len(params) != 8 {
+		t.Fatalf("lab traces = %d", len(params))
+	}
+	tr, world, err := LabTrace(params[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Readers) != 7 || world == nil {
+		t.Fatal("lab trace malformed")
+	}
+}
+
+func TestPublicReadRates(t *testing.T) {
+	rates, err := NewReadRates([][]float64{{0.8, 0}, {0, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lik := NewLikelihood(rates, AlwaysOn(2))
+	if lik.N() != 2 {
+		t.Fatal("likelihood dimensions wrong")
+	}
+	sched, err := NewSchedule(5, 2, func(r, p int) bool { return p == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Scans(0, 5) != true || sched.Scans(0, 1) != false {
+		t.Fatal("schedule semantics wrong")
+	}
+	prf := FMeasure(8, 2, 0)
+	if prf.Precision != 80 || prf.Recall != 100 {
+		t.Fatalf("PRF = %+v", prf)
+	}
+}
