@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-hot ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the parallel inference path (and the multi-site replay).
+race:
+	$(GO) test -race ./internal/rfinfer/... ./internal/dist/...
+
+# Whole-artifact benchmarks: regenerate every paper table/figure.
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+
+# Hot-path micro-benchmarks (Engine.Run / E-step).
+bench-hot:
+	$(GO) test -bench 'BenchmarkEngineRun|BenchmarkEStep' -benchmem -run XXX ./internal/rfinfer/
+
+# Tier-1 verify: everything the CI gate runs, in one command.
+ci: build vet test race

@@ -1,0 +1,3 @@
+module rfidtrack
+
+go 1.24

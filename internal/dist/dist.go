@@ -1,0 +1,374 @@
+// Package dist implements the distributed runtime of Section 4: one
+// inference engine per site, an object naming service (ONS) tracking which
+// site owns each object, and state migration between sites as objects move
+// through the supply chain.
+//
+// The Cluster replays a simulated multi-site world checkpoint by
+// checkpoint, migrating inference state at departures according to the
+// configured Strategy and accounting the communication cost of each
+// transfer (Table 5). The centralized baseline — shipping every raw reading
+// to one server, gzip-compressed — is computed alongside for comparison.
+package dist
+
+import (
+	"io"
+	"sort"
+
+	"rfidtrack/internal/metrics"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/sim"
+	"rfidtrack/internal/trace"
+)
+
+// Strategy selects what inference state travels with a departing object
+// (Section 4.1).
+type Strategy uint8
+
+const (
+	// MigrateNone ships nothing: each site infers from scratch.
+	MigrateNone Strategy = iota
+	// MigrateWeights ships the collapsed co-location weights only (the
+	// paper's collapsed-state method, a few dozen bytes per object).
+	MigrateWeights
+	// MigrateReadings ships the collapsed weights plus the raw readings
+	// inside the object's critical region and recent history (the CR
+	// method), preserving revisability at the destination.
+	MigrateReadings
+	// MigrateFull ships the weights plus every retained reading of the
+	// object and its candidate containers, approximating centralized
+	// accuracy at centralized cost.
+	MigrateFull
+)
+
+// String returns the strategy's short name.
+func (s Strategy) String() string {
+	switch s {
+	case MigrateNone:
+		return "none"
+	case MigrateWeights:
+		return "weights"
+	case MigrateReadings:
+		return "readings"
+	case MigrateFull:
+		return "full"
+	default:
+		return "strategy(?)"
+	}
+}
+
+// Departure reports an object leaving one site for another.
+type Departure struct {
+	Object   model.TagID
+	From, To int
+	At       model.Epoch
+}
+
+// Hooks lets callers observe the replay. Hooks run sequentially in
+// deterministic order even when Parallel is set.
+type Hooks struct {
+	// OnDepart fires when an object departs, before any engine runs at the
+	// checkpoint that observes the departure (so migrated state can be
+	// delivered ahead of the destination's checkpoint).
+	OnDepart func(Departure)
+	// OnCheckpoint fires after a site's inference run at each checkpoint.
+	OnCheckpoint func(site int, eng *rfinfer.Engine, evalAt model.Epoch)
+}
+
+// Costs accumulates migration traffic.
+type Costs struct {
+	// Bytes is the total wire size of all migrated state.
+	Bytes int
+	// Messages is the number of point-to-point transfers.
+	Messages int
+}
+
+// Result summarizes one Replay.
+type Result struct {
+	// ContErr and LocErr accumulate containment / location error
+	// observations across all sites and checkpoints.
+	ContErr, LocErr metrics.Counts
+	// Costs is the migration traffic of the configured strategy.
+	Costs Costs
+	// CentralizedBytes is what the centralized baseline would ship: every
+	// site's raw readings, gzip-compressed (Table 5 accounting).
+	CentralizedBytes int
+	// Runs counts inference checkpoints (per site).
+	Runs int
+}
+
+// ONS is the object naming service: the authoritative map from object to
+// owning site (Section 4.2). Lookups route queries; Move transfers
+// ownership when migration completes.
+type ONS struct {
+	owner []int
+}
+
+// NewONS returns a naming service over n tags, all owned by site 0.
+func NewONS(n int) *ONS { return &ONS{owner: make([]int, n)} }
+
+// Lookup returns the owning site of a tag (0 if unknown).
+func (o *ONS) Lookup(id model.TagID) int {
+	if int(id) < 0 || int(id) >= len(o.owner) {
+		return 0
+	}
+	return o.owner[id]
+}
+
+// Move transfers ownership of a tag to a site.
+func (o *ONS) Move(id model.TagID, site int) {
+	if int(id) >= 0 && int(id) < len(o.owner) {
+		o.owner[id] = site
+	}
+}
+
+// Cluster is a multi-site deployment of inference engines over a simulated
+// world.
+type Cluster struct {
+	World    *sim.World
+	Strategy Strategy
+	// Engines holds one inference engine per site.
+	Engines []*rfinfer.Engine
+	// Hooks observes departures and checkpoints.
+	Hooks Hooks
+	// Parallel runs per-site inference concurrently at each checkpoint.
+	// Hook and scoring order stay deterministic regardless.
+	Parallel bool
+
+	cfg  rfinfer.Config
+	ons  *ONS
+	deps []Departure // all item departures, time-ordered
+}
+
+// NewCluster builds a deployment over a simulated world: one engine per
+// site, every case registered as a container and every item as an object
+// (pallet-level containment is the hierarchical extension of Appendix A.4).
+func NewCluster(w *sim.World, strategy Strategy, cfg rfinfer.Config) *Cluster {
+	c := &Cluster{
+		World:    w,
+		Strategy: strategy,
+		cfg:      cfg,
+		ons:      NewONS(w.NumTags()),
+	}
+	c.Engines = make([]*rfinfer.Engine, len(w.Sites))
+	for s, tr := range w.Sites {
+		eng := rfinfer.New(tr.Likelihood(), cfg)
+		for i := range tr.Tags {
+			switch tr.Tags[i].Kind {
+			case model.KindCase:
+				eng.RegisterContainer(tr.Tags[i].ID)
+			case model.KindItem:
+				eng.RegisterObject(tr.Tags[i].ID)
+			}
+		}
+		c.Engines[s] = eng
+	}
+	tags := w.Sites[0].Tags
+	for id, visits := range w.Visits {
+		if len(visits) > 0 {
+			c.ons.Move(model.TagID(id), visits[0].Site)
+		}
+		if tags[id].Kind != model.KindItem {
+			continue
+		}
+		for i := 0; i+1 < len(visits); i++ {
+			if visits[i].Site == visits[i+1].Site {
+				continue
+			}
+			c.deps = append(c.deps, Departure{
+				Object: model.TagID(id),
+				From:   visits[i].Site,
+				To:     visits[i+1].Site,
+				At:     visits[i].Depart,
+			})
+		}
+	}
+	sort.Slice(c.deps, func(i, j int) bool {
+		if c.deps[i].At != c.deps[j].At {
+			return c.deps[i].At < c.deps[j].At
+		}
+		return c.deps[i].Object < c.deps[j].Object
+	})
+	return c
+}
+
+// ONSLookup returns the site currently owning a tag.
+func (c *Cluster) ONSLookup(id model.TagID) int { return c.ons.Lookup(id) }
+
+// feedEvent is one site-local reading ready for replay.
+type feedEvent struct {
+	t    model.Epoch
+	id   model.TagID
+	mask model.Mask
+}
+
+// Replay drives the whole world through checkpointed inference every
+// interval epochs, migrating state at departures, and scores every site
+// against its ground truth.
+func (c *Cluster) Replay(interval model.Epoch) (Result, error) {
+	var res Result
+	w := c.World
+
+	feeds := make([][]feedEvent, len(w.Sites))
+	idx := make([]int, len(w.Sites))
+	for s, tr := range w.Sites {
+		var f []feedEvent
+		for i := range tr.Tags {
+			tg := &tr.Tags[i]
+			if tg.Kind == model.KindPallet {
+				continue
+			}
+			for _, rd := range tg.Readings {
+				f = append(f, feedEvent{t: rd.T, id: tg.ID, mask: rd.Mask})
+			}
+		}
+		sort.Slice(f, func(i, j int) bool {
+			if f[i].t != f[j].t {
+				return f[i].t < f[j].t
+			}
+			return f[i].id < f[j].id
+		})
+		feeds[s] = f
+	}
+
+	depIdx := 0
+	for ckpt := interval; ckpt <= w.Epochs; ckpt += interval {
+		for s, eng := range c.Engines {
+			f := feeds[s]
+			for idx[s] < len(f) && f[idx[s]].t < ckpt {
+				ev := f[idx[s]]
+				if err := eng.ObserveMask(ev.t, ev.id, ev.mask); err != nil {
+					return res, err
+				}
+				idx[s]++
+			}
+		}
+
+		// Departures observed by this checkpoint migrate before any site
+		// runs, so the destination's run already sees the imported state.
+		for depIdx < len(c.deps) && c.deps[depIdx].At < ckpt {
+			if err := c.migrate(c.deps[depIdx], &res.Costs); err != nil {
+				return res, err
+			}
+			depIdx++
+		}
+
+		evalAt := ckpt - 1
+		if c.Parallel && len(c.Engines) > 1 {
+			done := make(chan int, len(c.Engines))
+			for _, eng := range c.Engines {
+				go func(e *rfinfer.Engine) {
+					e.Run(evalAt)
+					done <- 1
+				}(eng)
+			}
+			for range c.Engines {
+				<-done
+			}
+		} else {
+			for _, eng := range c.Engines {
+				eng.Run(evalAt)
+			}
+		}
+
+		for s, eng := range c.Engines {
+			if c.Hooks.OnCheckpoint != nil {
+				c.Hooks.OnCheckpoint(s, eng, evalAt)
+			}
+			res.ContErr.Add(metrics.ContainmentErrorAt(w.Sites[s], evalAt, eng.Container))
+			res.LocErr.Add(metrics.LocationErrorAt(w.Sites[s], evalAt, model.KindItem, func(id model.TagID) model.Loc {
+				return eng.LocationAt(id, evalAt)
+			}))
+		}
+		res.Runs++
+	}
+
+	for s, tr := range w.Sites {
+		var tags []model.TagID
+		for i := range tr.Tags {
+			if k := tr.Tags[i].Kind; k == model.KindCase || k == model.KindItem {
+				tags = append(tags, tr.Tags[i].ID)
+			}
+		}
+		res.CentralizedBytes += trace.GzipSize(w.Sites[s], tags)
+	}
+	return res, nil
+}
+
+// migrate transfers one object's inference state per the strategy, counts
+// its wire cost, and updates the ONS.
+func (c *Cluster) migrate(d Departure, costs *Costs) error {
+	c.ons.Move(d.Object, d.To)
+	if c.Hooks.OnDepart != nil {
+		c.Hooks.OnDepart(d)
+	}
+	if c.Strategy == MigrateNone || d.From == d.To {
+		return nil
+	}
+	src, dst := c.Engines[d.From], c.Engines[d.To]
+	cw := &countWriter{}
+	switch c.Strategy {
+	case MigrateWeights:
+		st, err := src.ExportCollapsed(d.Object)
+		if err != nil {
+			return err
+		}
+		if err := rfinfer.EncodeCollapsed(cw, st); err != nil {
+			return err
+		}
+		dst.ImportCollapsed(st)
+	case MigrateReadings, MigrateFull:
+		st, err := src.ExportCR(d.Object)
+		if err != nil {
+			return err
+		}
+		if c.Strategy == MigrateReadings {
+			clipCR(&st, d.At-c.recentHistory(), d.At+1)
+		}
+		if err := rfinfer.EncodeCR(cw, st); err != nil {
+			return err
+		}
+		dst.ImportCR(st)
+	}
+	costs.Bytes += cw.n
+	costs.Messages++
+	return nil
+}
+
+func (c *Cluster) recentHistory() model.Epoch {
+	if c.cfg.RecentHistory > 0 {
+		return c.cfg.RecentHistory
+	}
+	return rfinfer.DefaultConfig().RecentHistory
+}
+
+// clipCR windows the shipped reading histories to the critical region plus
+// recent history [recFrom, recTo): the CR migration method of Section 4.1.
+func clipCR(st *rfinfer.CRState, recFrom, recTo model.Epoch) {
+	keep := func(s model.Series) model.Series {
+		out := s[:0]
+		for _, rd := range s {
+			inRecent := rd.T >= recFrom && rd.T < recTo
+			inCR := rd.T >= st.CR.From && rd.T < st.CR.To
+			if inRecent || inCR {
+				out = append(out, rd)
+			}
+		}
+		return out
+	}
+	st.ObjectHist = keep(st.ObjectHist)
+	for id, s := range st.ContHist {
+		if clipped := keep(s); len(clipped) > 0 {
+			st.ContHist[id] = clipped
+		} else {
+			delete(st.ContHist, id)
+		}
+	}
+}
+
+// countWriter counts bytes written, the wire-cost accounting sink.
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) { c.n += len(p); return len(p), nil }
+
+var _ io.Writer = (*countWriter)(nil)

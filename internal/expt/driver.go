@@ -25,9 +25,16 @@ type FeedEvent struct {
 
 // Feed flattens a trace's readings (cases and items only; pallet-level
 // containment is the hierarchical extension of Appendix A.4) into a
-// time-ordered replay stream.
+// time-ordered replay stream. The stream is sized in one counting pass so
+// replay setup does not grow the slice incrementally.
 func Feed(tr *trace.Trace) []FeedEvent {
-	var out []FeedEvent
+	n := 0
+	for i := range tr.Tags {
+		if tr.Tags[i].Kind != model.KindPallet {
+			n += len(tr.Tags[i].Readings)
+		}
+	}
+	out := make([]FeedEvent, 0, n)
 	for i := range tr.Tags {
 		tg := &tr.Tags[i]
 		if tg.Kind == model.KindPallet {

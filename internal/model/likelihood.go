@@ -1,6 +1,9 @@
 package model
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Likelihood combines a per-scan read-rate table with a reader schedule
 // into the full observation model: at epoch t, only the readers scanning at
@@ -15,6 +18,19 @@ type Likelihood struct {
 	base        [][]float64 // [phase][a]: sum over scanning r of log(1-pi(r,a))
 	uniformBase []float64   // [phase]: mean over a of base[phase][a]
 	meanDelta   []float64   // [r]: mean over a of delta(r,a)
+
+	// maskCache memoizes combined delta rows per multi-reader mask. Deltas
+	// are phase-independent (the schedule only shapes the all-miss base), so
+	// the cache keys on the mask alone; lazily populating it keeps the
+	// concurrent-use contract via sync.Map.
+	maskCache sync.Map // Mask -> *maskDelta
+}
+
+// maskDelta is one cached combined evidence row: row[a] sums Delta(r, a)
+// over every reader in the mask; mean is the corresponding sum of MeanDelta.
+type maskDelta struct {
+	row  []float64
+	mean float64
 }
 
 // NewLikelihood precomputes the per-phase tables.
@@ -91,6 +107,45 @@ func (l *Likelihood) Delta(r, a Loc) float64 { return l.rates.Delta(r, a) }
 
 // MeanDelta returns the mean over locations of Delta(r, ·).
 func (l *Likelihood) MeanDelta(r Loc) float64 { return l.meanDelta[r] }
+
+// DeltaRow returns Delta(r, ·) over every location as one contiguous slice.
+// Callers must not modify the row.
+func (l *Likelihood) DeltaRow(r Loc) []float64 { return l.rates.DeltaRow(r) }
+
+// MaskDelta returns the combined evidence adjustment for a whole reading
+// mask: row[a] = sum over readers r in m of Delta(r, a), plus the matching
+// sum of MeanDelta(r) (the adjustment under a uniform posterior). The row
+// for a single-reader mask is the precomputed delta row; multi-reader
+// combinations are computed once and cached, since a deployment produces
+// only a handful of distinct masks compared to epochs. An empty mask
+// returns (nil, 0). Callers must not modify the row.
+func (l *Likelihood) MaskDelta(m Mask) ([]float64, float64) {
+	if m == 0 {
+		return nil, 0
+	}
+	if m&(m-1) == 0 { // single reader: serve the table row directly
+		r := m.First()
+		return l.rates.DeltaRow(r), l.meanDelta[r]
+	}
+	if v, ok := l.maskCache.Load(m); ok {
+		md := v.(*maskDelta)
+		return md.row, md.mean
+	}
+	n := l.rates.N()
+	md := &maskDelta{row: make([]float64, n)}
+	for mm := m; mm != 0; mm &= mm - 1 {
+		r := mm.First()
+		row := l.rates.DeltaRow(r)
+		for a := 0; a < n; a++ {
+			md.row[a] += row[a]
+		}
+		md.mean += l.meanDelta[r]
+	}
+	if v, raced := l.maskCache.LoadOrStore(m, md); raced {
+		md = v.(*maskDelta)
+	}
+	return md.row, md.mean
+}
 
 // MaskLogLik returns log p(mask | location=a, epoch t): the probability
 // that exactly the readers in mask (among those scanning at t) detected a

@@ -178,3 +178,54 @@ func TestUniformReadRates(t *testing.T) {
 		t.Errorf("far rate %v not near floor", got)
 	}
 }
+
+func TestDeltaRow(t *testing.T) {
+	rr := newTestRates(t, 4)
+	for r := Loc(0); r < 4; r++ {
+		row := rr.DeltaRow(r)
+		if len(row) != 4 {
+			t.Fatalf("DeltaRow(%d) has %d entries", r, len(row))
+		}
+		for a := Loc(0); a < 4; a++ {
+			if row[a] != rr.Delta(r, a) {
+				t.Errorf("DeltaRow(%d)[%d] = %v, want Delta = %v", r, a, row[a], rr.Delta(r, a))
+			}
+		}
+	}
+}
+
+func TestMaskDelta(t *testing.T) {
+	rr := newTestRates(t, 4)
+	lik := NewLikelihood(rr, AlwaysOn(4))
+
+	if row, mean := lik.MaskDelta(0); row != nil || mean != 0 {
+		t.Errorf("empty mask returned %v, %v", row, mean)
+	}
+
+	// Single reader: the table row itself.
+	row, mean := lik.MaskDelta(Mask(0).Set(2))
+	if &row[0] != &rr.DeltaRow(2)[0] {
+		t.Error("single-reader mask did not return the precomputed row")
+	}
+	if mean != lik.MeanDelta(2) {
+		t.Errorf("single-reader mean = %v, want %v", mean, lik.MeanDelta(2))
+	}
+
+	// Multi-reader: the elementwise sum, cached across calls.
+	m := Mask(0).Set(0).Set(2).Set(3)
+	row, mean = lik.MaskDelta(m)
+	wantMean := lik.MeanDelta(0) + lik.MeanDelta(2) + lik.MeanDelta(3)
+	if diff := mean - wantMean; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("mean = %v, want %v", mean, wantMean)
+	}
+	for a := Loc(0); a < 4; a++ {
+		want := lik.Delta(0, a) + lik.Delta(2, a) + lik.Delta(3, a)
+		if diff := row[a] - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("row[%d] = %v, want %v", a, row[a], want)
+		}
+	}
+	again, _ := lik.MaskDelta(m)
+	if &again[0] != &row[0] {
+		t.Error("repeated MaskDelta did not serve the cached row")
+	}
+}

@@ -103,6 +103,14 @@ func (rr *ReadRates) Base(a Loc) float64 { return rr.base[a] }
 // for reader r detecting the tag given true location a.
 func (rr *ReadRates) Delta(r, a Loc) float64 { return rr.delta[int(r)*rr.n+int(a)] }
 
+// DeltaRow returns Delta(r, ·) over every location as one contiguous slice,
+// so evidence accumulation can run as a straight slice loop instead of
+// per-element Delta calls. Callers must not modify the row.
+func (rr *ReadRates) DeltaRow(r Loc) []float64 {
+	n := rr.n
+	return rr.delta[int(r)*n : int(r)*n+n : int(r)*n+n]
+}
+
 // MaskLogLik returns log p(mask | location=a): the log-probability that
 // exactly the readers in mask (and no others) detected a tag at location a
 // during one epoch (Eq 1 applied over all readers).

@@ -1,97 +1,159 @@
 package rfinfer
 
 import (
-	"sort"
+	"slices"
 
 	"rfidtrack/internal/model"
 )
 
-// contRead is one container's mask at one epoch, used by the co-occurrence
-// index.
+// contRead is one container reading in the flattened co-occurrence index:
+// every container's readings merged into a single epoch-sorted slice that
+// is rebuilt (into reused backing) each Run.
 type contRead struct {
-	id   model.TagID
+	t    model.Epoch
+	ci   int32 // index into e.containers
 	mask model.Mask
+}
+
+// scoredCand is one candidate container with its co-occurrence count.
+type scoredCand struct {
+	id model.TagID
+	n  int32
 }
 
 // buildCandidates performs candidate pruning (Appendix A.3): each object's
 // candidate containers are the ones most frequently co-located with it
 // (read by a common reader in a common epoch) over the retained history,
 // merged with any candidates carried over from migration and the current
-// assignment.
+// assignment. All working storage is reused across Runs.
 func (e *Engine) buildCandidates() {
-	// Invert container readings into an epoch index.
-	byEpoch := make(map[model.Epoch][]contRead)
-	for _, cid := range e.containers {
+	// Flatten container readings into one epoch-sorted index.
+	reads := e.contReads[:0]
+	for ci, cid := range e.containers {
 		for _, rd := range e.tags[cid].series {
-			byEpoch[rd.T] = append(byEpoch[rd.T], contRead{id: cid, mask: rd.Mask})
+			reads = append(reads, contRead{t: rd.T, ci: int32(ci), mask: rd.Mask})
 		}
 	}
+	slices.SortFunc(reads, func(a, b contRead) int {
+		if a.t != b.t {
+			return int(a.t) - int(b.t)
+		}
+		return int(a.ci) - int(b.ci)
+	})
+	e.contReads = reads
+
+	// Dense container index for forced-candidate count lookups, rebuilt
+	// only when registrations changed the container set.
+	if len(e.contIndex) != len(e.containers) {
+		e.contIndex = make(map[model.TagID]int, len(e.containers))
+		for ci, cid := range e.containers {
+			e.contIndex[cid] = ci
+		}
+	}
+	if cap(e.countBuf) < len(e.containers) {
+		e.countBuf = make([]int32, len(e.containers))
+	}
+	counts := e.countBuf[:len(e.containers)]
 
 	for _, oid := range e.objects {
 		rec := e.tags[oid]
-		counts := make(map[model.TagID]int)
+		for i := range counts {
+			counts[i] = 0
+		}
+		ri := 0
 		for _, rd := range rec.series {
-			for _, cr := range byEpoch[rd.T] {
-				if cr.mask&rd.Mask != 0 {
-					counts[cr.id]++
+			for ri < len(reads) && reads[ri].t < rd.T {
+				ri++
+			}
+			for j := ri; j < len(reads) && reads[j].t == rd.T; j++ {
+				if reads[j].mask&rd.Mask != 0 {
+					counts[reads[j].ci]++
 				}
-			}
-		}
-		// Previous candidates (including migrated ones) stay eligible so
-		// their prior weights are not lost.
-		prior := make(map[model.TagID]float64, len(rec.cands))
-		for i, c := range rec.cands {
-			prior[c] = rec.priorW[i]
-			if _, ok := counts[c]; !ok {
-				counts[c] = 0
-			}
-		}
-		if rec.container >= 0 {
-			if _, ok := counts[rec.container]; !ok {
-				counts[rec.container] = 0
 			}
 		}
 
-		type scored struct {
-			id model.TagID
-			n  int
-		}
-		all := make([]scored, 0, len(counts))
-		for id, n := range counts {
-			all = append(all, scored{id, n})
-		}
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].n != all[j].n {
-				return all[i].n > all[j].n
+		// Snapshot the previous candidate list (and its migrated weights)
+		// before rebuilding rec.cands in place.
+		e.oldCands = append(e.oldCands[:0], rec.cands...)
+		e.oldPrior = append(e.oldPrior[:0], rec.priorW...)
+
+		scored := e.scoredBuf[:0]
+		for ci, n := range counts {
+			if n > 0 {
+				scored = append(scored, scoredCand{id: e.containers[ci], n: n})
 			}
-			return all[i].id < all[j].id
-		})
-		max := e.cfg.MaxCandidates
-		if max <= 0 {
-			max = len(all)
 		}
-		if len(all) > max {
-			// Never prune the current assignment or a migrated candidate
-			// whose weight beats the default (it carries real co-location
-			// evidence from a previous site).
-			kept := all[:max:max]
-			for _, s := range all[max:] {
-				if w, ok := prior[s.id]; s.id == rec.container || (ok && w > rec.priorDefault) {
-					kept = append(kept, s)
+		// Previous candidates (including migrated ones) and the current
+		// assignment stay eligible even with no co-location this window, so
+		// their prior weights are not lost.
+		forcedFrom := len(scored)
+		force := func(id model.TagID) {
+			if id < 0 {
+				return
+			}
+			if ci, ok := e.contIndex[id]; ok && counts[ci] > 0 {
+				return // already scored
+			}
+			for _, sc := range scored[forcedFrom:] {
+				if sc.id == id {
+					return
 				}
 			}
-			all = kept
+			scored = append(scored, scoredCand{id: id})
 		}
-		rec.cands = rec.cands[:0]
-		newPrior := rec.priorW[:0]
-		for _, s := range all {
-			rec.cands = append(rec.cands, s.id)
-			if w, ok := prior[s.id]; ok {
-				newPrior = append(newPrior, w)
-			} else {
-				newPrior = append(newPrior, rec.priorDefault)
+		for _, c := range e.oldCands {
+			force(c)
+		}
+		force(rec.container)
+		e.scoredBuf = scored
+
+		slices.SortFunc(scored, func(a, b scoredCand) int {
+			if a.n != b.n {
+				return int(b.n) - int(a.n)
+			}
+			return int(a.id) - int(b.id)
+		})
+
+		max := e.cfg.MaxCandidates
+		if max <= 0 {
+			max = len(scored)
+		}
+		keep := len(scored)
+		if len(scored) > max {
+			// Never prune the current assignment or a migrated candidate
+			// whose weight beats the default (it carries real co-location
+			// evidence from a previous site). Survivors compact forward.
+			keep = max
+			for _, sc := range scored[max:] {
+				w, ok := e.priorOf(sc.id)
+				if sc.id == rec.container || (ok && w > rec.priorDefault) {
+					scored[keep] = sc
+					keep++
+				}
 			}
 		}
-		rec.priorW = newPrior
+
+		rec.cands = rec.cands[:0]
+		rec.priorW = rec.priorW[:0]
+		for _, sc := range scored[:keep] {
+			rec.cands = append(rec.cands, sc.id)
+			if w, ok := e.priorOf(sc.id); ok {
+				rec.priorW = append(rec.priorW, w)
+			} else {
+				rec.priorW = append(rec.priorW, rec.priorDefault)
+			}
+		}
 	}
+}
+
+// priorOf looks up a candidate's carried-over weight in the snapshot taken
+// by buildCandidates. Candidate lists are bounded by MaxCandidates, so a
+// linear scan beats a map.
+func (e *Engine) priorOf(id model.TagID) (float64, bool) {
+	for i, c := range e.oldCands {
+		if c == id {
+			return e.oldPrior[i], true
+		}
+	}
+	return 0, false
 }

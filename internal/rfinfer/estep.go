@@ -2,6 +2,7 @@ package rfinfer
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"rfidtrack/internal/model"
@@ -9,11 +10,13 @@ import (
 
 // groupSignature hashes a sorted group id list (FNV-1a over the ids). It is
 // the memoization key of Appendix A.3: a container whose group and data are
-// unchanged keeps its posterior without recomputation.
+// unchanged keeps its posterior without recomputation. Ids are hashed at
+// full width (sign-extended to 64 bits) so the signature stays collision-free
+// if TagID ever widens past 32 bits.
 func groupSignature(group []model.TagID) uint64 {
 	h := uint64(1469598103934665603)
 	for _, id := range group {
-		h ^= uint64(uint32(id))
+		h ^= uint64(int64(id))
 		h *= 1099511628211
 	}
 	h ^= uint64(len(group)) + 1 // distinguish empty group from "never computed"
@@ -21,56 +24,166 @@ func groupSignature(group []model.TagID) uint64 {
 	return h
 }
 
-// computePosterior fills rec.post for the container given its group.
-func (e *Engine) computePosterior(rec *tagRec, group []model.TagID) {
-	// Active epochs: union of the container's and its group's read epochs.
-	epochs := epochUnion(e, rec, group)
-	n := e.lik.N()
-	post := posterior{
-		epochs: epochs,
-		q:      make([][]float64, len(epochs)),
-		qBase:  make([]float64, len(epochs)),
+// dataSignature folds every member series' content version over the group
+// signature: the full key of the cross-Run posterior memo. through bounds
+// the fingerprinted history ([epochMin, through]); pass epochMax for all of
+// it.
+func (e *Engine) dataSignature(gsig uint64, rec *tagRec, group []model.TagID, through model.Epoch) uint64 {
+	h := gsig
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
 	}
-	lq := e.scratch
-	for i, t := range epochs {
-		// lq(a) = (1+|group|)·base_t(a) + deltas for every observed read,
-		// which is log p(x_tc | a) + sum_o log p(y_to | a) up to a constant:
-		// every tag of the group contributes the all-miss term for the
-		// readers scanning at t, and each actual read adds its delta.
-		// Untagged containers contribute no observation of their own.
-		base := e.lik.BaseRow(t)
-		gb := float64(1 + len(group))
-		if rec.untagged {
-			gb = float64(len(group))
-		}
-		for a := 0; a < n; a++ {
-			lq[a] = gb * base[a]
-		}
-		addMaskDeltas(e.lik, lq, rec.series.At(t))
+	if through == epochMax {
+		mix(rec.series.Version())
 		for _, oid := range group {
-			addMaskDeltas(e.lik, lq, e.tags[oid].series.At(t))
+			mix(e.tags[oid].series.Version())
 		}
-		q := make([]float64, n)
-		normalizeLog(lq, q)
-		post.q[i] = q
-		dot := 0.0
-		for a := 0; a < n; a++ {
-			dot += q[a] * base[a]
-		}
-		post.qBase[i] = dot
+		return h
 	}
-	rec.post = post
+	mix(rec.series.VersionIn(epochMin, through+1))
+	for _, oid := range group {
+		mix(e.tags[oid].series.VersionIn(epochMin, through+1))
+	}
+	return h
 }
 
-// addMaskDeltas adds delta(r, a) to lq[a] for every reader r set in mask.
-func addMaskDeltas(lik *model.Likelihood, lq []float64, m model.Mask) {
-	n := lik.N()
-	for m != 0 {
-		r := m.First()
-		for a := 0; a < n; a++ {
-			lq[a] += lik.Delta(r, model.Loc(a))
+// eStep computes (or revalidates) every container's posterior for the
+// current containment estimate, fanning out over the worker pool. Each
+// container's decision and computation touch only its own record plus
+// read-only member series, so the result is independent of worker count.
+func (e *Engine) eStep() {
+	e.parallelFor(len(e.containers), func(s *scratch, i int) {
+		rec := e.tags[e.containers[i]]
+		group := rec.groupNow
+		gsig := groupSignature(group)
+		if rec.computedSeq == e.runSeq && gsig == rec.groupSig {
+			return // already computed this Run with the same group
 		}
-		m &= m - 1
+		sameGroup := rec.postValid && gsig == rec.groupSig
+		full := e.dataSignature(gsig, rec, group, epochMax)
+		if rec.computedSeq != e.runSeq && sameGroup && full == rec.postSig {
+			// Group and every member series are unchanged since the
+			// previous Run: the memoized posterior is exact.
+			rec.computedSeq = e.runSeq
+			e.nSkipped.Add(1)
+			return
+		}
+		// Rows at epochs <= postThrough survive if the group matches and
+		// the data at those epochs is untouched — new readings only append
+		// history, so the common steady state recomputes only the epochs
+		// that arrived since the previous Run.
+		from := epochMin
+		if sameGroup && e.dataSignature(gsig, rec, group, rec.postThrough) == rec.postSig {
+			from = rec.postThrough + 1
+		}
+		e.computePosterior(rec, group, from, s)
+		rec.group = append(rec.group[:0], group...)
+		rec.groupSig = gsig
+		// All data is at epochs <= e.now, so the full signature doubles as
+		// the prefix signature for the new horizon.
+		rec.postSig = full
+		rec.postThrough = e.now
+		rec.postValid = true
+		rec.computedSeq = e.runSeq
+		e.nComputed.Add(1)
+	})
+}
+
+// computePosterior fills rec.post for the container given its group,
+// keeping any rows at epochs < from (the caller guarantees they are still
+// valid) and computing the rest.
+func (e *Engine) computePosterior(rec *tagRec, group []model.TagID, from model.Epoch, s *scratch) {
+	n := e.lik.N()
+	p := &rec.post
+
+	keep := 0
+	if from > epochMin {
+		keep = sort.Search(len(p.epochs), func(i int) bool { return p.epochs[i] >= from })
+	}
+
+	// Member series: the container's own readings first, then the group's.
+	members := s.series[:0]
+	members = append(members, rec.series)
+	for _, oid := range group {
+		members = append(members, e.tags[oid].series)
+	}
+	s.series = members
+
+	// Active epochs to compute: the union of all member read epochs >= from.
+	fresh := epochUnionInto(s.epochs[:0], members, from)
+	s.epochs = fresh
+
+	p.resize(keep, keep+len(fresh), n)
+	e.nRowsReused.Add(int64(keep))
+	e.nRowsComputed.Add(int64(len(fresh)))
+
+	gb := rec.groupBias(len(group))
+	cur := s.ints(len(members))
+	for _, t := range fresh {
+		p.epochs = append(p.epochs, t)
+		p.q = append(p.q, s.lq...) // extend by one row; overwritten below
+		p.qBase = append(p.qBase, 0)
+		i := len(p.epochs) - 1
+		p.qBase[i] = computeRowAt(e.lik, members, gb, t, cur, s.lq, p.row(i))
+	}
+}
+
+// groupBias returns the multiplier of the all-miss base row: one factor per
+// group member, plus one for the container's own tag unless it is untagged
+// (Appendix A.4: untagged containers contribute no observation of their
+// own).
+func (rec *tagRec) groupBias(groupLen int) float64 {
+	if rec.untagged {
+		return float64(groupLen)
+	}
+	return float64(1 + groupLen)
+}
+
+// computeRowAt evaluates one posterior row: the normalized location
+// distribution of a container at epoch t given its members' masks there.
+// cur holds per-member cursors that advance monotonically as t increases
+// across calls; lq is the log-score accumulator.
+//
+// lq(a) = (1+|group|)·base_t(a) + deltas for every observed read, which is
+// log p(x_tc | a) + sum_o log p(y_to | a) up to a constant: every tag of
+// the group contributes the all-miss term for the readers scanning at t,
+// and each actual read adds its delta. The return value is dot(q, base_t):
+// the evidence an unread object collects against this container at t.
+func computeRowAt(lik *model.Likelihood, members []model.Series, gb float64,
+	t model.Epoch, cur []int, lq, qOut []float64) float64 {
+	base := lik.BaseRow(t)
+	n := len(qOut)
+	for a := 0; a < n; a++ {
+		lq[a] = gb * base[a]
+	}
+	for mi, ser := range members {
+		j := cur[mi]
+		for j < len(ser) && ser[j].T < t {
+			j++
+		}
+		cur[mi] = j
+		if j < len(ser) && ser[j].T == t {
+			addMaskDeltas(lik, lq, ser[j].Mask)
+		}
+	}
+	normalizeLog(lq, qOut)
+	dot := 0.0
+	for a := 0; a < n; a++ {
+		dot += qOut[a] * base[a]
+	}
+	return dot
+}
+
+// addMaskDeltas adds delta(r, a) to lq[a] for every reader r set in mask,
+// as one combined-row slice loop.
+func addMaskDeltas(lik *model.Likelihood, lq []float64, m model.Mask) {
+	row, _ := lik.MaskDelta(m)
+	if row == nil {
+		return
+	}
+	for a := range lq {
+		lq[a] += row[a]
 	}
 }
 
@@ -94,29 +207,23 @@ func normalizeLog(lq []float64, q []float64) {
 	}
 }
 
-// epochUnion returns the sorted union of the container's read epochs and
-// every group member's read epochs.
-func epochUnion(e *Engine, rec *tagRec, group []model.TagID) []model.Epoch {
-	var out []model.Epoch
-	for _, rd := range rec.series {
-		out = append(out, rd.T)
-	}
-	for _, oid := range group {
-		for _, rd := range e.tags[oid].series {
-			out = append(out, rd.T)
+// epochUnionInto appends the sorted, deduplicated union of every member
+// series' read epochs >= from to dst and returns it.
+func epochUnionInto(dst []model.Epoch, members []model.Series, from model.Epoch) []model.Epoch {
+	for _, ser := range members {
+		w := ser
+		if from > epochMin {
+			w = ser.Window(from, epochMax)
+		}
+		for _, rd := range w {
+			dst = append(dst, rd.T)
 		}
 	}
-	if len(out) == 0 {
-		return nil
+	if len(dst) == 0 {
+		return dst
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	dedup := out[:1]
-	for _, t := range out[1:] {
-		if t != dedup[len(dedup)-1] {
-			dedup = append(dedup, t)
-		}
-	}
-	return dedup
+	slices.Sort(dst)
+	return slices.Compact(dst)
 }
 
 // locateAt returns the posterior-argmax location of the container at epoch
@@ -135,12 +242,11 @@ func (p *posterior) locateAt(t model.Epoch, k int) model.Loc {
 	if lo < 0 {
 		lo = 0
 	}
-	n := len(p.q[0])
 	best, bestV := model.NoLoc, math.Inf(-1)
-	for a := 0; a < n; a++ {
+	for a := 0; a < p.n; a++ {
 		sum, w := 0.0, 1.0
 		for i := hi - 1; i >= lo; i-- {
-			sum += w * math.Log(p.q[i][a]+1e-300)
+			sum += w * math.Log(p.q[i*p.n+a]+1e-300)
 			w *= 0.5
 		}
 		if sum > bestV {

@@ -1,19 +1,20 @@
 package rfinfer
 
 import (
-	"sort"
+	"slices"
 
 	"rfidtrack/internal/model"
 )
 
 // objEvidence is one object's point-evidence matrix over the union of its
-// own read epochs and its candidates' active epochs: evid[k][i] is
+// own read epochs and its candidates' active epochs: row(k)[i] is
 // e_{c_k,o}(epochs[i]) of Eq 7. totals[k] is the co-location strength
-// w_{c_k,o} of Eq 5 including any migrated prior weight.
+// w_{c_k,o} of Eq 5 including any migrated prior weight. The matrix lives
+// in one contiguous backing array reused across Runs.
 type objEvidence struct {
 	cands  []model.TagID
 	epochs []model.Epoch
-	evid   [][]float64
+	evid   []float64 // len(cands) rows of len(epochs), row k at k*len(epochs)
 	totals []float64
 	// uniTotal sums the uniform-posterior evidence over all epochs: the
 	// score a hypothetical container with no co-location history would
@@ -21,50 +22,61 @@ type objEvidence struct {
 	uniTotal float64
 }
 
-// computeEvidence builds the evidence matrix for one object against its
-// candidate containers, using the containers' current posteriors. At epochs
-// where a candidate has no posterior (neither it nor its group was read)
-// the posterior is uniform, so the evidence reduces to precomputed means.
-func (e *Engine) computeEvidence(rec *tagRec) *objEvidence {
+// row returns candidate k's point-evidence row.
+func (ev *objEvidence) row(k int) []float64 {
+	ne := len(ev.epochs)
+	return ev.evid[k*ne : (k+1)*ne : (k+1)*ne]
+}
+
+// computeEvidence rebuilds rec.ev, the evidence matrix for one object
+// against its candidate containers, using the containers' current
+// posteriors. At epochs where a candidate has no posterior (neither it nor
+// its group was read) the posterior is uniform, so the evidence reduces to
+// precomputed means.
+func (e *Engine) computeEvidence(rec *tagRec, s *scratch) *objEvidence {
+	if rec.ev == nil {
+		rec.ev = &objEvidence{}
+	}
+	ev := rec.ev
 	cands := rec.cands
+	ev.cands = cands
+	ev.epochs = ev.epochs[:0]
+	ev.totals = ev.totals[:0]
+	ev.uniTotal = 0
 	if len(cands) == 0 {
-		return &objEvidence{}
-	}
-	// Union of epochs.
-	var epochs []model.Epoch
-	for _, rd := range rec.series {
-		epochs = append(epochs, rd.T)
-	}
-	for _, cid := range cands {
-		epochs = append(epochs, e.tags[cid].post.epochs...)
-	}
-	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
-	if len(epochs) > 1 {
-		d := epochs[:1]
-		for _, t := range epochs[1:] {
-			if t != d[len(d)-1] {
-				d = append(d, t)
-			}
-		}
-		epochs = d
+		return ev
 	}
 
-	ev := &objEvidence{
-		cands:  cands,
-		epochs: epochs,
-		evid:   make([][]float64, len(cands)),
-		totals: make([]float64, len(cands)),
+	// Union of the object's read epochs and the candidates' active epochs.
+	for _, rd := range rec.series {
+		ev.epochs = append(ev.epochs, rd.T)
 	}
-	for k := range cands {
-		ev.evid[k] = make([]float64, len(epochs))
+	for _, cid := range cands {
+		ev.epochs = append(ev.epochs, e.tags[cid].post.epochs...)
+	}
+	slices.Sort(ev.epochs)
+	ev.epochs = slices.Compact(ev.epochs)
+	ne := len(ev.epochs)
+
+	if cap(ev.evid) < len(cands)*ne {
+		ev.evid = make([]float64, len(cands)*ne)
+	} else {
+		ev.evid = ev.evid[:len(cands)*ne]
+	}
+	if cap(ev.totals) < len(cands) {
+		ev.totals = make([]float64, len(cands))
+	} else {
+		ev.totals = ev.totals[:len(cands)]
+	}
+	for k := range ev.totals {
+		ev.totals[k] = 0
 	}
 
 	n := e.lik.N()
-	objIdx := 0                        // pointer into rec.series
-	postIdx := make([]int, len(cands)) // pointers into candidates' posteriors
-	var readerLocs []model.Loc
+	objIdx := 0                      // pointer into rec.series
+	postIdx := s.ints(len(cands))    // pointers into candidates' posteriors
 
-	for i, t := range epochs {
+	for i, t := range ev.epochs {
 		// Object mask at t.
 		var omask model.Mask
 		for objIdx < len(rec.series) && rec.series[objIdx].T < t {
@@ -73,13 +85,10 @@ func (e *Engine) computeEvidence(rec *tagRec) *objEvidence {
 		if objIdx < len(rec.series) && rec.series[objIdx].T == t {
 			omask = rec.series[objIdx].Mask
 		}
-		readerLocs = omask.Locs(readerLocs[:0])
+		maskRow, maskMean := e.lik.MaskDelta(omask)
 
 		// Uniform-posterior evidence, shared by inactive candidates.
-		uni := e.lik.UniformBase(t)
-		for _, r := range readerLocs {
-			uni += e.lik.MeanDelta(r)
-		}
+		uni := e.lik.UniformBase(t) + maskMean
 		ev.uniTotal += uni
 
 		for k, cid := range cands {
@@ -92,18 +101,18 @@ func (e *Engine) computeEvidence(rec *tagRec) *objEvidence {
 			var v float64
 			if j < len(post.epochs) && post.epochs[j] == t {
 				v = post.qBase[j]
-				q := post.q[j]
-				for _, r := range readerLocs {
+				if maskRow != nil {
+					q := post.q[j*post.n : (j+1)*post.n]
 					dot := 0.0
 					for a := 0; a < n; a++ {
-						dot += q[a] * e.lik.Delta(r, model.Loc(a))
+						dot += q[a] * maskRow[a]
 					}
 					v += dot
 				}
 			} else {
 				v = uni
 			}
-			ev.evid[k][i] = v
+			ev.evid[k*ne+i] = v
 			ev.totals[k] += v
 		}
 	}
@@ -114,48 +123,65 @@ func (e *Engine) computeEvidence(rec *tagRec) *objEvidence {
 	return ev
 }
 
-// mStep recomputes evidence for every object and reassigns each object to
-// its best-scoring candidate container (lines 12-20 of Algorithm 1). It
-// returns the per-object evidence (reused by change-point detection and
-// critical-region search) and whether any assignment changed.
-func (e *Engine) mStep() (map[model.TagID]*objEvidence, bool) {
-	evidence := make(map[model.TagID]*objEvidence, len(e.objects))
+// bestCandidate returns the index of the best-scoring candidate (ties break
+// toward the lower tag id), or -1 when the object has no scorable evidence.
+func bestCandidate(ev *objEvidence) int {
+	if len(ev.cands) == 0 || len(ev.epochs) == 0 {
+		return -1
+	}
+	best := 0
+	for k := 1; k < len(ev.cands); k++ {
+		if ev.totals[k] > ev.totals[best] ||
+			(ev.totals[k] == ev.totals[best] && ev.cands[k] < ev.cands[best]) {
+			best = k
+		}
+	}
+	return best
+}
+
+// mStep recomputes evidence for every object in parallel and then, in
+// deterministic object order, reassigns each object to its best-scoring
+// candidate container (lines 12-20 of Algorithm 1). Each object's decision
+// depends only on the posteriors fixed by the preceding E-step, so the
+// fan-out cannot change the outcome. It reports whether any assignment
+// changed. The per-object evidence stays in rec.ev for change-point
+// detection and critical-region search.
+func (e *Engine) mStep() bool {
+	e.parallelFor(len(e.objects), func(s *scratch, i int) {
+		rec := e.tags[e.objects[i]]
+		rec.bestK = bestCandidate(e.computeEvidence(rec, s))
+	})
 	changed := false
 	for _, oid := range e.objects {
 		rec := e.tags[oid]
-		ev := e.computeEvidence(rec)
-		evidence[oid] = ev
-		if len(ev.cands) == 0 || len(ev.epochs) == 0 {
+		if rec.bestK < 0 {
 			continue
 		}
-		best := 0
-		for k := 1; k < len(ev.cands); k++ {
-			if ev.totals[k] > ev.totals[best] ||
-				(ev.totals[k] == ev.totals[best] && ev.cands[k] < ev.cands[best]) {
-				best = k
-			}
-		}
-		if ev.cands[best] != rec.container {
-			rec.container = ev.cands[best]
+		if c := rec.ev.cands[rec.bestK]; c != rec.container {
+			rec.container = c
 			changed = true
 		}
 	}
-	return evidence, changed
+	return changed
 }
 
-// groups returns the inverse of the current containment estimate: for each
-// container, the sorted list of objects assigned to it.
-func (e *Engine) groups() map[model.TagID][]model.TagID {
-	g := make(map[model.TagID][]model.TagID, len(e.containers))
+// rebuildGroups refreshes every container's member list (the inverse of the
+// current containment estimate) in place. Objects are walked in sorted id
+// order, so each member list comes out sorted without further work.
+func (e *Engine) rebuildGroups() {
+	for _, cid := range e.containers {
+		rec := e.tags[cid]
+		rec.groupNow = rec.groupNow[:0]
+	}
 	for _, oid := range e.objects {
-		if c := e.tags[oid].container; c >= 0 {
-			g[c] = append(g[c], oid)
+		c := e.tags[oid].container
+		if c < 0 {
+			continue
+		}
+		if crec, ok := e.tags[c]; ok && crec.isContainer {
+			crec.groupNow = append(crec.groupNow, oid)
 		}
 	}
-	for _, members := range g {
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	}
-	return g
 }
 
 // EvidenceSeries exposes an object's point evidence of co-location against
@@ -167,8 +193,12 @@ func (e *Engine) EvidenceSeries(oid model.TagID) (cands []model.TagID, epochs []
 	if !ok || rec.isContainer {
 		return nil, nil, nil
 	}
-	ev := e.computeEvidence(rec)
+	ev := e.computeEvidence(rec, e.pool.get(0, e.lik.N()))
+	point = make([][]float64, len(ev.cands))
+	for k := range point {
+		point[k] = append([]float64(nil), ev.row(k)...)
+	}
 	return append([]model.TagID(nil), ev.cands...),
 		append([]model.Epoch(nil), ev.epochs...),
-		ev.evid
+		point
 }

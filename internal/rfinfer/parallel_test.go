@@ -1,0 +1,263 @@
+package rfinfer
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rfidtrack/internal/model"
+)
+
+// feedChangeWorkload drives a multi-interval scenario with a containment
+// change: containers 100 (loc 2) and 101 (loc 3), objects 0-2 resident
+// with 100 and 6-11 resident with 101 (a dense destination group, as real
+// cases carry many items), while objects 3-5 start with 100 and move to
+// 101 at epoch 250. Readings are generated deterministically from
+// seed and fed interval by interval with a Run after each, exercising
+// candidate pruning, the cross-Run memo, change-point detection, critical
+// regions, and CR truncation together. invalidate drops the posterior memo
+// before every Run, forcing from-scratch recomputation. The return value
+// accumulates RunStats over every Run.
+func feedChangeWorkload(t *testing.T, e *Engine, lik *model.Likelihood, seed uint64, invalidate bool) RunStats {
+	t.Helper()
+	var total RunStats
+	rng := rand.New(rand.NewPCG(seed, 17))
+	e.RegisterContainer(100)
+	e.RegisterContainer(101)
+	for o := model.TagID(0); o < 12; o++ {
+		e.RegisterObject(o)
+	}
+	observe := func(ep model.Epoch, id model.TagID, at model.Loc) {
+		var m model.Mask
+		scan := lik.Schedule().ScanMask(ep)
+		for scan != 0 {
+			r := scan.First()
+			if rng.Float64() < lik.Rates().Prob(r, at) {
+				m = m.Set(r)
+			}
+			scan &= scan - 1
+		}
+		if m != 0 {
+			if err := e.ObserveMask(ep, id, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const interval = 100
+	for ep := model.Epoch(0); ep < 500; ep++ {
+		observe(ep, 100, 2)
+		observe(ep, 101, 3)
+		for o := model.TagID(0); o < 3; o++ {
+			observe(ep, o, 2)
+		}
+		for o := model.TagID(6); o < 12; o++ {
+			observe(ep, o, 3)
+		}
+		for o := model.TagID(3); o < 6; o++ {
+			at := model.Loc(2)
+			if ep >= 250 {
+				at = 3
+			}
+			observe(ep, o, at)
+		}
+		if (ep+1)%interval == 0 {
+			if invalidate {
+				e.invalidatePosteriors()
+			}
+			e.Run(ep)
+			st := e.Stats()
+			total.PosteriorsComputed += st.PosteriorsComputed
+			total.PosteriorsSkipped += st.PosteriorsSkipped
+			total.RowsReused += st.RowsReused
+			total.RowsComputed += st.RowsComputed
+		}
+	}
+	return total
+}
+
+// engineFingerprint captures every externally visible inference output.
+type engineFingerprint struct {
+	containment map[model.TagID]model.TagID
+	detections  []Detection
+	crFrom      map[model.TagID]model.Epoch
+	crTo        map[model.TagID]model.Epoch
+	locs        map[model.TagID][]model.Loc
+}
+
+func fingerprint(e *Engine) engineFingerprint {
+	fp := engineFingerprint{
+		containment: e.Containment(),
+		detections:  append([]Detection(nil), e.Detections()...),
+		crFrom:      make(map[model.TagID]model.Epoch),
+		crTo:        make(map[model.TagID]model.Epoch),
+		locs:        make(map[model.TagID][]model.Loc),
+	}
+	ids := append(append([]model.TagID(nil), e.Objects()...), e.Containers()...)
+	for _, id := range ids {
+		fp.crFrom[id], fp.crTo[id] = e.CriticalRegion(id)
+		for ep := model.Epoch(0); ep < 500; ep += 13 {
+			fp.locs[id] = append(fp.locs[id], e.LocationAt(id, ep))
+		}
+	}
+	return fp
+}
+
+// changeConfig is the workload's inference config: short recent history for
+// truncation pressure and a threshold low enough to flag the epoch-250 move.
+func changeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RecentHistory = 200
+	cfg.Delta = 10
+	return cfg
+}
+
+// TestParallelEquivalence verifies the tentpole invariant: Engine.Run
+// produces bit-identical containment, detections, critical regions, and
+// location read-offs at every worker count.
+func TestParallelEquivalence(t *testing.T) {
+	lik := testLik(t)
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var ref engineFingerprint
+	for i, w := range workerCounts {
+		cfg := changeConfig()
+		cfg.Workers = w
+		e := New(lik, cfg)
+		feedChangeWorkload(t, e, lik, 7, false)
+		fp := fingerprint(e)
+		if len(fp.detections) == 0 {
+			t.Fatalf("workers=%d: workload produced no detections; test is vacuous", w)
+		}
+		if i == 0 {
+			ref = fp
+			continue
+		}
+		if !reflect.DeepEqual(ref.containment, fp.containment) {
+			t.Errorf("workers=%d: containment differs: %v vs %v", w, fp.containment, ref.containment)
+		}
+		if !reflect.DeepEqual(ref.detections, fp.detections) {
+			t.Errorf("workers=%d: detections differ: %v vs %v", w, fp.detections, ref.detections)
+		}
+		if !reflect.DeepEqual(ref.crFrom, fp.crFrom) || !reflect.DeepEqual(ref.crTo, fp.crTo) {
+			t.Errorf("workers=%d: critical regions differ", w)
+		}
+		if !reflect.DeepEqual(ref.locs, fp.locs) {
+			t.Errorf("workers=%d: location read-offs differ", w)
+		}
+	}
+}
+
+// TestMemoEquivalence verifies that the cross-Run memo never changes
+// inference output: an engine with the memo forcibly invalidated before
+// every Run (recomputing every posterior from scratch) matches one using
+// the memo, bit for bit.
+func TestMemoEquivalence(t *testing.T) {
+	lik := testLik(t)
+	run := func(invalidate bool) (engineFingerprint, RunStats) {
+		e := New(lik, changeConfig())
+		st := feedChangeWorkload(t, e, lik, 7, invalidate)
+		return fingerprint(e), st
+	}
+	memo, memoStats := run(false)
+	fresh, _ := run(true)
+	if memoStats.PosteriorsSkipped+memoStats.RowsReused == 0 {
+		t.Fatal("memo never engaged; test is vacuous")
+	}
+	if !reflect.DeepEqual(memo, fresh) {
+		t.Errorf("memoized inference diverged from from-scratch inference:\nmemo:  %+v\nfresh: %+v", memo, fresh)
+	}
+}
+
+// TestMemoSkipsAndInvalidates pins the memo's behavior: a Run with no new
+// data recomputes nothing; new readings for one group member invalidate
+// exactly the containers that depend on it.
+func TestMemoSkipsAndInvalidates(t *testing.T) {
+	lik := testLik(t)
+	rng := rand.New(rand.NewPCG(3, 9))
+	e := New(lik, DefaultConfig())
+	e.RegisterContainer(100)
+	e.RegisterContainer(101) // decoy, never grouped
+	for o := model.TagID(0); o < 4; o++ {
+		e.RegisterObject(o)
+	}
+	synthesize(t, e, rng, lik, 100, 2, 200)
+	synthesize(t, e, rng, lik, 101, 3, 200)
+	for o := model.TagID(0); o < 4; o++ {
+		synthesize(t, e, rng, lik, o, 2, 200)
+	}
+	e.Run(199)
+	if st := e.Stats(); st.PosteriorsComputed == 0 {
+		t.Fatalf("first Run computed nothing: %+v", st)
+	}
+
+	// No new data: every posterior must come from the memo.
+	e.Run(299)
+	if st := e.Stats(); st.PosteriorsComputed != 0 || st.PosteriorsSkipped == 0 {
+		t.Fatalf("idle Run should skip all posteriors, got %+v", st)
+	}
+
+	// A new reading for one member object invalidates its container's
+	// posterior; the decoy container (no group, no new data) stays memoized.
+	if err := e.Observe(210, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Containment()
+	e.Run(399)
+	st := e.Stats()
+	if st.PosteriorsComputed != 1 {
+		t.Fatalf("member data change should recompute exactly its container, got %+v", st)
+	}
+	if st.PosteriorsSkipped == 0 {
+		t.Fatalf("decoy container should stay memoized, got %+v", st)
+	}
+	if !reflect.DeepEqual(before, e.Containment()) {
+		t.Errorf("containment flapped on one extra observation: %v vs %v", before, e.Containment())
+	}
+}
+
+// TestIncrementalRowReuse pins the incremental E-step: in the steady state
+// (new readings only appending history), every posterior row from the
+// previous Run is reused and only the new interval's epochs are computed.
+func TestIncrementalRowReuse(t *testing.T) {
+	lik := testLik(t)
+	rng := rand.New(rand.NewPCG(5, 21))
+	e := New(lik, DefaultConfig())
+	e.RegisterContainer(100)
+	e.RegisterObject(1)
+	feed := func(from, to model.Epoch) {
+		for ep := from; ep < to; ep++ {
+			for _, id := range []model.TagID{100, 1} {
+				var m model.Mask
+				scan := lik.Schedule().ScanMask(ep)
+				for scan != 0 {
+					r := scan.First()
+					if rng.Float64() < lik.Rates().Prob(r, 2) {
+						m = m.Set(r)
+					}
+					scan &= scan - 1
+				}
+				if m != 0 {
+					if err := e.ObserveMask(ep, id, m); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	feed(0, 100)
+	e.Run(99)
+	prevRows := len(e.tags[model.TagID(100)].post.epochs)
+	if prevRows == 0 {
+		t.Fatal("first Run produced no posterior rows")
+	}
+	feed(100, 200)
+	e.Run(199)
+	st := e.Stats()
+	if st.RowsReused != prevRows {
+		t.Fatalf("incremental Run reused %d rows, want all %d from the previous Run (%+v)",
+			st.RowsReused, prevRows, st)
+	}
+	if st.RowsComputed == 0 {
+		t.Fatalf("incremental Run computed no new rows: %+v", st)
+	}
+}

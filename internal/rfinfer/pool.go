@@ -1,0 +1,107 @@
+package rfinfer
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rfidtrack/internal/model"
+)
+
+// scratch is one worker's reusable temporary storage for the inference hot
+// path. Every buffer is grown on demand and kept across Runs, so the steady
+// state allocates nothing.
+type scratch struct {
+	lq      []float64      // per-location log-score accumulator (E-step)
+	cursors []int          // per-series merge cursors (E- and M-step)
+	epochs  []model.Epoch  // epoch-union builder
+	epochs2 []model.Epoch  // dropped-epoch merge (memo refresh)
+	series  []model.Series // member series gathered for one container
+	prefix  []float64      // prefix-sum table (critical-region search)
+}
+
+// floats returns a length-n float buffer backed by dst, growing it if
+// needed. Contents are unspecified; callers overwrite before reading.
+func (s *scratch) floats(dst *[]float64, n int) []float64 {
+	buf := *dst
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	*dst = buf
+	return buf
+}
+
+// ints returns a zeroed int buffer of length n backed by s.cursors.
+func (s *scratch) ints(n int) []int {
+	if cap(s.cursors) < n {
+		s.cursors = make([]int, n)
+	}
+	s.cursors = s.cursors[:n]
+	for i := range s.cursors {
+		s.cursors[i] = 0
+	}
+	return s.cursors
+}
+
+// pool holds one scratch per worker, created lazily and reused across Runs.
+type pool struct {
+	scratches []*scratch
+}
+
+// get returns worker i's scratch with lq sized for n locations.
+func (p *pool) get(i, n int) *scratch {
+	for len(p.scratches) <= i {
+		p.scratches = append(p.scratches, &scratch{})
+	}
+	s := p.scratches[i]
+	s.floats(&s.lq, n)
+	return s
+}
+
+// workerCount resolves Config.Workers: 0 (or negative) means GOMAXPROCS.
+func (e *Engine) workerCount() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(s, i) for every i in [0, n) across the engine's
+// worker pool. Items are claimed through an atomic counter, so which worker
+// handles which item is scheduling-dependent — but each item's computation
+// reads only state that is immutable during the phase and writes only state
+// owned by that item, and every item is processed exactly once, so the
+// merged result is bit-identical at any worker count (including 1, which
+// runs inline without goroutines).
+func (e *Engine) parallelFor(n int, fn func(s *scratch, i int)) {
+	w := e.workerCount()
+	if w > n {
+		w = n
+	}
+	nLoc := e.lik.N()
+	if w <= 1 {
+		s := e.pool.get(0, nLoc)
+		for i := 0; i < n; i++ {
+			fn(s, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for j := 0; j < w; j++ {
+		s := e.pool.get(j, nLoc)
+		wg.Add(1)
+		go func(s *scratch) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(s, i)
+			}
+		}(s)
+	}
+	wg.Wait()
+}

@@ -15,8 +15,16 @@ package rfinfer
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"rfidtrack/internal/model"
+)
+
+// epochMin and epochMax bound the representable epoch range; they mark
+// "all history" windows in the memoization and union helpers.
+const (
+	epochMin model.Epoch = -1 << 31
+	epochMax model.Epoch = 1<<31 - 1
 )
 
 // Truncation selects the history-retention strategy compared in Figures
@@ -63,6 +71,11 @@ type Config struct {
 	// it unless Delta is also set). Used to calibrate δ offline on
 	// change-free simulated traces.
 	CollectDeltas bool
+	// Workers bounds the worker pool that fans the E-step out over
+	// containers and the M-step out over objects. 0 (the default) uses
+	// GOMAXPROCS; 1 forces the sequential path. Inference output is
+	// bit-identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -116,21 +129,82 @@ type tagRec struct {
 	container    model.TagID
 	cpStart      model.Epoch // change-point search starts here (A.2)
 	cr           window      // critical region
+	ev           *objEvidence // point-evidence matrix, reused across Runs
+	bestK        int          // best candidate index from the last M-step pass
+	// dropped lists the epochs whose readings this Run's truncation (or
+	// change-point history reset) removed, sorted ascending. The memo
+	// refresh recomputes exactly the posterior rows these epochs invalidate.
+	dropped []model.Epoch
 
 	// Container state.
-	group    []model.TagID
+	group    []model.TagID // members the posterior was computed with
+	groupNow []model.TagID // members per the current containment estimate
 	groupSig uint64
 	post     posterior
+	keepWins []window // candidate-objects' critical regions (truncation)
 	// untagged marks containers without their own tag (Appendix A.4): the
 	// container-reading factors of Eq 4 are omitted for them.
 	untagged bool
+
+	// Cross-Run memo state (Appendix A.3 extended with data versions): the
+	// posterior stays valid while the group signature and every member
+	// series' content version match what they were when it was computed.
+	// postValid marks that post holds a computed posterior; postSig is the
+	// combined group+data signature at compute time; postThrough is the
+	// history horizon the memo covers (rows at epochs <= postThrough are
+	// reusable while the data at those epochs is untouched); computedSeq is
+	// the engine Run sequence that last computed (or revalidated) the
+	// posterior, distinguishing per-Run invalidation from EM-iteration
+	// reuse.
+	postValid   bool
+	postSig     uint64
+	postThrough model.Epoch
+	computedSeq uint64
 }
 
-// posterior is a container's location posterior q_tc at its active epochs.
+// posterior is a container's location posterior q_tc at its active epochs,
+// stored as one contiguous backing array (row i at q[i*n:(i+1)*n]) that is
+// reused across Runs.
 type posterior struct {
 	epochs []model.Epoch
-	q      [][]float64 // per epoch: distribution over locations
-	qBase  []float64   // per epoch: dot(q, base) — evidence of an unread object
+	n      int       // row stride: number of reader locations
+	q      []float64 // len(epochs)*n posterior rows
+	qBase  []float64 // per epoch: dot(q, base) — evidence of an unread object
+}
+
+// row returns the posterior distribution at active-epoch index i.
+func (p *posterior) row(i int) []float64 { return p.q[i*p.n : (i+1)*p.n : (i+1)*p.n] }
+
+// resize keeps the first keep rows and extends storage to rows total rows.
+func (p *posterior) resize(keep, rows, n int) {
+	p.n = n
+	p.epochs = p.epochs[:keep]
+	if cap(p.q) < rows*n {
+		q := make([]float64, keep*n, rows*n)
+		copy(q, p.q[:keep*n])
+		p.q = q
+	} else {
+		p.q = p.q[:keep*n]
+	}
+	if cap(p.qBase) < rows {
+		qb := make([]float64, keep, rows)
+		copy(qb, p.qBase[:keep])
+		p.qBase = qb
+	} else {
+		p.qBase = p.qBase[:keep]
+	}
+}
+
+// RunStats counts the hot-path work of the most recent Run, exposing how
+// effective the cross-Run memoization was (see PERFORMANCE.md).
+type RunStats struct {
+	// PosteriorsComputed counts containers whose posterior was (re)computed;
+	// PosteriorsSkipped counts containers served whole from the memo.
+	PosteriorsComputed, PosteriorsSkipped int
+	// RowsReused counts posterior epoch rows carried over from the previous
+	// Run inside recomputed containers; RowsComputed counts rows evaluated
+	// from scratch.
+	RowsReused, RowsComputed int
 }
 
 // Engine runs RFINFER over a stream of readings at one site.
@@ -152,19 +226,38 @@ type Engine struct {
 	// deltaSamples holds Δ values observed while CollectDeltas is set.
 	deltaSamples []DeltaSample
 
-	scratch []float64
+	pool   pool
+	runSeq uint64 // Run counter; per-Run E-step invalidation key
+
+	// Hot-path counters, accumulated atomically by workers and snapshotted
+	// into stats at the end of each Run.
+	nComputed, nSkipped, nRowsReused, nRowsComputed atomic.Int64
+	stats                                           RunStats
+
+	// Sequential-phase scratch (change-point detection and candidate
+	// pruning), reused across Runs.
+	subViews  [][]float64
+	priorBuf  []float64
+	contReads []contRead
+	contIndex map[model.TagID]int
+	countBuf  []int32
+	scoredBuf []scoredCand
+	oldCands  []model.TagID
+	oldPrior  []float64
 }
 
 // New returns an engine for a site with the given observation model
 // (measured read rates plus reader schedule).
 func New(lik *model.Likelihood, cfg Config) *Engine {
 	return &Engine{
-		lik:     lik,
-		cfg:     cfg,
-		tags:    make(map[model.TagID]*tagRec),
-		scratch: make([]float64, lik.N()),
+		lik:  lik,
+		cfg:  cfg,
+		tags: make(map[model.TagID]*tagRec),
 	}
 }
+
+// Stats returns the hot-path counters of the most recent Run.
+func (e *Engine) Stats() RunStats { return e.stats }
 
 // RegisterObject declares an object tag. Registering twice is a no-op.
 func (e *Engine) RegisterObject(id model.TagID) {

@@ -194,6 +194,20 @@ func TestGroupSignature(t *testing.T) {
 	if a == c {
 		t.Error("non-empty group equals empty signature")
 	}
+	// Ids hash at full width: the sign bit must reach the hash (the old
+	// uint64(uint32(id)) truncation would collide ids differing only above
+	// bit 31 if TagID ever widens), and negative ids must stay distinct.
+	neg := groupSignature([]model.TagID{-1, 2, 3})
+	if neg == a {
+		t.Error("negative id collides with positive group")
+	}
+	if groupSignature([]model.TagID{-1}) == groupSignature([]model.TagID{1}) {
+		t.Error("sign bit dropped from signature")
+	}
+	// Deterministic across calls.
+	if a != groupSignature([]model.TagID{1, 2, 3}) {
+		t.Error("signature not deterministic")
+	}
 }
 
 func TestNormalizeLog(t *testing.T) {
@@ -230,7 +244,7 @@ func TestPosteriorNormalizedProperty(t *testing.T) {
 		rec := e.tags[model.TagID(10)]
 		for i := range rec.post.epochs {
 			sum := 0.0
-			for _, v := range rec.post.q[i] {
+			for _, v := range rec.post.row(i) {
 				if v < -1e-12 || math.IsNaN(v) {
 					return false
 				}

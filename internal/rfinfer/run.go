@@ -1,6 +1,7 @@
 package rfinfer
 
 import (
+	"slices"
 	"sort"
 
 	"rfidtrack/internal/changepoint"
@@ -19,24 +20,35 @@ type RunResult struct {
 // change-point detection, critical-region search, and history truncation.
 // It is the per-interval inference step of the deployed system (every 300 s
 // in the paper's experiments).
+//
+// The hot path is incremental and parallel: container posteriors unchanged
+// since the previous Run are served from the cross-Run memo, posterior rows
+// for already-seen epochs are reused rather than recomputed, and the E- and
+// M-steps fan out over Config.Workers workers with bit-identical results at
+// any worker count (see PERFORMANCE.md).
 func (e *Engine) Run(now model.Epoch) RunResult {
 	if now > e.now {
 		e.now = now
+	}
+	e.runSeq++
+	e.nComputed.Store(0)
+	e.nSkipped.Store(0)
+	e.nRowsReused.Store(0)
+	e.nRowsComputed.Store(0)
+	for _, rec := range e.tags {
+		rec.dropped = rec.dropped[:0]
 	}
 	e.buildCandidates()
 
 	// EM loop: E-step computes container posteriors, M-step reassigns
 	// objects; stop when the containment relation is stable (Theorem 1
 	// guarantees convergence to a local likelihood maximum).
-	computed := make(map[model.TagID]bool, len(e.containers))
-	var evidence map[model.TagID]*objEvidence
 	iters := 0
 	for iters < e.cfg.MaxIters {
 		iters++
-		e.eStepRun(e.groups(), computed)
-		var changed bool
-		evidence, changed = e.mStep()
-		if !changed {
+		e.rebuildGroups()
+		e.eStep()
+		if !e.mStep() {
 			break
 		}
 	}
@@ -44,42 +56,33 @@ func (e *Engine) Run(now model.Epoch) RunResult {
 
 	var changes []Detection
 	if e.cfg.Delta > 0 || e.cfg.CollectDeltas {
-		changes = e.detectChanges(now, evidence)
+		changes = e.detectChanges(now)
 	}
-	e.updateCriticalRegions(evidence)
+	e.updateCriticalRegions()
 	e.truncate(now)
+	if e.cfg.Truncation != TruncateNone {
+		e.refreshMemo()
+	}
+	e.stats = RunStats{
+		PosteriorsComputed: int(e.nComputed.Load()),
+		PosteriorsSkipped:  int(e.nSkipped.Load()),
+		RowsReused:         int(e.nRowsReused.Load()),
+		RowsComputed:       int(e.nRowsComputed.Load()),
+	}
 	e.prevRun = e.lastRun
 	e.lastRun = now
 	return RunResult{Iterations: iters, Changes: changes}
-}
-
-// eStepRun is the E-step with per-run invalidation: every container is
-// recomputed at least once per Run (its data may have changed), and reuses
-// the memoized posterior in later iterations while its group is unchanged.
-func (e *Engine) eStepRun(groups map[model.TagID][]model.TagID, computed map[model.TagID]bool) {
-	for _, cid := range e.containers {
-		rec := e.tags[cid]
-		group := groups[cid]
-		sig := groupSignature(group)
-		if computed[cid] && sig == rec.groupSig {
-			continue
-		}
-		computed[cid] = true
-		rec.groupSig = sig
-		rec.group = group
-		e.computePosterior(rec, group)
-	}
 }
 
 // detectChanges runs change-point detection (Section 3.3 / Appendix A.2)
 // for every object using the point evidence computed by the last M-step.
 // On detection the object is reassigned to the post-change container, its
 // pre-change history is disregarded, and the detection is recorded.
-func (e *Engine) detectChanges(now model.Epoch, evidence map[model.TagID]*objEvidence) []Detection {
+func (e *Engine) detectChanges(now model.Epoch) []Detection {
 	var out []Detection
 	for _, oid := range e.objects {
 		rec := e.tags[oid]
-		ev := evidence[oid]
+		ev := rec.ev
 		if ev == nil || len(ev.cands) == 0 || len(ev.epochs) < 2 {
 			continue
 		}
@@ -94,20 +97,27 @@ func (e *Engine) detectChanges(now model.Epoch, evidence map[model.TagID]*objEvi
 		if len(ev.epochs)-lo < 2 {
 			continue
 		}
-		sub := make([][]float64, len(ev.cands))
+		if cap(e.subViews) < len(ev.cands) {
+			e.subViews = make([][]float64, len(ev.cands))
+		}
+		sub := e.subViews[:len(ev.cands)]
 		for k := range sub {
-			sub[k] = ev.evid[k][lo:]
+			sub[k] = ev.row(k)[lo:]
 		}
 		priors := rec.priorW
 		if lo > 0 {
 			// Pre-window evidence is already folded into the totals of the
 			// clipped region's candidates via priors only when nothing was
 			// clipped; otherwise attribute clipped evidence to segment one.
-			priors = make([]float64, len(ev.cands))
+			if cap(e.priorBuf) < len(ev.cands) {
+				e.priorBuf = make([]float64, len(ev.cands))
+			}
+			priors = e.priorBuf[:len(ev.cands)]
 			for k := range priors {
 				priors[k] = rec.priorW[k]
+				row := ev.row(k)
 				for i := 0; i < lo; i++ {
-					priors[k] += ev.evid[k][i]
+					priors[k] += row[i]
 				}
 			}
 		}
@@ -146,7 +156,7 @@ func (e *Engine) detectChanges(now model.Epoch, evidence map[model.TagID]*objEvi
 		for k := range rec.priorW {
 			rec.priorW[k] = 0
 		}
-		rec.series = rec.series.Window(at, e.now+1).Clone()
+		rec.resetSeriesFrom(at)
 		if rec.cr.To <= at {
 			rec.cr = window{}
 		}
@@ -154,29 +164,43 @@ func (e *Engine) detectChanges(now model.Epoch, evidence map[model.TagID]*objEvi
 	return out
 }
 
+// resetSeriesFrom drops all readings before epoch from, in place, recording
+// the dropped epochs for the memo refresh.
+func (rec *tagRec) resetSeriesFrom(from model.Epoch) {
+	s := rec.series
+	lo := sort.Search(len(s), func(i int) bool { return s[i].T >= from })
+	for _, rd := range s[:lo] {
+		rec.dropped = append(rec.dropped, rd.T)
+	}
+	rec.series = append(s[:0], s[lo:]...)
+}
+
 // updateCriticalRegions runs the history-truncation search of Section 4.1:
 // slide a window of width CRWindow over each object's evidence; whenever
 // the best candidate's windowed evidence exceeds the second best by
 // CRThreshold, the window becomes the object's (most recent) critical
-// region.
-func (e *Engine) updateCriticalRegions(evidence map[model.TagID]*objEvidence) {
+// region. Objects are independent, so the search fans out over the worker
+// pool.
+func (e *Engine) updateCriticalRegions() {
 	w := e.cfg.CRWindow
-	for _, oid := range e.objects {
-		rec := e.tags[oid]
-		ev := evidence[oid]
+	e.parallelFor(len(e.objects), func(s *scratch, oi int) {
+		rec := e.tags[e.objects[oi]]
+		ev := rec.ev
 		if ev == nil || len(ev.cands) < 2 || len(ev.epochs) == 0 {
-			continue
+			return
 		}
 		n := len(ev.epochs)
 		k := len(ev.cands)
-		// Prefix sums per candidate for O(1) window sums.
-		prefix := make([][]float64, k)
+		// Prefix sums per candidate for O(1) window sums, in one pooled
+		// table: candidate j's sums at prefix[j*(n+1) : (j+1)*(n+1)].
+		prefix := s.floats(&s.prefix, k*(n+1))
 		for j := 0; j < k; j++ {
-			p := make([]float64, n+1)
+			p := prefix[j*(n+1) : (j+1)*(n+1)]
+			row := ev.row(j)
+			p[0] = 0
 			for i := 0; i < n; i++ {
-				p[i+1] = p[i] + ev.evid[j][i]
+				p[i+1] = p[i] + row[i]
 			}
-			prefix[j] = p
 		}
 		lo := 0
 		for hi := 0; hi < n; hi++ {
@@ -187,12 +211,13 @@ func (e *Engine) updateCriticalRegions(evidence map[model.TagID]*objEvidence) {
 			// Best and second-best windowed evidence over [t-w, t].
 			best, second := -1e308, -1e308
 			for j := 0; j < k; j++ {
-				s := prefix[j][hi+1] - prefix[j][lo]
-				if s > best {
+				p := prefix[j*(n+1) : (j+1)*(n+1)]
+				sum := p[hi+1] - p[lo]
+				if sum > best {
 					second = best
-					best = s
-				} else if s > second {
-					second = s
+					best = sum
+				} else if sum > second {
+					second = sum
 				}
 			}
 			if best-second >= e.cfg.CRThreshold {
@@ -200,18 +225,20 @@ func (e *Engine) updateCriticalRegions(evidence map[model.TagID]*objEvidence) {
 				rec.cr = window{From: from, To: t + 1}
 			}
 		}
-	}
+	})
 }
 
-// truncate drops readings that the configured strategy no longer needs.
+// truncate drops readings that the configured strategy no longer needs,
+// filtering every series in place and recording dropped epochs for the
+// memo refresh.
 func (e *Engine) truncate(now model.Epoch) {
 	switch e.cfg.Truncation {
 	case TruncateNone:
 		return
 	case TruncateWindow:
-		from := now - e.cfg.FixedWindow
+		win := window{From: now - e.cfg.FixedWindow, To: now + 1}
 		for _, rec := range e.tags {
-			rec.series = rec.series.Window(from, now+1).Clone()
+			filterSeries(rec, win, window{}, nil)
 		}
 		return
 	}
@@ -220,35 +247,126 @@ func (e *Engine) truncate(now model.Epoch) {
 	// a container keeps the union of its candidate-objects' critical
 	// regions plus recent history.
 	recent := window{From: now - e.cfg.RecentHistory, To: now + 1}
-	keep := make(map[model.TagID][]window, len(e.tags))
+	for _, cid := range e.containers {
+		rec := e.tags[cid]
+		rec.keepWins = rec.keepWins[:0]
+	}
 	for _, oid := range e.objects {
 		rec := e.tags[oid]
-		wins := []window{recent}
 		if !rec.cr.empty() {
-			wins = append(wins, rec.cr)
 			for _, cid := range rec.cands {
-				keep[cid] = append(keep[cid], rec.cr)
+				if crec, ok := e.tags[cid]; ok {
+					crec.keepWins = append(crec.keepWins, rec.cr)
+				}
 			}
 		}
-		rec.series = filterSeries(rec.series, wins)
+		filterSeries(rec, recent, rec.cr, nil)
 	}
 	for _, cid := range e.containers {
 		rec := e.tags[cid]
-		wins := append(keep[cid], recent)
-		rec.series = filterSeries(rec.series, wins)
+		filterSeries(rec, recent, window{}, rec.keepWins)
 	}
 }
 
-// filterSeries keeps only readings inside any of the windows.
-func filterSeries(s model.Series, wins []window) model.Series {
-	out := s[:0:0]
+// filterSeries keeps only readings inside the recent window, the cr window,
+// or any of the extra windows, compacting the series in place and recording
+// every dropped epoch.
+func filterSeries(rec *tagRec, recent, cr window, extra []window) {
+	s := rec.series
+	out := s[:0]
 	for _, rd := range s {
-		for _, w := range wins {
-			if rd.T >= w.From && rd.T < w.To {
-				out = append(out, rd)
-				break
+		keep := (rd.T >= recent.From && rd.T < recent.To) ||
+			(rd.T >= cr.From && rd.T < cr.To)
+		if !keep {
+			for _, w := range extra {
+				if rd.T >= w.From && rd.T < w.To {
+					keep = true
+					break
+				}
 			}
 		}
+		if keep {
+			out = append(out, rd)
+		} else {
+			rec.dropped = append(rec.dropped, rd.T)
+		}
 	}
-	return out
+	rec.series = out
+}
+
+// refreshMemo re-anchors every container's posterior memo to the truncated
+// history so the next Run can keep reusing it. Rows at epochs no longer in
+// the member epoch union are compacted away; rows at epochs where some
+// member's reading was dropped (the epoch itself survives through another
+// member) are recomputed from the truncated data; everything else is kept.
+// The refreshed posterior is bit-identical to recomputing it from scratch,
+// so the memo never changes inference output.
+func (e *Engine) refreshMemo() {
+	e.parallelFor(len(e.containers), func(s *scratch, i int) {
+		rec := e.tags[e.containers[i]]
+		if !rec.postValid {
+			return
+		}
+		members := s.series[:0]
+		members = append(members, rec.series)
+		for _, oid := range rec.group {
+			members = append(members, e.tags[oid].series)
+		}
+		s.series = members
+
+		union := epochUnionInto(s.epochs[:0], members, epochMin)
+		s.epochs = union
+
+		// Epochs whose rows went stale: some member dropped a reading there.
+		stale := s.epochs2[:0]
+		stale = append(stale, rec.dropped...)
+		for _, oid := range rec.group {
+			stale = append(stale, e.tags[oid].dropped...)
+		}
+		s.epochs2 = stale
+		if len(stale) > 1 {
+			slices.Sort(stale)
+		}
+
+		p := &rec.post
+		gb := rec.groupBias(len(rec.group))
+		cur := s.ints(len(members))
+		n := p.n
+		wi, ri, si := 0, 0, 0
+		ok := true
+		for _, t := range union {
+			for ri < len(p.epochs) && p.epochs[ri] < t {
+				ri++
+			}
+			if ri >= len(p.epochs) || p.epochs[ri] != t {
+				// The union grew an epoch the posterior never covered; the
+				// memo is inconsistent (e.g. readings merged mid-run), so
+				// fall back to a full recompute next Run.
+				ok = false
+				break
+			}
+			for si < len(stale) && stale[si] < t {
+				si++
+			}
+			if si < len(stale) && stale[si] == t {
+				p.qBase[wi] = computeRowAt(e.lik, members, gb, t, cur, s.lq, p.q[wi*n:(wi+1)*n])
+				e.nRowsComputed.Add(1)
+			} else if wi != ri {
+				copy(p.q[wi*n:(wi+1)*n], p.q[ri*n:(ri+1)*n])
+				p.qBase[wi] = p.qBase[ri]
+			}
+			p.epochs[wi] = t
+			wi++
+			ri++
+		}
+		if !ok {
+			rec.postValid = false
+			return
+		}
+		p.epochs = p.epochs[:wi]
+		p.q = p.q[:wi*n]
+		p.qBase = p.qBase[:wi]
+		rec.postSig = e.dataSignature(rec.groupSig, rec, rec.group, epochMax)
+		rec.postThrough = e.now
+	})
 }

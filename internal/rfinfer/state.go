@@ -50,7 +50,7 @@ func (e *Engine) ExportCollapsed(oid model.TagID) (CollapsedState, error) {
 	}
 	// Recompute totals from the current posteriors so the export reflects
 	// the latest run.
-	ev := e.computeEvidence(rec)
+	ev := e.computeEvidence(rec, e.pool.get(0, e.lik.N()))
 	if len(ev.totals) == len(st.Weights) {
 		copy(st.Weights, ev.totals)
 		st.DefaultWeight = ev.uniTotal
