@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-hot ci
+.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist ci
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,16 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-check the parallel inference path (and the multi-site replay).
+# Race-check the concurrent paths: parallel inference, the multi-site
+# cluster runtime, and the per-site query engines it drives.
 race:
-	$(GO) test -race ./internal/rfinfer/... ./internal/dist/...
+	$(GO) test -race ./internal/rfinfer/... ./internal/dist/... ./internal/query/...
+
+# Short fuzz sessions over the wire decoders (30 s total budget): migrated
+# state bytes must never panic a receiving site.
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz 'FuzzDecode$$' -fuzztime 10s ./internal/trace/
+	$(GO) test -run XXX -fuzz 'FuzzDecodeCR' -fuzztime 10s ./internal/rfinfer/
 
 # Whole-artifact benchmarks: regenerate every paper table/figure.
 bench:
@@ -23,5 +30,10 @@ bench:
 bench-hot:
 	$(GO) test -bench 'BenchmarkEngineRun|BenchmarkEStep' -benchmem -run XXX ./internal/rfinfer/
 
+# Migration throughput: full export -> encode -> decode -> import round
+# trip for the collapsed-weights vs CR vs full strategies.
+bench-dist:
+	$(GO) test -bench 'BenchmarkMigration' -benchmem -run XXX ./internal/dist/
+
 # Tier-1 verify: everything the CI gate runs, in one command.
-ci: build vet test race
+ci: build vet test race fuzz-smoke

@@ -24,6 +24,7 @@ func main() {
 	full := flag.Bool("full", false, "run at paper scale (slow)")
 	only := flag.String("only", "", "run only artifacts whose ID contains this substring")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "concurrent sites in the cluster runtime (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	sc := expt.QuickScale()
@@ -31,6 +32,7 @@ func main() {
 		sc = expt.FullScale()
 	}
 	sc.Seed = *seed
+	sc.Workers = *workers
 
 	type gen struct {
 		id string
@@ -51,6 +53,7 @@ func main() {
 		{"Table 5", expt.Table5},
 		{"Section 5.4", expt.TableQueries},
 		{"Section 5.3", expt.Scalability},
+		{"Cluster", expt.ClusterScaling},
 		{"Appendix C.4", expt.Sensitivity},
 		{"Ablations", expt.Ablations},
 	}

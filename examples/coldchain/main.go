@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -23,8 +24,13 @@ const (
 )
 
 func main() {
+	epochs := flag.Int("epochs", 2400, "trace duration in seconds")
+	items := flag.Int("items", 20, "items per case")
+	flag.Parse()
+
 	cfg := rfidtrack.DefaultSimConfig()
-	cfg.Epochs = 2400
+	cfg.Epochs = rfidtrack.Epoch(*epochs)
+	cfg.ItemsPerCase = *items
 	cfg.RR = 0.8
 	cfg.AnomalyEvery = 120 // items get misplaced out of their cases
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -16,13 +17,18 @@ import (
 )
 
 func main() {
+	epochs := flag.Int("epochs", 1800, "trace duration in seconds")
+	items := flag.Int("items", 10, "devices per equipment case")
+	anomaly := flag.Int("anomaly", 90, "misplacement interval in seconds")
+	flag.Parse()
+
 	// The "hospital": one site, 8 storage areas (shelves), equipment cases
-	// of 10 devices each. A device is misplaced every 90 s on average.
+	// of devices. A device is misplaced every -anomaly seconds on average.
 	cfg := rfidtrack.DefaultSimConfig()
-	cfg.Epochs = 1800
-	cfg.ItemsPerCase = 10
+	cfg.Epochs = rfidtrack.Epoch(*epochs)
+	cfg.ItemsPerCase = *items
 	cfg.RR = 0.8
-	cfg.AnomalyEvery = 90
+	cfg.AnomalyEvery = *anomaly
 
 	world, err := rfidtrack.Simulate(cfg)
 	if err != nil {
@@ -36,7 +42,9 @@ func main() {
 	// and taking the largest Δ statistic it ever produces (Section 3.3).
 	calib := cfg
 	calib.AnomalyEvery = 0
-	calib.Epochs = 1200
+	if calib.Epochs > 1200 {
+		calib.Epochs = 1200
+	}
 	calib.Seed = 777
 	delta := calibrate(calib)
 	fmt.Printf("calibrated change-point threshold delta = %.1f\n", delta)

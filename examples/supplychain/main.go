@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -18,23 +19,28 @@ import (
 )
 
 func main() {
+	epochs := flag.Int("epochs", 2400, "trace duration in seconds")
+	items := flag.Int("items", 20, "items per case")
+	flag.Parse()
+
 	cfg := rfidtrack.DefaultSimConfig()
 	cfg.Warehouses = 3
 	cfg.PathLength = 2
-	cfg.Epochs = 2400
+	cfg.Epochs = rfidtrack.Epoch(*epochs)
+	cfg.ItemsPerCase = *items
 	cfg.RR = 0.8
 
 	world, err := rfidtrack.Simulate(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	items := 0
+	nItems := 0
 	for i := range world.Sites[0].Tags {
 		if world.Sites[0].Tags[i].Kind == rfidtrack.KindItem {
-			items++
+			nItems++
 		}
 	}
-	fmt.Printf("3 warehouses, %d items flowing source -> downstream\n\n", items)
+	fmt.Printf("3 warehouses, %d items flowing source -> downstream\n\n", nItems)
 	fmt.Printf("%-14s %12s %12s %14s %10s\n",
 		"strategy", "containment", "location", "migrated", "messages")
 

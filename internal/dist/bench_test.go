@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"testing"
+
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/sim"
+)
+
+// benchCluster builds a two-warehouse world and replays it once so both
+// engines hold realistic inference state, then returns the cluster and a
+// real cross-site departure to migrate repeatedly.
+func benchCluster(b *testing.B, st Strategy) (*Cluster, Departure) {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Warehouses = 2
+	cfg.PathLength = 2
+	cfg.Epochs = 900
+	cfg.ItemsPerCase = 5
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCluster(w, st, rfinfer.DefaultConfig())
+	if _, err := c.Replay(300); err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range c.deps {
+		if d.From != d.To {
+			return c, d
+		}
+	}
+	b.Fatal("no cross-site departure in bench world")
+	return nil, Departure{}
+}
+
+// benchMigration measures the full migration round trip — export, encode
+// to wire bytes, decode, import — for one strategy.
+func benchMigration(b *testing.B, st Strategy) {
+	c, d := benchCluster(b, st)
+	payload, _, _, err := c.encodePayload(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, _, _, err := c.encodePayload(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.applyPayload(d, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMigrationCollapsed is the collapsed-weights strategy: the
+// paper's headline few-dozen-byte transfers.
+func BenchmarkMigrationCollapsed(b *testing.B) { benchMigration(b, MigrateWeights) }
+
+// BenchmarkMigrationCR is the critical-region strategy: weights plus the
+// CR ∪ recent-history readings of the object and its candidates.
+func BenchmarkMigrationCR(b *testing.B) { benchMigration(b, MigrateReadings) }
+
+// BenchmarkMigrationFull ships every retained reading.
+func BenchmarkMigrationFull(b *testing.B) { benchMigration(b, MigrateFull) }

@@ -1,21 +1,33 @@
-// Package dist implements the distributed runtime of Section 4: one
-// inference engine per site, an object naming service (ONS) tracking which
-// site owns each object, and state migration between sites as objects move
-// through the supply chain.
+// Package dist implements the distributed runtime of Section 4 as a
+// concurrent multi-site cluster: one inference engine per site, an object
+// naming service (ONS) tracking which site owns each object, and state
+// migration between sites as objects move through the supply chain.
 //
-// The Cluster replays a simulated multi-site world checkpoint by
-// checkpoint, migrating inference state at departures according to the
-// configured Strategy and accounting the communication cost of each
-// transfer (Table 5). The centralized baseline — shipping every raw reading
-// to one server, gzip-compressed — is computed alongside for comparison.
+// Each site is an actor — its own goroutine owning its rfinfer.Engine and
+// (optionally) a continuous query engine over the site's inferred event
+// stream. A departing object's inference state (collapsed weights or CR
+// state, per the configured Strategy) plus its query pattern state travel
+// to the destination over an asynchronous migration channel as encoded
+// bytes; the wire cost of every transfer is accounted per link (Table 5).
+// Replay is epoch-pipelined: a site only waits for in-flight migrations
+// targeting it, never on a global barrier, yet the Result is bit-identical
+// to the sequential reference replay (see ReplaySequential and the e2e
+// harness in e2e_test.go).
+//
+// The centralized baseline — shipping every raw reading to one server,
+// gzip-compressed — is computed alongside for comparison.
 package dist
 
 import (
-	"io"
+	"fmt"
+	"runtime"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"rfidtrack/internal/metrics"
 	"rfidtrack/internal/model"
+	"rfidtrack/internal/query"
 	"rfidtrack/internal/rfinfer"
 	"rfidtrack/internal/sim"
 	"rfidtrack/internal/trace"
@@ -64,8 +76,10 @@ type Departure struct {
 	At       model.Epoch
 }
 
-// Hooks lets callers observe the replay. Hooks run sequentially in
-// deterministic order even when Parallel is set.
+// Hooks lets callers observe the replay. Installing either hook forces the
+// barrier schedule (hooks run sequentially in deterministic order), since a
+// hook may read cross-site state; the hook-free pipelined runtime produces
+// the same Result without the barrier.
 type Hooks struct {
 	// OnDepart fires when an object departs, before any engine runs at the
 	// checkpoint that observes the departure (so migrated state can be
@@ -77,10 +91,16 @@ type Hooks struct {
 
 // Costs accumulates migration traffic.
 type Costs struct {
-	// Bytes is the total wire size of all migrated state.
+	// Bytes is the total wire size of all migrated inference state.
 	Bytes int
 	// Messages is the number of point-to-point transfers.
 	Messages int
+}
+
+// LinkCost is the migration traffic of one directed inter-site link.
+type LinkCost struct {
+	From, To int
+	Costs
 }
 
 // Result summarizes one Replay.
@@ -90,6 +110,12 @@ type Result struct {
 	ContErr, LocErr metrics.Counts
 	// Costs is the migration traffic of the configured strategy.
 	Costs Costs
+	// Links breaks Costs down per directed inter-site link, sorted by
+	// (From, To). Only links that carried traffic appear.
+	Links []LinkCost
+	// QueryStateBytes is the wire size of migrated continuous-query pattern
+	// state (zero unless a ClusterQuery is attached).
+	QueryStateBytes int
 	// CentralizedBytes is what the centralized baseline would ship: every
 	// site's raw readings, gzip-compressed (Table 5 accounting).
 	CentralizedBytes int
@@ -97,29 +123,105 @@ type Result struct {
 	Runs int
 }
 
+// onsShards spreads the naming service over independent cache lines so
+// concurrent Move/Lookup traffic from different sites does not contend.
+const onsShards = 16
+
 // ONS is the object naming service: the authoritative map from object to
 // owning site (Section 4.2). Lookups route queries; Move transfers
-// ownership when migration completes.
+// ownership when migration completes. The table is sharded and mutex-free:
+// every entry is an atomic word, so sites update ownership concurrently
+// without locking.
 type ONS struct {
-	owner []int
+	shards [onsShards][]atomic.Int32
+	n      int
 }
 
 // NewONS returns a naming service over n tags, all owned by site 0.
-func NewONS(n int) *ONS { return &ONS{owner: make([]int, n)} }
+func NewONS(n int) *ONS {
+	o := &ONS{n: n}
+	for s := range o.shards {
+		o.shards[s] = make([]atomic.Int32, (n-s+onsShards-1)/onsShards)
+	}
+	return o
+}
 
 // Lookup returns the owning site of a tag (0 if unknown).
 func (o *ONS) Lookup(id model.TagID) int {
-	if int(id) < 0 || int(id) >= len(o.owner) {
+	if int(id) < 0 || int(id) >= o.n {
 		return 0
 	}
-	return o.owner[id]
+	return int(o.shards[int(id)%onsShards][int(id)/onsShards].Load())
 }
 
 // Move transfers ownership of a tag to a site.
 func (o *ONS) Move(id model.TagID, site int) {
-	if int(id) >= 0 && int(id) < len(o.owner) {
-		o.owner[id] = site
+	if int(id) >= 0 && int(id) < o.n {
+		o.shards[int(id)%onsShards][int(id)/onsShards].Store(int32(site))
 	}
+}
+
+// SiteStats counts one site's work during a Replay, mirroring
+// rfinfer.Engine.Stats() at the cluster level.
+type SiteStats struct {
+	// Epochs is the number of inference checkpoints the site completed.
+	Epochs int
+	// MigrationsIn/Out count state transfers received / sent by the site;
+	// BytesIn/Out their total payload sizes (inference + query state).
+	MigrationsIn, MigrationsOut int
+	BytesIn, BytesOut           int
+	// InboxPeak is the largest number of migrations still in flight toward
+	// the site when it reached a checkpoint (its migration queue depth).
+	// Like Stall, it is zero under the barrier schedule, where transfers
+	// complete synchronously.
+	InboxPeak int
+	// Stall is the total time the site spent blocked waiting for in-flight
+	// migrations targeting it — the observable migration latency. It is
+	// zero under the barrier schedule.
+	Stall time.Duration
+}
+
+// add accumulates another site's counters (Stall sums, InboxPeak maxes).
+func (s *SiteStats) add(o SiteStats) {
+	s.Epochs += o.Epochs
+	s.MigrationsIn += o.MigrationsIn
+	s.MigrationsOut += o.MigrationsOut
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
+	if o.InboxPeak > s.InboxPeak {
+		s.InboxPeak = o.InboxPeak
+	}
+	s.Stall += o.Stall
+}
+
+// ClusterStats reports the per-site runtime counters of the most recent
+// Replay.
+type ClusterStats struct {
+	Sites []SiteStats
+}
+
+// Totals sums the per-site counters (InboxPeak is the max across sites).
+func (cs ClusterStats) Totals() SiteStats {
+	var t SiteStats
+	for _, s := range cs.Sites {
+		t.add(s)
+	}
+	return t
+}
+
+// ClusterQuery attaches one continuous query engine per site, fed from the
+// site's inferred event stream after every checkpoint. Query pattern state
+// migrates with departing objects inside the same migration payload as the
+// inference state (Appendix B). All callbacks are invoked only from the
+// owning site's goroutine, so they may keep per-site state without locking.
+type ClusterQuery struct {
+	// New builds site s's query engine before replay starts.
+	New func(site int) *query.Engine
+	// Feed pushes one checkpoint's site-local tuples (sensor readings and
+	// inferred object events) into the site's query engine. owns reports
+	// whether this site currently owns a tag per the migration history —
+	// the deterministic, site-local equivalent of an ONS lookup.
+	Feed func(site int, q *query.Engine, eng *rfinfer.Engine, evalAt model.Epoch, owns func(model.TagID) bool)
 }
 
 // Cluster is a multi-site deployment of inference engines over a simulated
@@ -129,26 +231,43 @@ type Cluster struct {
 	Strategy Strategy
 	// Engines holds one inference engine per site.
 	Engines []*rfinfer.Engine
-	// Hooks observes departures and checkpoints.
+	// Hooks observes departures and checkpoints (forces the barrier
+	// schedule; see Hooks).
 	Hooks Hooks
-	// Parallel runs per-site inference concurrently at each checkpoint.
-	// Hook and scoring order stay deterministic regardless.
-	Parallel bool
+	// Workers bounds how many sites make CPU progress concurrently.
+	// 0 uses GOMAXPROCS. The Result is bit-identical at every setting.
+	//
+	// Site engines run single-threaded unless the rfinfer.Config passed to
+	// NewCluster sets Workers explicitly: concurrency is governed here, at
+	// the site level, rather than multiplying two worker pools.
+	Workers int
+	// Query optionally attaches per-site continuous queries.
+	Query *ClusterQuery
 
-	cfg  rfinfer.Config
-	ons  *ONS
-	deps []Departure // all item departures, time-ordered
+	cfg   rfinfer.Config
+	ons   *ONS
+	deps  []Departure // all item departures, time-ordered
+	home  []int       // initial owning site per tag
+	siteQ []*query.Engine
+	stats ClusterStats
 }
 
 // NewCluster builds a deployment over a simulated world: one engine per
 // site, every case registered as a container and every item as an object
 // (pallet-level containment is the hierarchical extension of Appendix A.4).
 func NewCluster(w *sim.World, strategy Strategy, cfg rfinfer.Config) *Cluster {
+	if cfg.Workers == 0 {
+		// Inference output is bit-identical at any engine worker count, so
+		// defaulting the per-site engines to single-threaded only moves the
+		// parallelism to the site level, where Cluster.Workers bounds it.
+		cfg.Workers = 1
+	}
 	c := &Cluster{
 		World:    w,
 		Strategy: strategy,
 		cfg:      cfg,
 		ons:      NewONS(w.NumTags()),
+		home:     make([]int, w.NumTags()),
 	}
 	c.Engines = make([]*rfinfer.Engine, len(w.Sites))
 	for s, tr := range w.Sites {
@@ -166,6 +285,7 @@ func NewCluster(w *sim.World, strategy Strategy, cfg rfinfer.Config) *Cluster {
 	tags := w.Sites[0].Tags
 	for id, visits := range w.Visits {
 		if len(visits) > 0 {
+			c.home[id] = visits[0].Site
 			c.ons.Move(model.TagID(id), visits[0].Site)
 		}
 		if tags[id].Kind != model.KindItem {
@@ -195,6 +315,60 @@ func NewCluster(w *sim.World, strategy Strategy, cfg rfinfer.Config) *Cluster {
 // ONSLookup returns the site currently owning a tag.
 func (c *Cluster) ONSLookup(id model.TagID) int { return c.ons.Lookup(id) }
 
+// SiteQuery returns site s's continuous query engine after a Replay with an
+// attached ClusterQuery (nil otherwise).
+func (c *Cluster) SiteQuery(s int) *query.Engine {
+	if s < 0 || s >= len(c.siteQ) {
+		return nil
+	}
+	return c.siteQ[s]
+}
+
+// Stats returns the per-site runtime counters of the most recent Replay.
+func (c *Cluster) Stats() ClusterStats {
+	out := ClusterStats{Sites: make([]SiteStats, len(c.stats.Sites))}
+	copy(out.Sites, c.stats.Sites)
+	return out
+}
+
+// workers resolves the configured concurrency budget.
+func (c *Cluster) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Replay drives the whole world through checkpointed inference every
+// interval epochs, migrating state at departures, and scores every site
+// against its ground truth.
+//
+// Without hooks the replay is epoch-pipelined: every site advances through
+// its own checkpoints independently and synchronizes only on in-flight
+// migrations targeting it. With hooks installed the barrier schedule is
+// used so hooks fire in the documented deterministic order. Both schedules
+// produce bit-identical Results.
+func (c *Cluster) Replay(interval model.Epoch) (Result, error) {
+	if interval <= 0 {
+		return Result{}, fmt.Errorf("dist: interval must be positive, got %d", interval)
+	}
+	if c.Hooks.OnDepart != nil || c.Hooks.OnCheckpoint != nil {
+		return c.replayBarrier(interval, c.workers())
+	}
+	return c.replayPipelined(interval, c.workers())
+}
+
+// ReplaySequential is the single-goroutine reference replay: one global
+// loop that ingests, migrates and runs every site in lock step. It defines
+// the semantics the concurrent runtime must reproduce bit-for-bit and is
+// what the e2e harness compares against.
+func (c *Cluster) ReplaySequential(interval model.Epoch) (Result, error) {
+	if interval <= 0 {
+		return Result{}, fmt.Errorf("dist: interval must be positive, got %d", interval)
+	}
+	return c.replayBarrier(interval, 1)
+}
+
 // feedEvent is one site-local reading ready for replay.
 type feedEvent struct {
 	t    model.Epoch
@@ -202,15 +376,10 @@ type feedEvent struct {
 	mask model.Mask
 }
 
-// Replay drives the whole world through checkpointed inference every
-// interval epochs, migrating state at departures, and scores every site
-// against its ground truth.
-func (c *Cluster) Replay(interval model.Epoch) (Result, error) {
-	var res Result
-	w := c.World
-
+// buildFeeds flattens every site's readings (cases and items only) into
+// time-ordered replay streams.
+func buildFeeds(w *sim.World) [][]feedEvent {
 	feeds := make([][]feedEvent, len(w.Sites))
-	idx := make([]int, len(w.Sites))
 	for s, tr := range w.Sites {
 		var f []feedEvent
 		for i := range tr.Tags {
@@ -230,145 +399,76 @@ func (c *Cluster) Replay(interval model.Epoch) (Result, error) {
 		})
 		feeds[s] = f
 	}
+	return feeds
+}
 
-	depIdx := 0
-	for ckpt := interval; ckpt <= w.Epochs; ckpt += interval {
-		for s, eng := range c.Engines {
-			f := feeds[s]
-			for idx[s] < len(f) && f[idx[s]].t < ckpt {
-				ev := f[idx[s]]
-				if err := eng.ObserveMask(ev.t, ev.id, ev.mask); err != nil {
-					return res, err
-				}
-				idx[s]++
-			}
-		}
-
-		// Departures observed by this checkpoint migrate before any site
-		// runs, so the destination's run already sees the imported state.
-		for depIdx < len(c.deps) && c.deps[depIdx].At < ckpt {
-			if err := c.migrate(c.deps[depIdx], &res.Costs); err != nil {
-				return res, err
-			}
-			depIdx++
-		}
-
-		evalAt := ckpt - 1
-		if c.Parallel && len(c.Engines) > 1 {
-			done := make(chan int, len(c.Engines))
-			for _, eng := range c.Engines {
-				go func(e *rfinfer.Engine) {
-					e.Run(evalAt)
-					done <- 1
-				}(eng)
-			}
-			for range c.Engines {
-				<-done
-			}
-		} else {
-			for _, eng := range c.Engines {
-				eng.Run(evalAt)
-			}
-		}
-
-		for s, eng := range c.Engines {
-			if c.Hooks.OnCheckpoint != nil {
-				c.Hooks.OnCheckpoint(s, eng, evalAt)
-			}
-			res.ContErr.Add(metrics.ContainmentErrorAt(w.Sites[s], evalAt, eng.Container))
-			res.LocErr.Add(metrics.LocationErrorAt(w.Sites[s], evalAt, model.KindItem, func(id model.TagID) model.Loc {
-				return eng.LocationAt(id, evalAt)
-			}))
-		}
-		res.Runs++
+// initQueries builds the per-site query engines and ownership sets when a
+// ClusterQuery is attached.
+func (c *Cluster) initQueries() []map[model.TagID]bool {
+	if c.Query == nil {
+		c.siteQ = nil
+		return nil
 	}
+	c.siteQ = make([]*query.Engine, len(c.World.Sites))
+	for s := range c.siteQ {
+		c.siteQ[s] = c.Query.New(s)
+	}
+	owned := make([]map[model.TagID]bool, len(c.World.Sites))
+	for s := range owned {
+		owned[s] = make(map[model.TagID]bool)
+	}
+	tags := c.World.Sites[0].Tags
+	for id := range c.home {
+		if tags[id].Kind == model.KindItem {
+			owned[c.home[id]][model.TagID(id)] = true
+		}
+	}
+	return owned
+}
 
-	for s, tr := range w.Sites {
+// centralizedBytes computes the Table 5 centralized baseline: every site's
+// raw readings, gzip-compressed.
+func (c *Cluster) centralizedBytes() int {
+	total := 0
+	for _, tr := range c.World.Sites {
 		var tags []model.TagID
 		for i := range tr.Tags {
 			if k := tr.Tags[i].Kind; k == model.KindCase || k == model.KindItem {
 				tags = append(tags, tr.Tags[i].ID)
 			}
 		}
-		res.CentralizedBytes += trace.GzipSize(w.Sites[s], tags)
+		total += trace.GzipSize(tr, tags)
 	}
-	return res, nil
+	return total
 }
 
-// migrate transfers one object's inference state per the strategy, counts
-// its wire cost, and updates the ONS.
-func (c *Cluster) migrate(d Departure, costs *Costs) error {
-	c.ons.Move(d.Object, d.To)
-	if c.Hooks.OnDepart != nil {
-		c.Hooks.OnDepart(d)
-	}
-	if c.Strategy == MigrateNone || d.From == d.To {
+// linkKey identifies a directed inter-site link.
+type linkKey struct{ from, to int }
+
+// sortedLinks converts the per-link accumulator into the Result form.
+func sortedLinks(links map[linkKey]Costs) []LinkCost {
+	if len(links) == 0 {
 		return nil
 	}
-	src, dst := c.Engines[d.From], c.Engines[d.To]
-	cw := &countWriter{}
-	switch c.Strategy {
-	case MigrateWeights:
-		st, err := src.ExportCollapsed(d.Object)
-		if err != nil {
-			return err
-		}
-		if err := rfinfer.EncodeCollapsed(cw, st); err != nil {
-			return err
-		}
-		dst.ImportCollapsed(st)
-	case MigrateReadings, MigrateFull:
-		st, err := src.ExportCR(d.Object)
-		if err != nil {
-			return err
-		}
-		if c.Strategy == MigrateReadings {
-			clipCR(&st, d.At-c.recentHistory(), d.At+1)
-		}
-		if err := rfinfer.EncodeCR(cw, st); err != nil {
-			return err
-		}
-		dst.ImportCR(st)
+	out := make([]LinkCost, 0, len(links))
+	for k, v := range links {
+		out = append(out, LinkCost{From: k.from, To: k.to, Costs: v})
 	}
-	costs.Bytes += cw.n
-	costs.Messages++
-	return nil
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
 }
 
-func (c *Cluster) recentHistory() model.Epoch {
-	if c.cfg.RecentHistory > 0 {
-		return c.cfg.RecentHistory
-	}
-	return rfinfer.DefaultConfig().RecentHistory
+// scoreSite scores one site's engine against its ground truth at evalAt.
+func (c *Cluster) scoreSite(s int, evalAt model.Epoch, contErr, locErr *metrics.Counts) {
+	tr := c.World.Sites[s]
+	eng := c.Engines[s]
+	contErr.Add(metrics.ContainmentErrorAt(tr, evalAt, eng.Container))
+	locErr.Add(metrics.LocationErrorAt(tr, evalAt, model.KindItem, func(id model.TagID) model.Loc {
+		return eng.LocationAt(id, evalAt)
+	}))
 }
-
-// clipCR windows the shipped reading histories to the critical region plus
-// recent history [recFrom, recTo): the CR migration method of Section 4.1.
-func clipCR(st *rfinfer.CRState, recFrom, recTo model.Epoch) {
-	keep := func(s model.Series) model.Series {
-		out := s[:0]
-		for _, rd := range s {
-			inRecent := rd.T >= recFrom && rd.T < recTo
-			inCR := rd.T >= st.CR.From && rd.T < st.CR.To
-			if inRecent || inCR {
-				out = append(out, rd)
-			}
-		}
-		return out
-	}
-	st.ObjectHist = keep(st.ObjectHist)
-	for id, s := range st.ContHist {
-		if clipped := keep(s); len(clipped) > 0 {
-			st.ContHist[id] = clipped
-		} else {
-			delete(st.ContHist, id)
-		}
-	}
-}
-
-// countWriter counts bytes written, the wire-cost accounting sink.
-type countWriter struct{ n int }
-
-func (c *countWriter) Write(p []byte) (int, error) { c.n += len(p); return len(p), nil }
-
-var _ io.Writer = (*countWriter)(nil)

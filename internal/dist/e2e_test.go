@@ -1,0 +1,239 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/query"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/sim"
+	"rfidtrack/internal/stream"
+)
+
+// scenario is one end-to-end world: a deployment flavor, a migration
+// strategy, and optionally a continuous query running at every site.
+type scenario struct {
+	name     string
+	cfg      sim.Config
+	strategy Strategy
+	interval model.Epoch
+	// withQuery attaches a Q1-style cold-chain exposure query whose pattern
+	// state migrates with departing objects.
+	withQuery bool
+}
+
+// e2eScenarios are small but structurally diverse multi-site worlds:
+// a three-warehouse supply chain (the paper's Section 5.3 deployment),
+// a hospital-like two-site world with mobile readers and frequent
+// misplacements, and a cold chain with a per-site monitoring query.
+func e2eScenarios() []scenario {
+	supply := sim.DefaultConfig()
+	supply.Warehouses = 3
+	supply.PathLength = 2
+	supply.Epochs = 900
+	supply.ItemsPerCase = 3
+	supply.RR = 0.8
+
+	hospital := sim.DefaultConfig()
+	hospital.Warehouses = 2
+	hospital.PathLength = 2
+	hospital.Epochs = 900
+	hospital.ItemsPerCase = 4
+	hospital.RR = 0.75
+	hospital.MobileShelves = true
+	hospital.AnomalyEvery = 90
+
+	coldchain := sim.DefaultConfig()
+	coldchain.Warehouses = 3
+	coldchain.PathLength = 3
+	coldchain.Epochs = 1200
+	coldchain.ItemsPerCase = 2
+	coldchain.RR = 0.7
+
+	return []scenario{
+		{name: "supply-chain/weights", cfg: supply, strategy: MigrateWeights, interval: 300},
+		{name: "hospital/readings", cfg: hospital, strategy: MigrateReadings, interval: 300},
+		{name: "hospital/none", cfg: hospital, strategy: MigrateNone, interval: 300},
+		{name: "cold-chain/full+query", cfg: coldchain, strategy: MigrateFull, interval: 300, withQuery: true},
+	}
+}
+
+// coldChainQuery builds the per-site exposure query of the cold-chain
+// scenario: every third item is a frozen product, every second case a
+// freezer, cold-room shelves (odd index) are cold, everything else warm.
+func coldChainQuery(w *sim.World, interval model.Epoch) *ClusterQuery {
+	frozen := func(id model.TagID) bool { return int(id)%3 == 0 }
+	freezer := func(id model.TagID) bool { return int(id)%2 == 0 }
+	tempAt := func(loc model.Loc, t model.Epoch) float64 {
+		if int(loc) >= 2 && int(loc) < 2+w.Cfg.Shelves && int(loc)%2 == 1 {
+			return 4 + 0.5*math.Sin(float64(t)/97+float64(loc))
+		}
+		return 20 + 0.5*math.Sin(float64(t)/97+float64(loc))
+	}
+	qcfg := query.Q1Config(3*interval-interval/2, interval)
+	qcfg.MaxGap = 2*interval + model.Epoch(w.Cfg.TransitTime)
+	attrs := map[string]string{"type": "frozen"}
+	return &ClusterQuery{
+		New: func(site int) *query.Engine { return query.New(qcfg, freezer) },
+		Feed: func(site int, q *query.Engine, eng *rfinfer.Engine, evalAt model.Epoch, owns func(model.TagID) bool) {
+			for loc := 0; loc < len(w.Sites[site].Readers); loc++ {
+				q.PushSensor(stream.Tuple{
+					T: evalAt, Tag: -1, Loc: model.Loc(loc), Sensor: int32(loc),
+					Temp: tempAt(model.Loc(loc), evalAt),
+				})
+			}
+			for _, ev := range eng.Snapshot(evalAt) {
+				if !frozen(ev.Tag) || !owns(ev.Tag) {
+					continue
+				}
+				q.PushObject(stream.Tuple{
+					T: ev.T, Tag: ev.Tag, Loc: ev.Loc, Container: ev.Container,
+					Sensor: -1, Attrs: attrs,
+				})
+			}
+		},
+	}
+}
+
+// alertSets collects every site's alerted tags in site order.
+func alertSets(c *Cluster) []map[model.TagID]bool {
+	if c.Query == nil {
+		return nil
+	}
+	out := make([]map[model.TagID]bool, len(c.Engines))
+	for s := range c.Engines {
+		out[s] = c.SiteQuery(s).AlertedTags()
+	}
+	return out
+}
+
+// TestE2EClusterDeterminism is the end-to-end scenario harness: each world
+// is replayed once through the single-goroutine sequential reference and
+// then through the concurrent pipelined runtime at 1, 4, and GOMAXPROCS
+// workers. Every Result — error counts, per-link byte costs, query state
+// bytes — and every site's alert set must be bit-identical.
+func TestE2EClusterDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, sc := range e2eScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			w, err := sim.Generate(sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newCluster := func() *Cluster {
+				cl := NewCluster(w, sc.strategy, rfinfer.DefaultConfig())
+				if sc.withQuery {
+					cl.Query = coldChainQuery(w, sc.interval)
+				}
+				return cl
+			}
+
+			refCl := newCluster()
+			ref, err := refCl.ReplaySequential(sc.interval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refAlerts := alertSets(refCl)
+			if ref.Runs == 0 || ref.ContErr.Total == 0 {
+				t.Fatalf("reference replay scored nothing: %+v", ref)
+			}
+			if sc.strategy != MigrateNone && len(ref.Links) == 0 {
+				t.Fatalf("reference replay shipped no per-link traffic: %+v", ref)
+			}
+			if sc.withQuery {
+				if ref.QueryStateBytes == 0 {
+					t.Error("query scenario migrated no pattern state")
+				}
+				alerts := 0
+				for _, m := range refAlerts {
+					alerts += len(m)
+				}
+				if alerts == 0 {
+					t.Error("query scenario raised no alerts")
+				}
+			}
+
+			for _, workers := range workerCounts {
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					cl := newCluster()
+					cl.Workers = workers
+					res, err := cl.Replay(sc.interval)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(res, ref) {
+						t.Errorf("concurrent Result diverged from sequential reference\n got: %+v\nwant: %+v", res, ref)
+					}
+					if got := alertSets(cl); !reflect.DeepEqual(got, refAlerts) {
+						t.Errorf("alert sets diverged\n got: %v\nwant: %v", tagSets(got), tagSets(refAlerts))
+					}
+					stats := cl.Stats()
+					if len(stats.Sites) != len(w.Sites) {
+						t.Fatalf("Stats() has %d sites, want %d", len(stats.Sites), len(w.Sites))
+					}
+					tot := stats.Totals()
+					if tot.Epochs != ref.Runs*len(w.Sites) {
+						t.Errorf("stats epochs = %d, want %d", tot.Epochs, ref.Runs*len(w.Sites))
+					}
+					if tot.MigrationsOut != tot.MigrationsIn {
+						t.Errorf("migrations out %d != in %d", tot.MigrationsOut, tot.MigrationsIn)
+					}
+					if sc.strategy != MigrateNone && tot.BytesOut < ref.Costs.Bytes {
+						t.Errorf("stats bytes out %d below accounted cost %d", tot.BytesOut, ref.Costs.Bytes)
+					}
+				})
+			}
+		})
+	}
+}
+
+// tagSets renders alert sets compactly for failure messages.
+func tagSets(sets []map[model.TagID]bool) [][]model.TagID {
+	out := make([][]model.TagID, len(sets))
+	for i, m := range sets {
+		for id := range m {
+			out[i] = append(out[i], id)
+		}
+		sort.Slice(out[i], func(a, b int) bool { return out[i][a] < out[i][b] })
+	}
+	return out
+}
+
+// TestE2EPipelinedONS checks that the pipelined replay leaves the naming
+// service pointing at every object's final site, like the reference does.
+func TestE2EPipelinedONS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Warehouses = 2
+	cfg.PathLength = 2
+	cfg.Epochs = 900
+	cfg.ItemsPerCase = 3
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewCluster(w, MigrateWeights, rfinfer.DefaultConfig())
+	if _, err := cl.Replay(300); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewCluster(w, MigrateWeights, rfinfer.DefaultConfig())
+	if _, err := ref.ReplaySequential(300); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < w.NumTags(); id++ {
+		if got, want := cl.ONSLookup(model.TagID(id)), ref.ONSLookup(model.TagID(id)); got != want {
+			t.Errorf("ONS owner of tag %d = %d, want %d", id, got, want)
+		}
+	}
+}

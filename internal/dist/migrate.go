@@ -1,0 +1,183 @@
+// Migration protocol of the cluster runtime.
+//
+// A departing object's state crosses sites as one encoded payload:
+//
+//	[inference state]   EncodeCollapsed or EncodeCR bytes, absent for
+//	                    MigrateNone
+//	[query flag]        1 byte, present only when a ClusterQuery is
+//	                    attached: 1 = pattern state follows, 0 = none
+//	[query state]       stream.EncodeState bytes when the flag is 1
+//
+// The payload is produced at the source site after it has ingested the
+// departure checkpoint's readings and applied every earlier migration
+// touching it, and consumed at the destination at the same point of its
+// own timeline — exactly where the sequential reference replay performs
+// the transfer, which is what makes the pipelined schedule bit-identical.
+package dist
+
+import (
+	"bytes"
+	"fmt"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/stream"
+)
+
+// hasQuerySection reports whether migration payloads carry the query
+// pattern-state section. Encoder and decoder must agree, so both key off
+// the attached ClusterQuery rather than any per-site state.
+func (c *Cluster) hasQuerySection() bool { return c.Query != nil }
+
+// planOp is one migration event in a site's checkpoint timeline: either
+// the departure side (ONS move, export, send) or the arrival side
+// (receive, decode, import). Ops appear in each site's list in global
+// departure order, which totally orders every pair of ops that share an
+// engine.
+type planOp struct {
+	dep    int         // index into Cluster.deps
+	arrive bool        // arrival side of the transfer
+	ch     chan []byte // transfer channel
+}
+
+// buildPlan assigns every departure to its observing checkpoint and lays
+// the resulting ops into per-site, per-checkpoint timelines. Departures at
+// or after the last checkpoint are never observed (matching the reference
+// replay) and are dropped.
+func (c *Cluster) buildPlan(interval model.Epoch, numCkpts int) [][][]planOp {
+	plan := make([][][]planOp, len(c.World.Sites))
+	for s := range plan {
+		plan[s] = make([][]planOp, numCkpts)
+	}
+	for i, d := range c.deps {
+		k := int(d.At / interval) // first checkpoint with d.At < ckpt
+		if k >= numCkpts {
+			continue
+		}
+		ch := make(chan []byte, 1)
+		plan[d.From][k] = append(plan[d.From][k], planOp{dep: i, ch: ch})
+		plan[d.To][k] = append(plan[d.To][k], planOp{dep: i, arrive: true, ch: ch})
+	}
+	return plan
+}
+
+// encodePayload exports and encodes the migrating state for d from the
+// source engines. engineBytes and queryBytes report the wire size of the
+// two sections for cost accounting.
+func (c *Cluster) encodePayload(d Departure) (payload []byte, engineBytes, queryBytes int, err error) {
+	var buf bytes.Buffer
+	if c.Strategy != MigrateNone {
+		src := c.Engines[d.From]
+		switch c.Strategy {
+		case MigrateWeights:
+			st, err := src.ExportCollapsed(d.Object)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if err := rfinfer.EncodeCollapsed(&buf, st); err != nil {
+				return nil, 0, 0, err
+			}
+		case MigrateReadings, MigrateFull:
+			st, err := src.ExportCR(d.Object)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if c.Strategy == MigrateReadings {
+				clipCR(&st, d.At-c.recentHistory(), d.At+1)
+			}
+			if err := rfinfer.EncodeCR(&buf, st); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		engineBytes = buf.Len()
+	}
+	if c.hasQuerySection() {
+		if st, ok := c.siteQ[d.From].ExportState(d.Object); ok {
+			buf.WriteByte(1)
+			before := buf.Len()
+			if err := stream.EncodeState(&buf, &st); err != nil {
+				return nil, 0, 0, err
+			}
+			queryBytes = buf.Len() - before
+		} else {
+			buf.WriteByte(0)
+		}
+	}
+	return buf.Bytes(), engineBytes, queryBytes, nil
+}
+
+// applyPayload decodes a migration payload and imports it into the
+// destination engines. Decoding from the wire bytes — rather than handing
+// structs across — is deliberate: it keeps both replay schedules on the
+// exact same import path and exercises the codecs the fuzz targets harden.
+func (c *Cluster) applyPayload(d Departure, payload []byte) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	r := bytes.NewReader(payload)
+	if c.Strategy != MigrateNone {
+		dst := c.Engines[d.To]
+		switch c.Strategy {
+		case MigrateWeights:
+			st, err := rfinfer.DecodeCollapsed(r)
+			if err != nil {
+				return fmt.Errorf("dist: decoding collapsed state for object %d: %w", d.Object, err)
+			}
+			dst.ImportCollapsed(st)
+		case MigrateReadings, MigrateFull:
+			st, err := rfinfer.DecodeCR(r)
+			if err != nil {
+				return fmt.Errorf("dist: decoding CR state for object %d: %w", d.Object, err)
+			}
+			dst.ImportCR(st)
+		}
+	}
+	if c.hasQuerySection() {
+		flag, err := r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("dist: truncated query section for object %d: %w", d.Object, err)
+		}
+		if flag == 1 {
+			st, err := stream.DecodeState(r)
+			if err != nil {
+				return fmt.Errorf("dist: decoding query state for object %d: %w", d.Object, err)
+			}
+			c.siteQ[d.To].ImportState(d.Object, st)
+		}
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("dist: %d trailing bytes in migration payload for object %d", r.Len(), d.Object)
+	}
+	return nil
+}
+
+func (c *Cluster) recentHistory() model.Epoch {
+	if c.cfg.RecentHistory > 0 {
+		return c.cfg.RecentHistory
+	}
+	return rfinfer.DefaultConfig().RecentHistory
+}
+
+// clipCR windows the shipped reading histories to the critical region plus
+// recent history [recFrom, recTo): the CR migration method of Section 4.1.
+func clipCR(st *rfinfer.CRState, recFrom, recTo model.Epoch) {
+	keep := func(s model.Series) model.Series {
+		out := s[:0]
+		for _, rd := range s {
+			inRecent := rd.T >= recFrom && rd.T < recTo
+			inCR := rd.T >= st.CR.From && rd.T < st.CR.To
+			if inRecent || inCR {
+				out = append(out, rd)
+			}
+		}
+		return out
+	}
+	st.ObjectHist = keep(st.ObjectHist)
+	for id, s := range st.ContHist {
+		if clipped := keep(s); len(clipped) > 0 {
+			st.ContHist[id] = clipped
+		} else {
+			delete(st.ContHist, id)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// The site actor and the two replay schedules.
+//
+// Pipelined (the default, hook-free): every site is a goroutine that walks
+// its own checkpoint timeline — ingest readings, apply this checkpoint's
+// migration ops in global departure order, run inference, score — and
+// blocks only when an in-flight migration targeting it has not arrived
+// yet. There is no global barrier: a site with no migrations this
+// checkpoint streams ahead of its peers. A counting semaphore bounds how
+// many sites burn CPU at once (Cluster.Workers); a site releases its slot
+// while it waits for a migration so a stalled site never starves the
+// cluster.
+//
+// Barrier (hooks installed, and the ReplaySequential reference): one
+// global loop per checkpoint — parallel ingest, migrations and hooks in
+// global departure order, parallel inference, then hooks and scoring in
+// site order.
+//
+// Determinism argument: every engine (inference and query) is owned by
+// exactly one site and mutated only by that site's goroutine, in a
+// sequence fixed by the plan — ingest before ops, ops in global departure
+// order, run after ops. A migration payload is a pure function of the
+// source engine's state at its plan position, and channels deliver it to
+// the same plan position at the destination. By induction over (checkpoint,
+// departure order), every engine passes through exactly the states of the
+// sequential reference, so error counts, byte counts and query alerts are
+// bit-identical at any worker count. The e2e harness pins this.
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfidtrack/internal/metrics"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/query"
+)
+
+// semaphore bounds concurrent CPU work across site actors.
+type semaphore struct{ tokens chan struct{} }
+
+func newSemaphore(n int) *semaphore {
+	if n < 1 {
+		n = 1
+	}
+	return &semaphore{tokens: make(chan struct{}, n)}
+}
+
+// acquire takes a slot, or reports false if the replay aborted first.
+func (s *semaphore) acquire(abort <-chan struct{}) bool {
+	select {
+	case s.tokens <- struct{}{}:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+func (s *semaphore) release() { <-s.tokens }
+
+// siteRunner is one site actor: the goroutine-owned state of a site during
+// a pipelined replay.
+type siteRunner struct {
+	c    *Cluster
+	id   int
+	feed []feedEvent
+	ops  [][]planOp // per checkpoint, in global departure order
+	q    *query.Engine
+	// owned tracks which items this site currently owns (deterministic
+	// site-local ONS view), maintained when a ClusterQuery is attached.
+	owned map[model.TagID]bool
+
+	// Site-local result shards, merged in site order after the join.
+	contErr, locErr metrics.Counts
+	links           map[linkKey]Costs
+	queryBytes      int
+	stats           SiteStats
+	err             error
+}
+
+// fail records the first error and aborts the whole replay so peers
+// blocked on migrations from this site wake up.
+func (s *siteRunner) fail(err error, abortOnce *sync.Once, abort chan struct{}) {
+	s.err = err
+	abortOnce.Do(func() { close(abort) })
+}
+
+// run walks the site through every checkpoint. It is the actor body.
+func (s *siteRunner) run(interval model.Epoch, numCkpts int, sem *semaphore, abortOnce *sync.Once, abort chan struct{}) {
+	hold := sem.acquire(abort)
+	if !hold {
+		return
+	}
+	defer func() {
+		if hold {
+			sem.release()
+		}
+	}()
+
+	eng := s.c.Engines[s.id]
+	idx := 0
+	for k := 0; k < numCkpts; k++ {
+		ckpt := interval * model.Epoch(k+1)
+		for idx < len(s.feed) && s.feed[idx].t < ckpt {
+			ev := s.feed[idx]
+			if err := eng.ObserveMask(ev.t, ev.id, ev.mask); err != nil {
+				s.fail(err, abortOnce, abort)
+				return
+			}
+			idx++
+		}
+
+		// Queue depth: migrations targeting this checkpoint that are still
+		// in flight (not yet buffered) when the site reaches it.
+		ops := s.ops[k]
+		pending := 0
+		for _, op := range ops {
+			if op.arrive && len(op.ch) == 0 {
+				pending++
+			}
+		}
+		if pending > s.stats.InboxPeak {
+			s.stats.InboxPeak = pending
+		}
+		for _, op := range ops {
+			d := s.c.deps[op.dep]
+			if op.arrive {
+				var payload []byte
+				select {
+				case payload = <-op.ch:
+				default:
+					// Not in flight yet: give up the CPU slot while waiting
+					// so a bounded worker budget cannot deadlock the cluster.
+					sem.release()
+					hold = false
+					start := time.Now()
+					select {
+					case payload = <-op.ch:
+					case <-abort:
+						return
+					}
+					s.stats.Stall += time.Since(start)
+					if !sem.acquire(abort) {
+						return
+					}
+					hold = true
+				}
+				if err := s.c.applyPayload(d, payload); err != nil {
+					s.fail(err, abortOnce, abort)
+					return
+				}
+				if s.owned != nil {
+					s.owned[d.Object] = true
+				}
+				if len(payload) > 0 {
+					s.stats.MigrationsIn++
+					s.stats.BytesIn += len(payload)
+				}
+			} else {
+				s.c.ons.Move(d.Object, d.To)
+				if s.owned != nil {
+					delete(s.owned, d.Object)
+				}
+				payload, engineBytes, queryBytes, err := s.c.encodePayload(d)
+				if err != nil {
+					s.fail(err, abortOnce, abort)
+					return
+				}
+				if engineBytes > 0 {
+					lk := linkKey{from: d.From, to: d.To}
+					lc := s.links[lk]
+					lc.Bytes += engineBytes
+					lc.Messages++
+					s.links[lk] = lc
+				}
+				s.queryBytes += queryBytes
+				if len(payload) > 0 {
+					s.stats.MigrationsOut++
+					s.stats.BytesOut += len(payload)
+				}
+				op.ch <- payload // cap 1: never blocks
+			}
+		}
+
+		evalAt := ckpt - 1
+		eng.Run(evalAt)
+		if s.c.Query != nil {
+			s.c.Query.Feed(s.id, s.q, eng, evalAt, s.owns)
+		}
+		s.c.scoreSite(s.id, evalAt, &s.contErr, &s.locErr)
+		s.stats.Epochs++
+	}
+}
+
+// owns reports whether this site currently owns an item: the
+// deterministic, site-local view of the ONS, advanced by this site's own
+// migration ops rather than read from the shared table.
+func (s *siteRunner) owns(id model.TagID) bool { return s.owned[id] }
+
+// replayPipelined is the concurrent cluster runtime: one actor per site,
+// synchronized only through migration channels.
+func (c *Cluster) replayPipelined(interval model.Epoch, workers int) (Result, error) {
+	w := c.World
+	numCkpts := int(w.Epochs / interval)
+	feeds := buildFeeds(w)
+	owned := c.initQueries()
+	plan := c.buildPlan(interval, numCkpts)
+
+	sites := make([]*siteRunner, len(w.Sites))
+	for s := range sites {
+		sr := &siteRunner{
+			c:     c,
+			id:    s,
+			feed:  feeds[s],
+			ops:   plan[s],
+			links: make(map[linkKey]Costs),
+		}
+		if c.Query != nil {
+			sr.q = c.siteQ[s]
+			sr.owned = owned[s]
+		}
+		sites[s] = sr
+	}
+
+	sem := newSemaphore(workers)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var wg sync.WaitGroup
+	for _, sr := range sites {
+		wg.Add(1)
+		go func(sr *siteRunner) {
+			defer wg.Done()
+			sr.run(interval, numCkpts, sem, &abortOnce, abort)
+		}(sr)
+	}
+	wg.Wait()
+
+	var res Result
+	c.stats = ClusterStats{Sites: make([]SiteStats, len(sites))}
+	links := make(map[linkKey]Costs)
+	for s, sr := range sites {
+		if sr.err != nil {
+			return res, sr.err
+		}
+		res.ContErr.Add(sr.contErr)
+		res.LocErr.Add(sr.locErr)
+		res.QueryStateBytes += sr.queryBytes
+		for k, v := range sr.links {
+			lc := links[k]
+			lc.Bytes += v.Bytes
+			lc.Messages += v.Messages
+			links[k] = lc
+		}
+		c.stats.Sites[s] = sr.stats
+	}
+	for _, v := range links {
+		res.Costs.Bytes += v.Bytes
+		res.Costs.Messages += v.Messages
+	}
+	res.Links = sortedLinks(links)
+	res.Runs = numCkpts
+	res.CentralizedBytes = c.centralizedBytes()
+	return res, nil
+}
+
+// replayBarrier is the checkpoint-synchronized schedule: the sequential
+// reference at workers == 1, and the hook-compatible concurrent schedule
+// otherwise (hooks and migrations always run on one goroutine, in order).
+func (c *Cluster) replayBarrier(interval model.Epoch, workers int) (Result, error) {
+	var res Result
+	w := c.World
+
+	feeds := buildFeeds(w)
+	idx := make([]int, len(w.Sites))
+	owned := c.initQueries()
+	links := make(map[linkKey]Costs)
+	c.stats = ClusterStats{Sites: make([]SiteStats, len(w.Sites))}
+
+	depIdx := 0
+	for ckpt := interval; ckpt <= w.Epochs; ckpt += interval {
+		err := forEachSite(len(w.Sites), workers, func(s int) error {
+			f := feeds[s]
+			eng := c.Engines[s]
+			for idx[s] < len(f) && f[idx[s]].t < ckpt {
+				ev := f[idx[s]]
+				if err := eng.ObserveMask(ev.t, ev.id, ev.mask); err != nil {
+					return err
+				}
+				idx[s]++
+			}
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+
+		// Departures observed by this checkpoint migrate before any site
+		// runs, so the destination's run already sees the imported state.
+		for depIdx < len(c.deps) && c.deps[depIdx].At < ckpt {
+			if err := c.migrateBarrier(c.deps[depIdx], &res, links, owned); err != nil {
+				return res, err
+			}
+			depIdx++
+		}
+
+		evalAt := ckpt - 1
+		if err := forEachSite(len(w.Sites), workers, func(s int) error {
+			c.Engines[s].Run(evalAt)
+			return nil
+		}); err != nil {
+			return res, err
+		}
+
+		for s, eng := range c.Engines {
+			if c.Hooks.OnCheckpoint != nil {
+				c.Hooks.OnCheckpoint(s, eng, evalAt)
+			}
+			if c.Query != nil {
+				own := owned[s]
+				c.Query.Feed(s, c.siteQ[s], eng, evalAt, func(id model.TagID) bool {
+					return own[id]
+				})
+			}
+			c.scoreSite(s, evalAt, &res.ContErr, &res.LocErr)
+			c.stats.Sites[s].Epochs++
+		}
+		res.Runs++
+	}
+
+	for _, v := range links {
+		res.Costs.Bytes += v.Bytes
+		res.Costs.Messages += v.Messages
+	}
+	res.Links = sortedLinks(links)
+	res.CentralizedBytes = c.centralizedBytes()
+	return res, nil
+}
+
+// migrateBarrier performs one departure under the barrier schedule:
+// ownership move, hooks, then the same encode → wire → decode transfer the
+// pipelined schedule uses.
+func (c *Cluster) migrateBarrier(d Departure, res *Result, links map[linkKey]Costs, owned []map[model.TagID]bool) error {
+	c.ons.Move(d.Object, d.To)
+	if c.Hooks.OnDepart != nil {
+		c.Hooks.OnDepart(d)
+	}
+	if owned != nil {
+		delete(owned[d.From], d.Object)
+		owned[d.To][d.Object] = true
+	}
+	payload, engineBytes, queryBytes, err := c.encodePayload(d)
+	if err != nil {
+		return err
+	}
+	if err := c.applyPayload(d, payload); err != nil {
+		return err
+	}
+	if engineBytes > 0 {
+		lk := linkKey{from: d.From, to: d.To}
+		lc := links[lk]
+		lc.Bytes += engineBytes
+		lc.Messages++
+		links[lk] = lc
+	}
+	res.QueryStateBytes += queryBytes
+	if len(payload) > 0 {
+		c.stats.Sites[d.From].MigrationsOut++
+		c.stats.Sites[d.From].BytesOut += len(payload)
+		c.stats.Sites[d.To].MigrationsIn++
+		c.stats.Sites[d.To].BytesIn += len(payload)
+	}
+	return nil
+}
+
+// forEachSite runs fn(s) for every site, at most workers at a time,
+// returning the lowest-site error if any fn fails. With workers == 1 it
+// degenerates to a plain loop (the sequential reference path).
+func forEachSite(n, workers int, fn func(s int) error) error {
+	if workers <= 1 || n <= 1 {
+		for s := 0; s < n; s++ {
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= n {
+					return
+				}
+				errs[s] = fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

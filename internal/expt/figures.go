@@ -340,7 +340,7 @@ func Figure5e(sc Scale) Table {
 		w := distWorld(sc, rr, 0)
 		for _, st := range []dist.Strategy{dist.MigrateNone, dist.MigrateWeights, dist.MigrateFull} {
 			cl := dist.NewCluster(w, st, rfinfer.DefaultConfig())
-			cl.Parallel = true
+			cl.Workers = sc.Workers
 			res, err := cl.Replay(sc.Interval)
 			if err != nil {
 				panic(err)
@@ -365,7 +365,7 @@ func Figure5f(sc Scale) Table {
 		w := distWorld(sc, 0.8, fa)
 		for _, st := range []dist.Strategy{dist.MigrateNone, dist.MigrateWeights, dist.MigrateFull} {
 			cl := dist.NewCluster(w, st, rfinfer.DefaultConfig())
-			cl.Parallel = true
+			cl.Workers = sc.Workers
 			res, err := cl.Replay(sc.Interval)
 			if err != nil {
 				panic(err)

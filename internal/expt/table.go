@@ -76,6 +76,9 @@ type Scale struct {
 	Tol model.Epoch
 	// Seed drives all generation.
 	Seed int64
+	// Workers bounds the concurrent cluster runtime in the distributed
+	// experiments (0 = GOMAXPROCS). Results are identical at any setting.
+	Workers int
 }
 
 // QuickScale keeps every experiment laptop-fast.

@@ -117,7 +117,7 @@ func Table5(sc Scale) Table {
 	for _, rr := range []float64{0.6, 0.7, 0.8, 0.9} {
 		w := distWorld(sc, rr, 0)
 		cl := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
-		cl.Parallel = true
+		cl.Workers = sc.Workers
 		res, err := cl.Replay(sc.Interval)
 		if err != nil {
 			panic(err)
@@ -220,6 +220,46 @@ func Scalability(sc Scale) Table {
 	return tbl
 }
 
+// ClusterScaling measures the concurrent cluster runtime: wall time of the
+// multi-warehouse replay at different worker budgets, with the per-site
+// migration counters (queue depth, stall time) the runtime exposes via
+// Cluster.Stats(). Results are bit-identical at every worker count; only
+// the wall time and stall profile change.
+func ClusterScaling(sc Scale) Table {
+	tbl := Table{
+		ID:     "Cluster",
+		Title:  "concurrent multi-site replay: wall time vs workers (collapsed-weights migration)",
+		Header: []string{"workers", "wall ms", "cont %", "migrations", "state KB", "inbox peak", "stall ms"},
+	}
+	w := distWorld(sc, 0.8, 0)
+	workers := []int{1, 2, 4, 0} // 0 = GOMAXPROCS
+	for _, n := range workers {
+		cl := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+		cl.Workers = n
+		start := time.Now()
+		res, err := cl.Replay(sc.Interval)
+		if err != nil {
+			panic(err)
+		}
+		wall := time.Since(start)
+		tot := cl.Stats().Totals()
+		label := fmt.Sprint(n)
+		if n == 0 {
+			label = "max"
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			label,
+			fmt.Sprint(wall.Milliseconds()),
+			f2(res.ContErr.Rate()),
+			fmt.Sprint(tot.MigrationsOut),
+			fmt.Sprint((tot.BytesOut + 1023) / 1024),
+			fmt.Sprint(tot.InboxPeak),
+			fmt.Sprint(tot.Stall.Milliseconds()),
+		})
+	}
+	return tbl
+}
+
 // Sensitivity reproduces the Appendix C.4 sensitivity studies: overlap rate
 // and container capacity.
 func Sensitivity(sc Scale) Table {
@@ -280,6 +320,7 @@ func AllTables(sc Scale) []Table {
 		Table5(sc),
 		TableQueries(sc),
 		Scalability(sc),
+		ClusterScaling(sc),
 		Sensitivity(sc),
 		Ablations(sc),
 	}

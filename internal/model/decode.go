@@ -1,0 +1,17 @@
+package model
+
+// MaxDecodeElems bounds element counts while decoding wire formats (trace
+// reading streams, migrated inference state), so corrupt or hostile input
+// errors out instead of panicking the decoder with an absurd allocation.
+// It is far above anything the encoders produce.
+const MaxDecodeElems = 1 << 24
+
+// DecodeCap clamps an attacker-controlled element count to a safe
+// preallocation; decoding still appends past it when the data really is
+// that long.
+func DecodeCap(n uint64) int {
+	if n > 4096 {
+		return 4096
+	}
+	return int(n)
+}

@@ -155,3 +155,22 @@ func (e *Engine) AlertedTags() map[model.TagID]bool {
 
 // Pattern exposes the pattern operator for state migration.
 func (e *Engine) Pattern() *stream.SeqPattern { return e.pattern }
+
+// ExportState extracts and removes the pattern state of a departing
+// object, so it can travel with the object to the next site (Appendix B).
+// It returns false when the object has no live episode here.
+func (e *Engine) ExportState(tag model.TagID) (stream.SeqState, bool) {
+	st := e.pattern.State(tag)
+	if st == nil {
+		return stream.SeqState{}, false
+	}
+	out := *st
+	out.Values = append([]float64(nil), st.Values...)
+	e.pattern.DropState(tag)
+	return out, true
+}
+
+// ImportState installs migrated pattern state for an arriving object.
+func (e *Engine) ImportState(tag model.TagID, st stream.SeqState) {
+	e.pattern.SetState(tag, st)
+}

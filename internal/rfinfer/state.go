@@ -105,7 +105,16 @@ func (e *Engine) ExportCR(oid model.TagID) (CRState, error) {
 func (e *Engine) ImportCollapsed(st CollapsedState) {
 	e.RegisterObject(st.Object)
 	rec := e.tags[st.Object]
-	rec.container = st.Container
+	if st.Container >= 0 {
+		// The estimate must reference a registered container: a well-formed
+		// payload always carries it among the candidates, but a corrupt one
+		// may name a tag this site has never seen, and every id reachable
+		// from the candidate machinery must resolve in the tag table.
+		e.RegisterContainer(st.Container)
+		rec.container = st.Container
+	} else {
+		rec.container = -1
+	}
 	rec.cands = append([]model.TagID(nil), st.Candidates...)
 	rec.priorW = append([]float64(nil), st.Weights...)
 	rec.priorDefault = st.DefaultWeight
@@ -121,7 +130,7 @@ func (e *Engine) ImportCollapsed(st CollapsedState) {
 func (e *Engine) ImportCR(st CRState) {
 	e.ImportCollapsed(st.Collapsed)
 	rec := e.tags[st.Collapsed.Object]
-	rec.series = rec.series.Merge(st.ObjectHist)
+	rec.series = rec.series.Merge(e.sanitizeSeries(st.ObjectHist))
 	rec.cr = window{From: st.CR.From, To: st.CR.To}
 	// Shipped readings are re-counted locally, so zero the prior weights to
 	// avoid double counting; the shipped history is what preserves
@@ -133,8 +142,44 @@ func (e *Engine) ImportCR(st CRState) {
 	for cid, s := range st.ContHist {
 		e.RegisterContainer(cid)
 		c := e.tags[cid]
-		c.series = c.series.Merge(s)
+		c.series = c.series.Merge(e.sanitizeSeries(s))
 	}
+}
+
+// sanitizeSeries clamps a migrated series to this site's observation
+// model: reader bits beyond the site's layout are dropped (a corrupt or
+// hostile payload must never index past the likelihood tables), and
+// readings that end up empty, sit at negative epochs, or break epoch
+// order are removed. A well-formed payload from a real exporter passes
+// through untouched, so sanitizing never perturbs deterministic replay.
+func (e *Engine) sanitizeSeries(s model.Series) model.Series {
+	valid := ^model.Mask(0)
+	if n := e.lik.N(); n < 64 {
+		valid = model.Mask(1)<<uint(n) - 1
+	}
+	clean := true
+	prev := model.Epoch(-1)
+	for _, rd := range s {
+		if rd.T <= prev || rd.Mask&^valid != 0 || rd.Mask&valid == 0 {
+			clean = false
+			break
+		}
+		prev = rd.T
+	}
+	if clean {
+		return s
+	}
+	out := make(model.Series, 0, len(s))
+	prev = -1
+	for _, rd := range s {
+		m := rd.Mask & valid
+		if rd.T <= prev || m == 0 {
+			continue
+		}
+		prev = rd.T
+		out = append(out, model.Reading{T: rd.T, Mask: m})
+	}
+	return out
 }
 
 // EncodeCollapsed serializes collapsed state to the wire format whose byte
@@ -160,6 +205,11 @@ func DecodeCollapsed(r io.ByteReader) (CollapsedState, error) {
 	st.Container = model.TagID(br.varint())
 	st.DefaultWeight = math.Float64frombits(br.u64())
 	n := br.uvarint()
+	if n > model.MaxDecodeElems {
+		return st, fmt.Errorf("rfinfer: implausible candidate count %d", n)
+	}
+	st.Candidates = make([]model.TagID, 0, model.DecodeCap(n))
+	st.Weights = make([]float64, 0, model.DecodeCap(n))
 	for i := uint64(0); i < n && br.err == nil; i++ {
 		st.Candidates = append(st.Candidates, model.TagID(br.uvarint()))
 		st.Weights = append(st.Weights, math.Float64frombits(br.u64()))
@@ -209,7 +259,10 @@ func DecodeCR(r io.ByteReader) (CRState, error) {
 	st.CR.To = model.Epoch(br.varint())
 	st.ObjectHist = decodeSeries(br)
 	n := br.uvarint()
-	st.ContHist = make(map[model.TagID]model.Series, n)
+	if n > model.MaxDecodeElems {
+		return st, fmt.Errorf("rfinfer: implausible container-history count %d", n)
+	}
+	st.ContHist = make(map[model.TagID]model.Series, model.DecodeCap(n))
 	for i := uint64(0); i < n && br.err == nil; i++ {
 		id := model.TagID(br.uvarint())
 		st.ContHist[id] = decodeSeries(br)
@@ -229,7 +282,13 @@ func encodeSeries(bw *stickyWriter, s model.Series) {
 
 func decodeSeries(br *stickyReader) model.Series {
 	n := br.uvarint()
-	s := make(model.Series, 0, n)
+	if n > model.MaxDecodeElems {
+		if br.err == nil {
+			br.err = fmt.Errorf("rfinfer: implausible series length %d", n)
+		}
+		return nil
+	}
+	s := make(model.Series, 0, model.DecodeCap(n))
 	var prev model.Epoch
 	for i := uint64(0); i < n && br.err == nil; i++ {
 		prev += model.Epoch(br.uvarint())

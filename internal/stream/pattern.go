@@ -186,10 +186,10 @@ func DecodeState(r io.ByteReader) (SeqState, error) {
 	if err != nil {
 		return st, err
 	}
-	if n > 1<<24 {
+	if n > model.MaxDecodeElems {
 		return st, fmt.Errorf("stream: implausible state size %d", n)
 	}
-	st.Values = make([]float64, 0, n)
+	st.Values = make([]float64, 0, model.DecodeCap(n))
 	for i := uint64(0); i < n; i++ {
 		if v, err = read(); err != nil {
 			return st, err

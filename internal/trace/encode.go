@@ -52,11 +52,17 @@ func DecodeReadings(r io.Reader) (map[model.TagID]model.Series, error) {
 		return nil, fmt.Errorf("trace: unsupported wire version %d", v)
 	}
 	n := br.uvarint()
-	out := make(map[model.TagID]model.Series, n)
+	if n > model.MaxDecodeElems {
+		return nil, fmt.Errorf("trace: implausible tag count %d", n)
+	}
+	out := make(map[model.TagID]model.Series, model.DecodeCap(n))
 	for i := uint64(0); i < n && br.err == nil; i++ {
 		id := model.TagID(br.uvarint())
 		cnt := br.uvarint()
-		s := make(model.Series, 0, cnt)
+		if cnt > model.MaxDecodeElems {
+			return nil, fmt.Errorf("trace: implausible reading count %d for tag %d", cnt, id)
+		}
+		s := make(model.Series, 0, model.DecodeCap(cnt))
 		var prev model.Epoch
 		for j := uint64(0); j < cnt && br.err == nil; j++ {
 			prev += model.Epoch(br.uvarint())

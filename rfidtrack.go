@@ -152,12 +152,22 @@ func NewSlidingWindow(rng Epoch, key func(Tuple) int64) *SlidingWindow {
 
 // Distributed runtime types.
 type (
-	// Cluster is a multi-site deployment of engines.
+	// Cluster is a concurrent multi-site deployment of engines: one actor
+	// per site, asynchronous state migration, bit-deterministic replay.
 	Cluster = dist.Cluster
 	// Strategy selects the state-migration method.
 	Strategy = dist.Strategy
-	// ONS is the object naming service.
+	// ONS is the sharded, mutex-free object naming service.
 	ONS = dist.ONS
+	// ClusterQuery attaches per-site continuous queries whose pattern state
+	// migrates with departing objects.
+	ClusterQuery = dist.ClusterQuery
+	// ClusterStats reports per-site runtime counters of a Replay.
+	ClusterStats = dist.ClusterStats
+	// SiteStats is one site's share of ClusterStats.
+	SiteStats = dist.SiteStats
+	// LinkCost is the migration traffic of one directed inter-site link.
+	LinkCost = dist.LinkCost
 )
 
 // Migration strategies.
