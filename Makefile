@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist ci
+.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve docs-lint ci
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the concurrent paths: parallel inference, the multi-site
-# cluster runtime, and the per-site query engines it drives.
+# cluster runtime, the per-site query engines it drives, and the online
+# serving runtime (ingest queue, scheduler, alert fan-out).
 race:
-	$(GO) test -race ./internal/rfinfer/... ./internal/dist/... ./internal/query/...
+	$(GO) test -race ./internal/rfinfer/... ./internal/dist/... ./internal/query/... ./internal/serve/...
 
 # Short fuzz sessions over the wire decoders (30 s total budget): migrated
 # state bytes must never panic a receiving site.
@@ -35,5 +36,17 @@ bench-hot:
 bench-dist:
 	$(GO) test -bench 'BenchmarkMigration' -benchmem -run XXX ./internal/dist/
 
+# Online-runtime benchmarks: sustained ingest throughput into a 4-site
+# cluster and per-checkpoint scheduler latency (numbers in PERFORMANCE.md).
+bench-serve:
+	$(GO) test -bench 'BenchmarkIngest|BenchmarkCheckpoint' -benchmem -run XXX ./internal/serve/
+
+# Documentation gate: formatting, vet, and no undocumented exported
+# identifiers in the public-facing packages.
+docs-lint:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/docslint . ./internal/serve ./internal/dist ./internal/query ./internal/stream
+
 # Tier-1 verify: everything the CI gate runs, in one command.
-ci: build vet test race fuzz-smoke
+ci: build vet test race fuzz-smoke docs-lint

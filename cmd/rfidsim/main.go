@@ -3,10 +3,15 @@
 // writes the raw reading stream to a file in the library's binary wire
 // format, printing a summary of the generated world.
 //
+// With -serve it instead acts as a load generator for rfidtrackd: the
+// world's readings and departures are streamed to the daemon's /ingest
+// endpoint as JSON lines, in stream-time order, optionally rate-limited.
+//
 // Usage:
 //
 //	rfidsim -epochs 3600 -rr 0.8 -anomaly 60 -o trace.bin
 //	rfidsim -lab T5 -o lab.bin
+//	rfidsim -sites 2 -path 2 -serve http://localhost:8080 -rate 50000
 package main
 
 import (
@@ -14,8 +19,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"rfidtrack/internal/dist"
 	"rfidtrack/internal/model"
+	"rfidtrack/internal/serve"
 	"rfidtrack/internal/sim"
 	"rfidtrack/internal/trace"
 )
@@ -35,6 +43,10 @@ func main() {
 		lab      = flag.String("lab", "", "generate a lab trace (T1..T8) instead")
 		out      = flag.String("o", "", "output file for the reading stream (optional)")
 		siteFlag = flag.Int("site", 0, "which site's stream to write")
+		serveURL = flag.String("serve", "", "stream the world to a running rfidtrackd at this base URL")
+		rate     = flag.Float64("rate", 0, "events per second to stream (0 = as fast as the daemon accepts)")
+		batch    = flag.Int("batch", 512, "events per ingest request when streaming")
+		drain    = flag.Bool("drain", true, "POST /drain after streaming so the daemon finishes the trailing interval")
 	)
 	flag.Parse()
 
@@ -77,6 +89,12 @@ func main() {
 	}
 	fmt.Printf("ground-truth containment changes: %d\n", len(w.Changes))
 
+	if *serveURL != "" {
+		if err := streamWorld(*serveURL, w, *rate, *batch, *drain); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *out != "" {
 		if *siteFlag < 0 || *siteFlag >= len(w.Sites) {
 			log.Fatalf("site %d out of range", *siteFlag)
@@ -93,4 +111,53 @@ func main() {
 		fmt.Printf("wrote %s (%d bytes, gzip would be %d)\n",
 			*out, st.Size(), trace.GzipSize(w.Sites[*siteFlag], nil))
 	}
+}
+
+// streamWorld is the load-generator mode: ship the world's readings and
+// ground-truth departures to a live rfidtrackd in stream-time order.
+func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drain bool) error {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	client := &serve.Client{BaseURL: baseURL}
+	events := serve.WorldEvents(w, dist.WorldDepartures(w))
+	fmt.Printf("streaming %d events to %s", len(events), baseURL)
+	if rate > 0 {
+		fmt.Printf(" at %.0f events/s", rate)
+	}
+	fmt.Println()
+
+	start := time.Now()
+	sent := 0
+	for i := 0; i < len(events); i += batchSize {
+		end := min(i+batchSize, len(events))
+		if _, err := client.Ingest(events[i:end]); err != nil {
+			return err
+		}
+		sent = end
+		if rate > 0 {
+			// Pace against the wall clock so bursts do not accumulate.
+			ahead := time.Duration(float64(sent)/rate*float64(time.Second)) - time.Since(start)
+			if ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("streamed %d events in %s (%.0f events/s)\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+
+	var st serve.Stats
+	var err error
+	if drain {
+		st, err = client.Drain(0)
+	} else {
+		st, err = client.Stats()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("daemon: %d observed, %d late, %d invalid, %d checkpoints, %d alerts\n",
+		st.Feed.Observed, st.Feed.Late, st.Invalid, st.Feed.Checkpoints, st.Alerts)
+	return nil
 }

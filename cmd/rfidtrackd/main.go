@@ -1,0 +1,215 @@
+// Command rfidtrackd is the online RFID tracking daemon: the paper's
+// continuously-running deployment (Section 5.3) as a long-lived service
+// instead of a batch replay.
+//
+// The daemon is parameterized by a deployment layout — the same simulator
+// flags rfidsim takes, so `rfidsim -serve` against the same flags streams
+// a matching world. Edge readers POST readings and departure events as
+// JSON lines to /ingest; every Δ seconds of stream time the scheduler
+// re-runs RFINFER at every site and feeds the per-site exposure queries;
+// alerts stream out over /alerts (long-poll) and /alerts/stream (SSE);
+// /stats, /healthz and /snapshot expose the runtime. On SIGINT/SIGTERM
+// the daemon drains every queued batch and in-flight interval before
+// exiting, so no accepted reading is lost.
+//
+// Usage:
+//
+//	rfidtrackd -addr :8080 -sites 3 -path 2 -epochs 2400 &
+//	rfidsim -sites 3 -path 2 -epochs 2400 -serve http://localhost:8080
+//	curl localhost:8080/stats
+//
+//	rfidtrackd -demo     # self-contained: serve + stream + drain + exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/serve"
+	"rfidtrack/internal/sim"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		interval = flag.Int("interval", 300, "Δ between inference checkpoints (stream seconds)")
+		strategy = flag.String("strategy", "weights", "migration strategy: none|weights|readings|full")
+		workers  = flag.Int("workers", 0, "site-parallelism per checkpoint (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "ingest queue depth in batches (backpressure bound)")
+		wmark    = flag.Int("watermark", 0, "stream-time slack (epochs) before closing a checkpoint; set ~interval when several readers post concurrently")
+		noQuery  = flag.Bool("no-query", false, "do not attach the per-site exposure query")
+		demo     = flag.Bool("demo", false, "self-drive: stream the deployment's own world over HTTP, print a summary, exit")
+
+		epochs  = flag.Int("epochs", 2400, "deployment horizon in seconds")
+		sites   = flag.Int("sites", 2, "number of warehouses")
+		path    = flag.Int("path", 2, "warehouses each pallet visits")
+		items   = flag.Int("items", 4, "items per case")
+		shelves = flag.Int("shelves", 8, "shelf readers per warehouse")
+		rr      = flag.Float64("rr", 0.8, "main read rate")
+		anomaly = flag.Int("anomaly", 120, "containment change interval (0 = none)")
+		seed    = flag.Int64("seed", 1, "deployment seed")
+	)
+	flag.Parse()
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Epochs = model.Epoch(*epochs)
+	cfg.Warehouses = *sites
+	cfg.PathLength = *path
+	cfg.ItemsPerCase = *items
+	cfg.Shelves = *shelves
+	cfg.RR = *rr
+	cfg.AnomalyEvery = *anomaly
+	cfg.Seed = *seed
+	world, err := sim.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for s, tr := range world.Sites {
+		fmt.Printf("site %d: %d readers, %d cases, %d items\n",
+			s, len(tr.Readers), len(tr.Cases()), len(tr.Items()))
+	}
+
+	cluster := dist.NewCluster(world, strat, rfinfer.DefaultConfig())
+	scfg := serve.Config{
+		Interval:  model.Epoch(*interval),
+		Horizon:   world.Epochs,
+		QueueSize: *queue,
+		Workers:   *workers,
+		Watermark: model.Epoch(*wmark),
+	}
+	if !*noQuery {
+		scfg.Query = dist.ColdChainQuery(world, scfg.Interval)
+	}
+	srv, err := serve.New(cluster, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Print alerts as the continuous queries raise them.
+	sub := srv.Subscribe()
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		for a := range sub.C {
+			fmt.Printf("ALERT #%d site=%d tag=%d exposed %d..%d\n", a.Seq, a.Site, a.Tag, a.First, a.Last)
+		}
+	}()
+
+	listenAddr := *addr
+	if *demo {
+		listenAddr = "127.0.0.1:0" // never collide in demo mode
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("http serve: %v", err)
+		}
+	}()
+	fmt.Printf("rfidtrackd listening on %s (Δ=%ds, strategy=%s)\n", ln.Addr(), *interval, strat)
+
+	if *demo {
+		if err := runDemo(world, cluster, "http://"+ln.Addr().String()); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		hint := *addr
+		if hint == "" {
+			hint = ln.Addr().String()
+		} else if hint[0] == ':' {
+			hint = "localhost" + hint
+		}
+		fmt.Printf("stream with: rfidsim -sites %d -path %d -epochs %d -items %d -rr %g -anomaly %d -seed %d -serve http://%s\n",
+			*sites, *path, *epochs, *items, *rr, *anomaly, *seed, hint)
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		<-ctx.Done()
+		stop()
+		fmt.Println("signal received; draining")
+	}
+
+	// Graceful shutdown: drain the pipeline first — that closes the alert
+	// log, which is what makes attached SSE/long-poll handlers return —
+	// then stop the HTTP server. The reverse order would leave
+	// httpSrv.Shutdown waiting the full timeout on any streaming client.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && err != serve.ErrClosed {
+		log.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	<-subDone
+
+	st := srv.Stats()
+	res := srv.Result()
+	fmt.Printf("drained: %d readings observed over %d checkpoints (%d late, %d invalid)\n",
+		st.Feed.Observed, st.Feed.Checkpoints, st.Feed.Late, st.Invalid)
+	fmt.Printf("errors: containment %.2f%%, location %.2f%%; migrated %d bytes in %d messages (centralized would ship %d)\n",
+		res.ContErr.Rate(), res.LocErr.Rate(), res.Costs.Bytes, res.Costs.Messages, res.CentralizedBytes)
+	fmt.Printf("alerts: %d; mean checkpoint latency %s\n", st.Alerts, meanLatency(st.Sched))
+}
+
+// runDemo streams the deployment's own simulated world into the daemon
+// over its real HTTP surface, then drains and spot-checks the endpoints.
+func runDemo(world *sim.World, cluster *dist.Cluster, baseURL string) error {
+	client := &serve.Client{BaseURL: baseURL}
+	events := serve.WorldEvents(world, cluster.Departures())
+	for i := 0; i < len(events); i += 512 {
+		end := min(i+512, len(events))
+		if _, err := client.Ingest(events[i:end]); err != nil {
+			return fmt.Errorf("demo ingest: %w", err)
+		}
+	}
+	st, err := client.Drain(0)
+	if err != nil {
+		return fmt.Errorf("demo drain: %w", err)
+	}
+	fmt.Printf("demo: streamed %d events over HTTP, %d checkpoints run\n", len(events), st.Feed.Checkpoints)
+	if _, err := client.Alerts(0, 0); err != nil {
+		return fmt.Errorf("demo alerts: %w", err)
+	}
+	return nil
+}
+
+// parseStrategy maps the -strategy flag to a migration strategy.
+func parseStrategy(s string) (dist.Strategy, error) {
+	switch s {
+	case "none":
+		return dist.MigrateNone, nil
+	case "weights":
+		return dist.MigrateWeights, nil
+	case "readings":
+		return dist.MigrateReadings, nil
+	case "full":
+		return dist.MigrateFull, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want none|weights|readings|full)", s)
+	}
+}
+
+// meanLatency renders the average checkpoint latency.
+func meanLatency(s serve.SchedStats) time.Duration {
+	if s.Advances == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Advances)
+}

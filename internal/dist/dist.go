@@ -1,21 +1,3 @@
-// Package dist implements the distributed runtime of Section 4 as a
-// concurrent multi-site cluster: one inference engine per site, an object
-// naming service (ONS) tracking which site owns each object, and state
-// migration between sites as objects move through the supply chain.
-//
-// Each site is an actor — its own goroutine owning its rfinfer.Engine and
-// (optionally) a continuous query engine over the site's inferred event
-// stream. A departing object's inference state (collapsed weights or CR
-// state, per the configured Strategy) plus its query pattern state travel
-// to the destination over an asynchronous migration channel as encoded
-// bytes; the wire cost of every transfer is accounted per link (Table 5).
-// Replay is epoch-pipelined: a site only waits for in-flight migrations
-// targeting it, never on a global barrier, yet the Result is bit-identical
-// to the sequential reference replay (see ReplaySequential and the e2e
-// harness in e2e_test.go).
-//
-// The centralized baseline — shipping every raw reading to one server,
-// gzip-compressed — is computed alongside for comparison.
 package dist
 
 import (
@@ -282,12 +264,24 @@ func NewCluster(w *sim.World, strategy Strategy, cfg rfinfer.Config) *Cluster {
 		}
 		c.Engines[s] = eng
 	}
-	tags := w.Sites[0].Tags
 	for id, visits := range w.Visits {
 		if len(visits) > 0 {
 			c.home[id] = visits[0].Site
 			c.ons.Move(model.TagID(id), visits[0].Site)
 		}
+	}
+	c.deps = WorldDepartures(w)
+	return c
+}
+
+// WorldDepartures derives a world's ground-truth item departures from its
+// visit history, in global (time, object) order. It is the departure
+// stream of a replay; the rfidsim load generator uses it to stream the
+// same events to a live daemon without building a Cluster.
+func WorldDepartures(w *sim.World) []Departure {
+	var deps []Departure
+	tags := w.Sites[0].Tags
+	for id, visits := range w.Visits {
 		if tags[id].Kind != model.KindItem {
 			continue
 		}
@@ -295,7 +289,7 @@ func NewCluster(w *sim.World, strategy Strategy, cfg rfinfer.Config) *Cluster {
 			if visits[i].Site == visits[i+1].Site {
 				continue
 			}
-			c.deps = append(c.deps, Departure{
+			deps = append(deps, Departure{
 				Object: model.TagID(id),
 				From:   visits[i].Site,
 				To:     visits[i+1].Site,
@@ -303,17 +297,25 @@ func NewCluster(w *sim.World, strategy Strategy, cfg rfinfer.Config) *Cluster {
 			})
 		}
 	}
-	sort.Slice(c.deps, func(i, j int) bool {
-		if c.deps[i].At != c.deps[j].At {
-			return c.deps[i].At < c.deps[j].At
+	sort.Slice(deps, func(i, j int) bool {
+		if deps[i].At != deps[j].At {
+			return deps[i].At < deps[j].At
 		}
-		return c.deps[i].Object < c.deps[j].Object
+		return deps[i].Object < deps[j].Object
 	})
-	return c
+	return deps
 }
 
 // ONSLookup returns the site currently owning a tag.
 func (c *Cluster) ONSLookup(id model.TagID) int { return c.ons.Lookup(id) }
+
+// Departures returns the world's ground-truth item departures in global
+// (time, object) order — the event stream an online ingestion front end
+// must deliver (via Feed.Depart) alongside the readings to reproduce a
+// Replay of the same world.
+func (c *Cluster) Departures() []Departure {
+	return append([]Departure(nil), c.deps...)
+}
 
 // SiteQuery returns site s's continuous query engine after a Replay with an
 // attached ClusterQuery (nil otherwise).
@@ -377,8 +379,11 @@ type feedEvent struct {
 }
 
 // buildFeeds flattens every site's readings (cases and items only) into
-// time-ordered replay streams.
-func buildFeeds(w *sim.World) [][]feedEvent {
+// per-site replay streams, (epoch, tag)-ordered when sorted is set. The
+// pipelined replay walks the streams directly and needs the order; the
+// barrier replay pushes them through Feed.Observe, which re-buckets and
+// re-sorts per interval anyway, so it skips the redundant sort.
+func buildFeeds(w *sim.World, sorted bool) [][]feedEvent {
 	feeds := make([][]feedEvent, len(w.Sites))
 	for s, tr := range w.Sites {
 		var f []feedEvent
@@ -391,12 +396,14 @@ func buildFeeds(w *sim.World) [][]feedEvent {
 				f = append(f, feedEvent{t: rd.T, id: tg.ID, mask: rd.Mask})
 			}
 		}
-		sort.Slice(f, func(i, j int) bool {
-			if f[i].t != f[j].t {
-				return f[i].t < f[j].t
-			}
-			return f[i].id < f[j].id
-		})
+		if sorted {
+			sort.Slice(f, func(i, j int) bool {
+				if f[i].t != f[j].t {
+					return f[i].t < f[j].t
+				}
+				return f[i].id < f[j].id
+			})
+		}
 		feeds[s] = f
 	}
 	return feeds

@@ -2,17 +2,14 @@ package dist
 
 import (
 	"fmt"
-	"math"
 	"reflect"
 	"runtime"
 	"sort"
 	"testing"
 
 	"rfidtrack/internal/model"
-	"rfidtrack/internal/query"
 	"rfidtrack/internal/rfinfer"
 	"rfidtrack/internal/sim"
-	"rfidtrack/internal/stream"
 )
 
 // scenario is one end-to-end world: a deployment flavor, a migration
@@ -63,43 +60,6 @@ func e2eScenarios() []scenario {
 	}
 }
 
-// coldChainQuery builds the per-site exposure query of the cold-chain
-// scenario: every third item is a frozen product, every second case a
-// freezer, cold-room shelves (odd index) are cold, everything else warm.
-func coldChainQuery(w *sim.World, interval model.Epoch) *ClusterQuery {
-	frozen := func(id model.TagID) bool { return int(id)%3 == 0 }
-	freezer := func(id model.TagID) bool { return int(id)%2 == 0 }
-	tempAt := func(loc model.Loc, t model.Epoch) float64 {
-		if int(loc) >= 2 && int(loc) < 2+w.Cfg.Shelves && int(loc)%2 == 1 {
-			return 4 + 0.5*math.Sin(float64(t)/97+float64(loc))
-		}
-		return 20 + 0.5*math.Sin(float64(t)/97+float64(loc))
-	}
-	qcfg := query.Q1Config(3*interval-interval/2, interval)
-	qcfg.MaxGap = 2*interval + model.Epoch(w.Cfg.TransitTime)
-	attrs := map[string]string{"type": "frozen"}
-	return &ClusterQuery{
-		New: func(site int) *query.Engine { return query.New(qcfg, freezer) },
-		Feed: func(site int, q *query.Engine, eng *rfinfer.Engine, evalAt model.Epoch, owns func(model.TagID) bool) {
-			for loc := 0; loc < len(w.Sites[site].Readers); loc++ {
-				q.PushSensor(stream.Tuple{
-					T: evalAt, Tag: -1, Loc: model.Loc(loc), Sensor: int32(loc),
-					Temp: tempAt(model.Loc(loc), evalAt),
-				})
-			}
-			for _, ev := range eng.Snapshot(evalAt) {
-				if !frozen(ev.Tag) || !owns(ev.Tag) {
-					continue
-				}
-				q.PushObject(stream.Tuple{
-					T: ev.T, Tag: ev.Tag, Loc: ev.Loc, Container: ev.Container,
-					Sensor: -1, Attrs: attrs,
-				})
-			}
-		},
-	}
-}
-
 // alertSets collects every site's alerted tags in site order.
 func alertSets(c *Cluster) []map[model.TagID]bool {
 	if c.Query == nil {
@@ -132,7 +92,7 @@ func TestE2EClusterDeterminism(t *testing.T) {
 			newCluster := func() *Cluster {
 				cl := NewCluster(w, sc.strategy, rfinfer.DefaultConfig())
 				if sc.withQuery {
-					cl.Query = coldChainQuery(w, sc.interval)
+					cl.Query = ColdChainQuery(w, sc.interval)
 				}
 				return cl
 			}

@@ -1,0 +1,307 @@
+// The incremental feed: the streaming front door of the cluster runtime.
+//
+// A Feed turns the Cluster from a replay-only artifact into an online
+// system: readings and departure events are pushed as they arrive, and
+// Advance runs one Δ-interval checkpoint at a time — ingest the interval's
+// readings, apply its migrations in global departure order, run inference
+// at every site, feed the per-site queries, score. Because Advance executes
+// exactly the barrier schedule of the sequential reference replay (and
+// replayBarrier is itself implemented on top of a Feed), a world streamed
+// incrementally yields a Result bit-identical to ReplaySequential on the
+// same trace, at any worker count. internal/serve builds the network
+// daemon on this API.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"rfidtrack/internal/model"
+)
+
+// Feed is the incremental ingestion interface of a Cluster: push readings
+// and departures, then Advance through checkpoints. Readings may arrive in
+// any order within their Δ-interval; each checkpoint ingests its interval's
+// buffered readings in (epoch, tag) order, which is what makes the outcome
+// independent of arrival order.
+//
+// A Feed is not safe for concurrent use: the caller (e.g. the serve
+// scheduler) must serialize all method calls. Exactly one Feed may be open
+// per Cluster at a time, and a Cluster being fed must not concurrently
+// Replay.
+type Feed struct {
+	c        *Cluster
+	interval model.Epoch
+	workers  int
+
+	next model.Epoch // next checkpoint epoch to run
+	// pending[site][k] buffers the readings of checkpoint next + k*interval,
+	// so each Advance consumes exactly one bucket per site instead of
+	// rescanning the whole buffer.
+	pending   [][][]feedEvent
+	buffered  int
+	deps      []Departure // buffered departures not yet observed
+	depsDirty bool        // deps gained entries since the last Advance sort
+	owned     []map[model.TagID]bool
+	links     map[linkKey]Costs
+	res       Result
+
+	stats  FeedStats
+	closed bool
+}
+
+// MaxEpoch bounds the epochs a Feed accepts: high enough for any real
+// stream, low enough that checkpoint arithmetic can never overflow the
+// 32-bit Epoch type.
+const MaxEpoch = model.Epoch(1) << 30
+
+// maxSkipIntervals bounds how many Δ-intervals ahead of the next
+// checkpoint a buffered event may land. One interval costs one bucket
+// slot per site, so without a bound a single far-future epoch would
+// allocate millions of slots; a million intervals is far beyond any real
+// replay or stream while keeping worst-case bucket memory small.
+const maxSkipIntervals = 1 << 20
+
+// FeedStats counts the traffic a Feed has accepted and refused.
+type FeedStats struct {
+	// Observed is the number of readings ingested into site engines.
+	Observed int
+	// Buffered is the number of readings waiting for a future checkpoint.
+	Buffered int
+	// Late counts readings dropped because their checkpoint had already
+	// run when they arrived (ingesting them would break determinism).
+	Late int
+	// LateDepartures counts departure events dropped for the same reason.
+	LateDepartures int
+	// PendingDepartures is the number of buffered future departures.
+	PendingDepartures int
+	// Checkpoints is the number of completed Advance calls.
+	Checkpoints int
+}
+
+// OpenFeed prepares the cluster for incremental ingestion with Δ-interval
+// checkpoints. It resets the cluster's runtime counters and (when a
+// ClusterQuery is attached) builds fresh per-site query engines.
+func (c *Cluster) OpenFeed(interval model.Epoch) (*Feed, error) {
+	return c.openFeed(interval, c.workers())
+}
+
+// openFeed is OpenFeed with an explicit worker budget (the sequential
+// reference uses 1).
+func (c *Cluster) openFeed(interval model.Epoch, workers int) (*Feed, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("dist: interval must be positive, got %d", interval)
+	}
+	f := &Feed{
+		c:        c,
+		interval: interval,
+		workers:  workers,
+		next:     interval,
+		pending:  make([][][]feedEvent, len(c.World.Sites)),
+		links:    make(map[linkKey]Costs),
+		owned:    c.initQueries(),
+	}
+	c.stats = ClusterStats{Sites: make([]SiteStats, len(c.World.Sites))}
+	return f, nil
+}
+
+// Next returns the epoch of the next checkpoint Advance would run.
+func (f *Feed) Next() model.Epoch { return f.next }
+
+// Interval returns the feed's Δ between checkpoints.
+func (f *Feed) Interval() model.Epoch { return f.interval }
+
+// Stats returns the feed's ingestion counters.
+func (f *Feed) Stats() FeedStats {
+	st := f.stats
+	st.Buffered = f.buffered
+	st.PendingDepartures = len(f.deps)
+	return st
+}
+
+// Observe buffers one reading for the site's engine. Readings whose
+// checkpoint has already run are dropped and counted as late; everything
+// else is ingested by the Advance covering its epoch.
+func (f *Feed) Observe(site int, t model.Epoch, id model.TagID, mask model.Mask) error {
+	if f.closed {
+		return fmt.Errorf("dist: feed is closed")
+	}
+	if site < 0 || site >= len(f.pending) {
+		return fmt.Errorf("dist: site %d out of range [0,%d)", site, len(f.pending))
+	}
+	if t < 0 || t >= MaxEpoch {
+		return fmt.Errorf("dist: epoch %d out of range [0,%d)", t, MaxEpoch)
+	}
+	if t < f.next-f.interval {
+		f.stats.Late++
+		return nil
+	}
+	// Bucket index relative to the next checkpoint's interval.
+	k := int(t/f.interval) - int(f.next/f.interval-1)
+	if k >= maxSkipIntervals {
+		return fmt.Errorf("dist: epoch %d is %d intervals ahead of checkpoint %d (max %d)",
+			t, k, f.next, maxSkipIntervals)
+	}
+	for len(f.pending[site]) <= k {
+		f.pending[site] = append(f.pending[site], nil)
+	}
+	f.pending[site][k] = append(f.pending[site][k], feedEvent{t: t, id: id, mask: mask})
+	f.buffered++
+	return nil
+}
+
+// Depart buffers one departure event. The transfer happens at the first
+// checkpoint past d.At, exactly where the reference replay migrates;
+// departures arriving after that checkpoint ran are dropped and counted.
+func (f *Feed) Depart(d Departure) error {
+	if f.closed {
+		return fmt.Errorf("dist: feed is closed")
+	}
+	n := len(f.c.World.Sites)
+	if d.From < 0 || d.From >= n || d.To < 0 || d.To >= n || d.From == d.To {
+		return fmt.Errorf("dist: departure %d->%d invalid for %d sites", d.From, d.To, n)
+	}
+	if int(d.Object) < 0 || int(d.Object) >= f.c.World.NumTags() {
+		return fmt.Errorf("dist: departing object %d out of range", d.Object)
+	}
+	if d.At < 0 || d.At >= MaxEpoch {
+		return fmt.Errorf("dist: departure epoch %d out of range [0,%d)", d.At, MaxEpoch)
+	}
+	if d.At < f.next-f.interval {
+		f.stats.LateDepartures++
+		return nil
+	}
+	f.deps = append(f.deps, d)
+	f.depsDirty = true
+	return nil
+}
+
+// Advance runs the next checkpoint: parallel ingest of the interval's
+// readings in (epoch, tag) order, migrations in global (time, object)
+// departure order, parallel inference, then hooks, query feeding and
+// scoring in site order — the barrier schedule of the sequential
+// reference.
+func (f *Feed) Advance() error {
+	if f.closed {
+		return fmt.Errorf("dist: feed is closed")
+	}
+	if f.next >= MaxEpoch {
+		return fmt.Errorf("dist: checkpoint %d beyond MaxEpoch", f.next)
+	}
+	c := f.c
+	ckpt := f.next
+
+	ingested := make([]int, len(f.pending))
+	err := forEachSite(len(f.pending), f.workers, func(s int) error {
+		var due []feedEvent
+		if len(f.pending[s]) > 0 {
+			due = f.pending[s][0]
+			f.pending[s] = f.pending[s][1:]
+		}
+		sort.Slice(due, func(i, j int) bool {
+			if due[i].t != due[j].t {
+				return due[i].t < due[j].t
+			}
+			return due[i].id < due[j].id
+		})
+		eng := c.Engines[s]
+		for _, ev := range due {
+			if err := eng.ObserveMask(ev.t, ev.id, ev.mask); err != nil {
+				return err
+			}
+		}
+		ingested[s] = len(due)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, n := range ingested {
+		f.stats.Observed += n
+		f.buffered -= n
+	}
+
+	// Departures observed by this checkpoint migrate before any site runs,
+	// so the destination's run already sees the imported state.
+	if f.depsDirty {
+		sort.Slice(f.deps, func(i, j int) bool {
+			if f.deps[i].At != f.deps[j].At {
+				return f.deps[i].At < f.deps[j].At
+			}
+			return f.deps[i].Object < f.deps[j].Object
+		})
+		f.depsDirty = false
+	}
+	nDue := 0
+	for nDue < len(f.deps) && f.deps[nDue].At < ckpt {
+		nDue++
+	}
+	for _, d := range f.deps[:nDue] {
+		if err := c.migrateBarrier(d, &f.res, f.links, f.owned); err != nil {
+			return err
+		}
+	}
+	f.deps = append(f.deps[:0], f.deps[nDue:]...)
+
+	evalAt := ckpt - 1
+	if err := forEachSite(len(c.Engines), f.workers, func(s int) error {
+		c.Engines[s].Run(evalAt)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	for s, eng := range c.Engines {
+		if c.Hooks.OnCheckpoint != nil {
+			c.Hooks.OnCheckpoint(s, eng, evalAt)
+		}
+		if c.Query != nil {
+			own := f.owned[s]
+			c.Query.Feed(s, c.siteQ[s], eng, evalAt, func(id model.TagID) bool {
+				return own[id]
+			})
+		}
+		c.scoreSite(s, evalAt, &f.res.ContErr, &f.res.LocErr)
+		c.stats.Sites[s].Epochs++
+	}
+	f.res.Runs++
+	f.stats.Checkpoints++
+	f.next += f.interval
+	return nil
+}
+
+// AdvanceTo runs checkpoints while the next one is at or before through.
+func (f *Feed) AdvanceTo(through model.Epoch) error {
+	for f.next <= through {
+		if err := f.Advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result snapshots the accumulated replay result: error counts, migration
+// costs per link, query state bytes and the centralized baseline, in the
+// exact shape Replay and ReplaySequential return.
+func (f *Feed) Result() Result {
+	res := f.res
+	res.Costs = Costs{}
+	for _, v := range f.links {
+		res.Costs.Bytes += v.Bytes
+		res.Costs.Messages += v.Messages
+	}
+	res.Links = sortedLinks(f.links)
+	res.CentralizedBytes = f.c.centralizedBytes()
+	return res
+}
+
+// Close finalizes the feed and returns the accumulated Result. Buffered
+// readings and departures past the last completed checkpoint are discarded,
+// matching the reference replay, which never observes them either.
+func (f *Feed) Close() (Result, error) {
+	if f.closed {
+		return Result{}, fmt.Errorf("dist: feed already closed")
+	}
+	f.closed = true
+	return f.Result(), nil
+}

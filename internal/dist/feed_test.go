@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/sim"
+)
+
+// feedWorld is a small two-site world with migrations for feed tests.
+func feedWorld(t *testing.T) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Warehouses = 2
+	cfg.PathLength = 2
+	cfg.Epochs = 900
+	cfg.ItemsPerCase = 3
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestFeedMatchesSequential streams a world through the incremental Feed —
+// readings shuffled within each Δ-interval, departures delivered in-band —
+// and requires the Result to be bit-identical to ReplaySequential.
+func TestFeedMatchesSequential(t *testing.T) {
+	w := feedWorld(t)
+	const interval = model.Epoch(300)
+
+	ref := NewCluster(w, MigrateWeights, rfinfer.DefaultConfig())
+	want, err := ref.ReplaySequential(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCluster(w, MigrateWeights, rfinfer.DefaultConfig())
+	f, err := c.OpenFeed(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flatten every site's readings into one globally shuffled-per-interval
+	// stream: arrival order within an interval must not matter.
+	type ev struct {
+		site int
+		feedEvent
+	}
+	var all []ev
+	for s, evs := range buildFeeds(w, true) {
+		for _, e := range evs {
+			all = append(all, ev{site: s, feedEvent: e})
+		}
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	byInterval := make(map[model.Epoch][]ev)
+	for _, e := range all {
+		k := (e.t / interval) * interval
+		byInterval[k] = append(byInterval[k], e)
+	}
+	for _, d := range c.Departures() {
+		if err := f.Depart(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ckpt := interval; ckpt <= w.Epochs; ckpt += interval {
+		batch := byInterval[ckpt-interval]
+		rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+		for _, e := range batch {
+			if err := f.Observe(e.site, e.t, e.id, e.mask); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("feed Result diverged from sequential reference\n got: %+v\nwant: %+v", got, want)
+	}
+	if st := f.Stats(); st.Observed != len(all) || st.Late != 0 {
+		t.Errorf("feed stats = %+v, want %d observed, 0 late", st, len(all))
+	}
+	for id := 0; id < w.NumTags(); id++ {
+		if got, want := c.ONSLookup(model.TagID(id)), ref.ONSLookup(model.TagID(id)); got != want {
+			t.Errorf("ONS owner of tag %d = %d, want %d", id, got, want)
+		}
+	}
+}
+
+// TestFeedLateAndInvalid pins the refusal paths: late readings and
+// departures are counted and dropped without perturbing the pipeline, and
+// invalid sites/objects error immediately.
+func TestFeedLateAndInvalid(t *testing.T) {
+	w := feedWorld(t)
+	c := NewCluster(w, MigrateNone, rfinfer.DefaultConfig())
+	f, err := c.OpenFeed(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Observe(5, 10, 0, 1); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if err := f.Depart(Departure{Object: 0, From: 0, To: 0, At: 10}); err == nil {
+		t.Error("self-departure accepted")
+	}
+	if err := f.Depart(Departure{Object: model.TagID(w.NumTags()), From: 0, To: 1, At: 10}); err == nil {
+		t.Error("out-of-range object accepted")
+	}
+	if err := f.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 10 belongs to the already-completed first checkpoint.
+	if err := f.Observe(0, 10, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Depart(Departure{Object: 0, From: 0, To: 1, At: 10}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Late != 1 || st.LateDepartures != 1 {
+		t.Errorf("late counters = %+v, want 1 late reading and 1 late departure", st)
+	}
+	if _, err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Advance(); err == nil {
+		t.Error("Advance on closed feed succeeded")
+	}
+}

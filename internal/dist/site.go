@@ -152,10 +152,7 @@ func (s *siteRunner) run(interval model.Epoch, numCkpts int, sem *semaphore, abo
 				if s.owned != nil {
 					s.owned[d.Object] = true
 				}
-				if len(payload) > 0 {
-					s.stats.MigrationsIn++
-					s.stats.BytesIn += len(payload)
-				}
+				accountReceive(payload, &s.stats)
 			} else {
 				s.c.ons.Move(d.Object, d.To)
 				if s.owned != nil {
@@ -166,18 +163,7 @@ func (s *siteRunner) run(interval model.Epoch, numCkpts int, sem *semaphore, abo
 					s.fail(err, abortOnce, abort)
 					return
 				}
-				if engineBytes > 0 {
-					lk := linkKey{from: d.From, to: d.To}
-					lc := s.links[lk]
-					lc.Bytes += engineBytes
-					lc.Messages++
-					s.links[lk] = lc
-				}
-				s.queryBytes += queryBytes
-				if len(payload) > 0 {
-					s.stats.MigrationsOut++
-					s.stats.BytesOut += len(payload)
-				}
+				accountSend(d, payload, engineBytes, queryBytes, s.links, &s.queryBytes, &s.stats)
 				op.ch <- payload // cap 1: never blocks
 			}
 		}
@@ -202,7 +188,7 @@ func (s *siteRunner) owns(id model.TagID) bool { return s.owned[id] }
 func (c *Cluster) replayPipelined(interval model.Epoch, workers int) (Result, error) {
 	w := c.World
 	numCkpts := int(w.Epochs / interval)
-	feeds := buildFeeds(w)
+	feeds := buildFeeds(w, true)
 	owned := c.initQueries()
 	plan := c.buildPlan(interval, numCkpts)
 
@@ -266,74 +252,33 @@ func (c *Cluster) replayPipelined(interval model.Epoch, workers int) (Result, er
 // replayBarrier is the checkpoint-synchronized schedule: the sequential
 // reference at workers == 1, and the hook-compatible concurrent schedule
 // otherwise (hooks and migrations always run on one goroutine, in order).
+// It is implemented on the incremental Feed, which executes exactly this
+// schedule one checkpoint at a time — so the replay and the streaming
+// ingestion path (internal/serve) cannot drift apart.
 func (c *Cluster) replayBarrier(interval model.Epoch, workers int) (Result, error) {
-	var res Result
+	f, err := c.openFeed(interval, workers)
+	if err != nil {
+		return Result{}, err
+	}
 	w := c.World
-
-	feeds := buildFeeds(w)
-	idx := make([]int, len(w.Sites))
-	owned := c.initQueries()
-	links := make(map[linkKey]Costs)
-	c.stats = ClusterStats{Sites: make([]SiteStats, len(w.Sites))}
-
-	depIdx := 0
-	for ckpt := interval; ckpt <= w.Epochs; ckpt += interval {
-		err := forEachSite(len(w.Sites), workers, func(s int) error {
-			f := feeds[s]
-			eng := c.Engines[s]
-			for idx[s] < len(f) && f[idx[s]].t < ckpt {
-				ev := f[idx[s]]
-				if err := eng.ObserveMask(ev.t, ev.id, ev.mask); err != nil {
-					return err
-				}
-				idx[s]++
+	for s, evs := range buildFeeds(w, false) {
+		for _, ev := range evs {
+			if err := f.Observe(s, ev.t, ev.id, ev.mask); err != nil {
+				return Result{}, err
 			}
-			return nil
-		})
-		if err != nil {
-			return res, err
 		}
-
-		// Departures observed by this checkpoint migrate before any site
-		// runs, so the destination's run already sees the imported state.
-		for depIdx < len(c.deps) && c.deps[depIdx].At < ckpt {
-			if err := c.migrateBarrier(c.deps[depIdx], &res, links, owned); err != nil {
-				return res, err
-			}
-			depIdx++
-		}
-
-		evalAt := ckpt - 1
-		if err := forEachSite(len(w.Sites), workers, func(s int) error {
-			c.Engines[s].Run(evalAt)
-			return nil
-		}); err != nil {
-			return res, err
-		}
-
-		for s, eng := range c.Engines {
-			if c.Hooks.OnCheckpoint != nil {
-				c.Hooks.OnCheckpoint(s, eng, evalAt)
-			}
-			if c.Query != nil {
-				own := owned[s]
-				c.Query.Feed(s, c.siteQ[s], eng, evalAt, func(id model.TagID) bool {
-					return own[id]
-				})
-			}
-			c.scoreSite(s, evalAt, &res.ContErr, &res.LocErr)
-			c.stats.Sites[s].Epochs++
-		}
-		res.Runs++
 	}
-
-	for _, v := range links {
-		res.Costs.Bytes += v.Bytes
-		res.Costs.Messages += v.Messages
+	for _, d := range c.deps {
+		if err := f.Depart(d); err != nil {
+			return Result{}, err
+		}
 	}
-	res.Links = sortedLinks(links)
-	res.CentralizedBytes = c.centralizedBytes()
-	return res, nil
+	for k := 0; k < int(w.Epochs/interval); k++ {
+		if err := f.Advance(); err != nil {
+			return f.Result(), err
+		}
+	}
+	return f.Close()
 }
 
 // migrateBarrier performs one departure under the barrier schedule:
@@ -355,6 +300,16 @@ func (c *Cluster) migrateBarrier(d Departure, res *Result, links map[linkKey]Cos
 	if err := c.applyPayload(d, payload); err != nil {
 		return err
 	}
+	accountSend(d, payload, engineBytes, queryBytes, links, &res.QueryStateBytes, &c.stats.Sites[d.From])
+	accountReceive(payload, &c.stats.Sites[d.To])
+	return nil
+}
+
+// accountSend records one encoded transfer on the sending side: per-link
+// engine bytes (Table 5 accounting), query-state bytes, and the source
+// site's counters. Both replay schedules and the feed go through this one
+// helper, which is what keeps their cost accounting bit-identical.
+func accountSend(d Departure, payload []byte, engineBytes, queryBytes int, links map[linkKey]Costs, queryTotal *int, out *SiteStats) {
 	if engineBytes > 0 {
 		lk := linkKey{from: d.From, to: d.To}
 		lc := links[lk]
@@ -362,14 +317,19 @@ func (c *Cluster) migrateBarrier(d Departure, res *Result, links map[linkKey]Cos
 		lc.Messages++
 		links[lk] = lc
 	}
-	res.QueryStateBytes += queryBytes
+	*queryTotal += queryBytes
 	if len(payload) > 0 {
-		c.stats.Sites[d.From].MigrationsOut++
-		c.stats.Sites[d.From].BytesOut += len(payload)
-		c.stats.Sites[d.To].MigrationsIn++
-		c.stats.Sites[d.To].BytesIn += len(payload)
+		out.MigrationsOut++
+		out.BytesOut += len(payload)
 	}
-	return nil
+}
+
+// accountReceive records one transfer on the receiving side.
+func accountReceive(payload []byte, in *SiteStats) {
+	if len(payload) > 0 {
+		in.MigrationsIn++
+		in.BytesIn += len(payload)
+	}
 }
 
 // forEachSite runs fn(s) for every site, at most workers at a time,

@@ -1,0 +1,20 @@
+// Package query assembles the paper's monitoring queries Q1 and Q2
+// (Section 2 and Section 5.4) from the stream operators, partitions their
+// computation state per object, and implements the centroid-based query
+// state sharing of Appendix B used for state migration.
+//
+// Q1: "for any temperature-sensitive product, raise an alert if it has been
+// placed outside a freezer and exposed to temperature above a threshold for
+// a duration" — combines inferred location AND containment.
+//
+// Q2: "report the frozen food that has been exposed to temperature over a
+// threshold for a duration" — uses inferred location only.
+//
+// An Engine runs one query at one site, fed at every inference checkpoint
+// with the site's sensor readings (PushSensor) and inferred object events
+// (PushObject). Alerts accumulate in Matches; online consumers register a
+// SetOnMatch callback instead, which internal/serve uses to push alerts to
+// subscribers the moment a pattern fires. ExportState/ImportState move a
+// departing object's pattern state between sites (Appendix B), and
+// PathTracker answers the paper's tracking queries.
+package query

@@ -1,14 +1,3 @@
-// Package query assembles the paper's monitoring queries Q1 and Q2
-// (Section 2 and Section 5.4) from the stream operators, partitions their
-// computation state per object, and implements the centroid-based query
-// state sharing of Appendix B used for state migration.
-//
-// Q1: "for any temperature-sensitive product, raise an alert if it has been
-// placed outside a freezer and exposed to temperature above a threshold for
-// a duration" — combines inferred location AND containment.
-//
-// Q2: "report the frozen food that has been exposed to temperature over a
-// threshold for a duration" — uses inferred location only.
 package query
 
 import (
@@ -92,6 +81,7 @@ type Engine struct {
 	pattern *stream.SeqPattern
 	inner   *stream.LookupJoin
 	matches []stream.Match
+	onMatch func(stream.Match)
 }
 
 // New builds the query pipeline. freezer may be nil when the query does not
@@ -101,6 +91,9 @@ func New(cfg Config, freezer func(model.TagID) bool) *Engine {
 	e.temps = stream.NewRowsTable(func(tu stream.Tuple) int64 { return int64(tu.Loc) })
 	e.pattern = stream.NewSeqPattern(cfg.Duration, cfg.MaxGap, func(m stream.Match) {
 		e.matches = append(e.matches, m)
+		if e.onMatch != nil {
+			e.onMatch(m)
+		}
 	})
 	e.pattern.MinEvents = cfg.MinEvents
 	// Inner block: Products [Now] joined with the latest temperature at the
@@ -143,6 +136,12 @@ func (e *Engine) PushObject(tu stream.Tuple) {
 
 // Matches returns every alert emitted so far.
 func (e *Engine) Matches() []stream.Match { return e.matches }
+
+// SetOnMatch registers fn to be called synchronously for every new match,
+// from the goroutine pushing tuples into the engine. Online consumers
+// (e.g. the serve alert feed) use this to publish alerts as they fire
+// instead of polling Matches. A nil fn removes the hook.
+func (e *Engine) SetOnMatch(fn func(stream.Match)) { e.onMatch = fn }
 
 // AlertedTags returns the distinct tags with at least one alert.
 func (e *Engine) AlertedTags() map[model.TagID]bool {

@@ -73,8 +73,8 @@ func (e *Engine) computeEvidence(rec *tagRec, s *scratch) *objEvidence {
 	}
 
 	n := e.lik.N()
-	objIdx := 0                      // pointer into rec.series
-	postIdx := s.ints(len(cands))    // pointers into candidates' posteriors
+	objIdx := 0                   // pointer into rec.series
+	postIdx := s.ints(len(cands)) // pointers into candidates' posteriors
 
 	for i, t := range ev.epochs {
 		// Object mask at t.

@@ -127,8 +127,8 @@ type tagRec struct {
 	// previous sites (a container never co-located scores uniform).
 	priorDefault float64
 	container    model.TagID
-	cpStart      model.Epoch // change-point search starts here (A.2)
-	cr           window      // critical region
+	cpStart      model.Epoch  // change-point search starts here (A.2)
+	cr           window       // critical region
 	ev           *objEvidence // point-evidence matrix, reused across Runs
 	bestK        int          // best candidate index from the last M-step pass
 	// dropped lists the epochs whose readings this Run's truncation (or

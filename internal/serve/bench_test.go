@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/sim"
+)
+
+// benchWorld is the 4-site deployment the serve benchmarks run against.
+func benchWorld(b *testing.B) *sim.World {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Warehouses = 4
+	cfg.PathLength = 2
+	cfg.Epochs = 1200
+	cfg.ItemsPerCase = 3
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkIngest measures sustained ingestion into a 4-site cluster:
+// validation, the bounded queue hop, per-site interval buffering, and the
+// periodic checkpoints that drain the buffer — the steady state of a
+// deployed daemon, with the readings of each simulated day arriving as
+// fast as the server accepts them. One checkpoint runs per world cycle,
+// so history truncation keeps memory flat at any b.N. The acceptance
+// floor is 100k readings/s.
+func BenchmarkIngest(b *testing.B) {
+	w := benchWorld(b)
+	events := WorldEvents(w, nil)
+	c := dist.NewCluster(w, dist.MigrateNone, rfinfer.DefaultConfig())
+	srv, err := New(c, Config{Interval: w.Epochs, QueueSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	const batchSize = 512
+	batch := make([]Event, 0, batchSize)
+	var offset model.Epoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		if i%len(events) == 0 && i > 0 {
+			offset += w.Epochs // keep stream time monotonic across cycles
+		}
+		ev.T += offset
+		batch = append(batch, ev)
+		if len(batch) == batchSize {
+			if err := srv.Ingest(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = make([]Event, 0, batchSize)
+		}
+	}
+	if len(batch) > 0 {
+		if err := srv.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := srv.Drain(1); err != nil { // settle the queue before stopping the clock
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "readings/s")
+	if st := srv.Stats(); st.Invalid != 0 {
+		b.Fatalf("bench stream counted %d invalid (last: %s)", st.Invalid, st.LastInvalid)
+	}
+}
+
+// BenchmarkCheckpoint measures scheduler latency: one Δ-interval
+// checkpoint — queue hop, interval ingest, migrations, inference at all 4
+// sites, scoring — driven through the public Ingest+Drain path.
+func BenchmarkCheckpoint(b *testing.B) {
+	w := benchWorld(b)
+	const interval = model.Epoch(300)
+	refDeps := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig()).Departures()
+	events := WorldEvents(w, refDeps)
+	numCkpts := int(w.Epochs / interval)
+	byCkpt := make([][]Event, numCkpts)
+	for _, ev := range events {
+		k := int(ev.Time() / interval)
+		if k >= numCkpts {
+			k = numCkpts - 1
+		}
+		byCkpt[k] = append(byCkpt[k], ev)
+	}
+
+	var srv *Server
+	ckpt := numCkpts // force a fresh server on the first iteration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ckpt == numCkpts {
+			b.StopTimer()
+			if srv != nil {
+				srv.Shutdown(context.Background())
+			}
+			c := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+			var err error
+			srv, err = New(c, Config{Interval: interval, Horizon: w.Epochs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ckpt = 0
+			b.StartTimer()
+		}
+		if err := srv.Ingest(byCkpt[ckpt]); err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Drain(model.Epoch(ckpt+1) * interval); err != nil {
+			b.Fatal(err)
+		}
+		ckpt++
+	}
+	b.StopTimer()
+	if srv != nil {
+		srv.Shutdown(context.Background())
+	}
+}

@@ -1,0 +1,94 @@
+// A minimal HTTP client for the daemon's API, used by the rfidsim load
+// generator, the daemon's demo mode and integration tests.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"rfidtrack/internal/model"
+)
+
+// Client talks to a running rfidtrackd over HTTP.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// httpClient resolves the underlying client.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// checkStatus drains and closes the body, decoding it into out (when
+// non-nil) on success and into an error on a non-2xx status.
+func checkStatus(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("serve: %s %s: %s", resp.Request.Method, resp.Request.URL.Path,
+			bytes.TrimSpace(body))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Ingest posts a batch of events as JSON lines.
+func (c *Client) Ingest(events []Event) (IngestResponse, error) {
+	var body bytes.Buffer
+	if err := WriteEvents(&body, events); err != nil {
+		return IngestResponse{}, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/ingest", "application/x-ndjson", &body)
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	var ir IngestResponse
+	err = checkStatus(resp, &ir)
+	return ir, err
+}
+
+// Drain asks the daemon to run checkpoints through the given epoch
+// (0 = its configured horizon) and returns the post-drain stats.
+func (c *Client) Drain(through model.Epoch) (Stats, error) {
+	resp, err := c.httpClient().Post(fmt.Sprintf("%s/drain?through=%d", c.BaseURL, through), "", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	err = checkStatus(resp, &st)
+	return st, err
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	err = checkStatus(resp, &st)
+	return st, err
+}
+
+// Alerts long-polls the alert log from seq since, waiting up to waitMS
+// milliseconds server-side when none are available.
+func (c *Client) Alerts(since, waitMS int) ([]Alert, error) {
+	resp, err := c.httpClient().Get(fmt.Sprintf("%s/alerts?since=%d&wait_ms=%d", c.BaseURL, since, waitMS))
+	if err != nil {
+		return nil, err
+	}
+	var alerts []Alert
+	err = checkStatus(resp, &alerts)
+	return alerts, err
+}

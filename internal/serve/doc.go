@@ -1,0 +1,27 @@
+// Package serve wraps the dist cluster runtime in a production-style
+// online service: the library's continuously-running deployment mode
+// (paper Section 5.3) instead of the batch replay CLIs.
+//
+// A Server owns a dist.Cluster and its incremental dist.Feed. Readings and
+// departure events enter through Ingest (the in-process Go API) or the
+// HTTP/JSON-lines front end (Handler); they are validated against the
+// deployment's site/reader/tag layout, pushed through a bounded queue
+// (producers block when it fills — backpressure, not loss), and buffered
+// into per-site Δ-interval buckets. A single scheduler goroutine drains
+// the queue and, whenever stream time crosses a checkpoint boundary,
+// advances the feed: ingest the interval's readings, apply migrations in
+// global departure order, run per-site inference, feed the continuous
+// queries, score. Because the scheduler serializes all cluster mutation
+// and the Feed executes the sequential reference schedule, a world
+// streamed through a Server yields a Result bit-identical to
+// Cluster.ReplaySequential on the same trace, at any Workers setting.
+//
+// Subscribers receive continuous-query alerts the moment a pattern fires,
+// either through Subscribe (a channel fed from the append-only alert log)
+// or over HTTP via long-polling GET /alerts and the SSE GET /alerts/stream
+// feed. GET /stats, GET /healthz and GET /snapshot expose the cluster's
+// runtime counters, inference memo statistics and per-site containment
+// estimates. Shutdown drains queued batches and runs the final checkpoints
+// before returning, so no accepted reading is ever dropped (see the
+// no-lost-readings test).
+package serve

@@ -1,0 +1,237 @@
+// The HTTP front end: JSON-lines ingestion plus observability and alert
+// feeds. All handlers are thin adapters over the Server's Go API, so the
+// in-process and network paths share validation, backpressure and
+// determinism behavior.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rfidtrack/internal/model"
+)
+
+// ingestBatch bounds how many parsed events one Ingest call carries; the
+// HTTP body is chunked into batches of this size so one huge POST cannot
+// monopolize the queue.
+const ingestBatch = 512
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /ingest                JSON-lines of reading/depart events
+//	POST /drain?through=N       run checkpoints through epoch N (0 = horizon)
+//	GET  /healthz               liveness + pipeline health
+//	GET  /stats                 Stats (ingest, cluster, memo, scheduler)
+//	GET  /snapshot?site=N       SiteSnapshot of one site's estimates
+//	GET  /result                the accumulated dist.Result
+//	GET  /alerts?since=N&wait_ms=M   long-poll the alert log
+//	GET  /alerts/stream?since=N      server-sent events alert feed
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /drain", s.handleDrain)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /result", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Result())
+	})
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("GET /alerts/stream", s.handleAlertStream)
+	return mux
+}
+
+// IngestResponse is the POST /ingest reply.
+type IngestResponse struct {
+	// Queued is the number of parsed events accepted into the queue.
+	Queued int `json:"queued"`
+	// BadLines counts request lines that failed to parse (skipped).
+	BadLines int `json:"bad_lines"`
+}
+
+// handleIngest streams the request body's JSON lines into the queue in
+// bounded batches. A full queue blocks the request — HTTP clients see
+// backpressure as latency, never as data loss.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var resp IngestResponse
+	batch := make([]Event, 0, ingestBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := s.Ingest(batch); err != nil {
+			return err
+		}
+		resp.Queued += len(batch)
+		// The queued slice now belongs to the scheduler; start a fresh one
+		// rather than reusing the backing array under it.
+		batch = make([]Event, 0, ingestBatch)
+		return nil
+	}
+	bad, err := ReadEvents(r.Body, func(e Event) error {
+		batch = append(batch, e)
+		if len(batch) == ingestBatch {
+			return flush()
+		}
+		return nil
+	})
+	resp.BadLines = bad
+	if err == nil {
+		err = flush()
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleDrain runs checkpoints through ?through=, clamped to the horizon
+// (0 = the horizon itself); see Server.Drain.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	through, err := epochParam(r, "through", 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := s.Drain(through); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleHealthz reports liveness; a latched pipeline error turns it 500 so
+// orchestrators restart the daemon.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.Healthy() {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{
+			"status": "error", "err": s.Stats().Err,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleSnapshot serves one site's containment/location estimates.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	site, err := strconv.Atoi(r.URL.Query().Get("site"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or non-integer ?site="})
+		return
+	}
+	snap, err := s.Snapshot(site)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleAlerts long-polls the alert log: returns alerts with seq >= since,
+// waiting up to wait_ms (default 0, max 30000) when none are available.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	since, err := intParam(r, "since", 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	waitMS, err := intParam(r, "wait_ms", 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if waitMS > 30000 {
+		waitMS = 30000
+	}
+	alerts := s.AlertsSince(since, time.Duration(waitMS)*time.Millisecond)
+	if alerts == nil {
+		alerts = []Alert{}
+	}
+	writeJSON(w, http.StatusOK, alerts)
+}
+
+// handleAlertStream is the SSE feed: one `data:` frame per alert, starting
+// at ?since=, until the client disconnects or the server shuts down.
+func (s *Server) handleAlertStream(w http.ResponseWriter, r *http.Request) {
+	since, err := intParam(r, "since", 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	next := since
+	for {
+		alerts := s.alerts.since(next, time.Second)
+		if alerts == nil {
+			select {
+			case <-r.Context().Done():
+				return
+			default:
+			}
+			if s.alerts.isClosed() {
+				return
+			}
+			continue
+		}
+		for _, a := range alerts {
+			payload, err := json.Marshal(a)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", payload); err != nil {
+				return
+			}
+			next = a.Seq + 1
+		}
+		fl.Flush()
+	}
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("serve: non-integer ?%s=%q", name, v)
+	}
+	return n, nil
+}
+
+// epochParam parses an optional epoch query parameter.
+func epochParam(r *http.Request, name string, def model.Epoch) (model.Epoch, error) {
+	n, err := intParam(r, name, int(def))
+	return model.Epoch(n), err
+}

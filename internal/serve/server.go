@@ -1,0 +1,516 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/query"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/stream"
+)
+
+// ErrClosed is returned by Ingest and Drain after Shutdown has begun.
+var ErrClosed = errors.New("serve: server is shut down")
+
+// Config tunes a Server. The zero value is usable: Δ = 300 s of stream
+// time (the paper's re-inference interval) and a 64-batch ingest queue.
+type Config struct {
+	// Interval is Δ, the stream-time gap between inference checkpoints.
+	// Default 300, the paper's deployed re-inference period.
+	Interval model.Epoch
+	// Horizon, when positive, is the last stream epoch the deployment
+	// covers: Drain and Shutdown advance checkpoints through it, exactly
+	// like a Replay over a world with Epochs = Horizon. When zero the
+	// final drain stops after the interval containing the last streamed
+	// reading.
+	Horizon model.Epoch
+	// QueueSize bounds the ingest queue in batches. Producers block when
+	// it is full — backpressure, never loss. Default 64.
+	QueueSize int
+	// MaxSkip bounds how many Δ-intervals ahead of the next checkpoint an
+	// event may be when no Horizon is configured (default 1024). Events
+	// further ahead are rejected as invalid: without this bound one
+	// far-future epoch would force the scheduler through millions of
+	// empty checkpoints in a single batch. Irrelevant when Horizon > 0,
+	// which bounds stream time directly.
+	MaxSkip int
+	// Watermark delays each checkpoint until stream time has passed it by
+	// this many epochs, tolerating skew between concurrent producers: with
+	// several readers posting independently, one reader's t=600 reading
+	// would otherwise close checkpoint 600 while another reader's
+	// t=580..599 batch is still in flight (those arrivals are then counted
+	// late and dropped). A watermark of one Δ absorbs any skew below one
+	// interval. Default 0: a single time-ordered producer needs none, and
+	// alerts fire one interval sooner.
+	Watermark model.Epoch
+	// Workers bounds per-checkpoint site parallelism (dist.Cluster.Workers).
+	// 0 uses GOMAXPROCS. Results are bit-identical at every setting.
+	Workers int
+	// Query optionally attaches per-site continuous queries; their matches
+	// flow to Subscribe channels and the HTTP alert feeds.
+	Query *dist.ClusterQuery
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 300
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.MaxSkip <= 0 {
+		c.MaxSkip = 1024
+	}
+	return c
+}
+
+// SchedStats reports the scheduler's checkpoint latency: the wall time
+// feed.Advance spends ingesting an interval, migrating and running
+// inference at every site.
+type SchedStats struct {
+	// Advances is the number of completed checkpoints.
+	Advances int `json:"advances"`
+	// Total, Max and Last are Advance wall times in nanoseconds.
+	Total time.Duration `json:"total_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Last  time.Duration `json:"last_ns"`
+}
+
+// Stats is the /stats payload: ingestion counters, feed state, per-site
+// cluster runtime counters, inference memo statistics, and scheduler
+// latency.
+type Stats struct {
+	// Received counts events accepted into the queue; Invalid counts
+	// events rejected by validation (unknown site, tag, reader bit...).
+	Received int `json:"received"`
+	Invalid  int `json:"invalid"`
+	// LastInvalid describes the most recent validation rejection.
+	LastInvalid string `json:"last_invalid,omitempty"`
+	// StreamTime is the latest reading epoch seen; NextCheckpoint the next
+	// epoch the scheduler will run inference at.
+	StreamTime     model.Epoch `json:"stream_time"`
+	NextCheckpoint model.Epoch `json:"next_checkpoint"`
+	// Alerts is the number of continuous-query alerts published so far.
+	Alerts int `json:"alerts"`
+	// Feed is the incremental feed's ingestion counters.
+	Feed dist.FeedStats `json:"feed"`
+	// Cluster is the per-site migration/checkpoint accounting.
+	Cluster dist.ClusterStats `json:"cluster"`
+	// Memo is each site engine's posterior-memoization counters.
+	Memo []rfinfer.RunStats `json:"memo"`
+	// Sched is the checkpoint latency accounting.
+	Sched SchedStats `json:"sched"`
+	// Err is the first pipeline error, if the feed has failed.
+	Err string `json:"err,omitempty"`
+}
+
+// SiteSnapshot is one site's current inference estimates: the /snapshot
+// payload.
+type SiteSnapshot struct {
+	Site int `json:"site"`
+	// Now is the site's latest observed or inferred epoch.
+	Now model.Epoch `json:"now"`
+	// Containment maps each object to its estimated container.
+	Containment map[model.TagID]model.TagID `json:"containment"`
+	// Location maps each locatable object to its estimated reader location.
+	Location map[model.TagID]model.Loc `json:"location"`
+}
+
+// ingestMsg is one queue element: a batch of events, or a control message
+// asking the scheduler to drain through an epoch.
+type ingestMsg struct {
+	events []Event
+	ctl    *drainCtl
+}
+
+// drainCtl asks the scheduler to advance through an epoch and reply.
+type drainCtl struct {
+	through model.Epoch
+	done    chan error
+}
+
+// Server is the online runtime around one dist.Cluster. Create it with
+// New, feed it with Ingest (or the HTTP Handler), and stop it with
+// Shutdown. All cluster mutation happens on the single scheduler
+// goroutine, which is what preserves the replay determinism contract.
+type Server struct {
+	cfg     Config
+	cluster *dist.Cluster
+
+	in        chan ingestMsg
+	schedDone chan struct{}
+	alerts    *alertLog
+
+	closeMu  sync.RWMutex
+	closed   bool
+	ingestWG sync.WaitGroup
+
+	mu       sync.Mutex // guards everything below
+	feed     *dist.Feed
+	maxT     model.Epoch
+	received int
+	invalid  int
+	lastInv  string
+	sched    SchedStats
+	runErr   error
+	final    *dist.Result
+}
+
+// New builds and starts a server over the cluster: it opens the cluster's
+// incremental feed (resetting its runtime counters) and launches the
+// scheduler goroutine. The server takes over the cluster's Query and
+// Workers wiring; the cluster must not be used concurrently by the
+// caller until Shutdown returns.
+func New(c *dist.Cluster, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		cluster:   c,
+		in:        make(chan ingestMsg, cfg.QueueSize),
+		schedDone: make(chan struct{}),
+		alerts:    newAlertLog(),
+	}
+	prevQuery, prevWorkers := c.Query, c.Workers
+	c.Workers = cfg.Workers
+	if q := cfg.Query; q != nil {
+		c.Query = s.hookQuery(q)
+	} else if c.Query != nil {
+		c.Query = s.hookQuery(c.Query)
+	}
+	feed, err := c.OpenFeed(cfg.Interval)
+	if err != nil {
+		c.Query, c.Workers = prevQuery, prevWorkers
+		return nil, err
+	}
+	s.feed = feed
+	go s.scheduler()
+	return s, nil
+}
+
+// hookQuery wraps a ClusterQuery so every per-site engine publishes its
+// matches to the alert log the moment a pattern fires.
+func (s *Server) hookQuery(q *dist.ClusterQuery) *dist.ClusterQuery {
+	return &dist.ClusterQuery{
+		New: func(site int) *query.Engine {
+			eng := q.New(site)
+			eng.SetOnMatch(func(m stream.Match) { s.alerts.publish(site, m) })
+			return eng
+		},
+		Feed: q.Feed,
+	}
+}
+
+// Ingest validates nothing and blocks only on the bounded queue; the
+// scheduler does validation and buffering. It returns ErrClosed once
+// Shutdown has begun. Events within one Δ-interval may arrive in any
+// order; an event older than an already-completed checkpoint is counted
+// late and dropped. The slice is retained until the scheduler applies it:
+// the caller must not reuse it after Ingest returns.
+func (s *Server) Ingest(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	s.ingestWG.Add(1)
+	s.closeMu.RUnlock()
+	defer s.ingestWG.Done()
+	s.in <- ingestMsg{events: events}
+	return nil
+}
+
+// IngestReading is a convenience wrapper ingesting one reading.
+func (s *Server) IngestReading(site int, t model.Epoch, tag model.TagID, mask model.Mask) error {
+	return s.Ingest([]Event{Reading(site, t, tag, mask)})
+}
+
+// IngestDeparture is a convenience wrapper ingesting one departure.
+func (s *Server) IngestDeparture(d dist.Departure) error {
+	return s.Ingest([]Event{Depart(d)})
+}
+
+// Drain blocks until every batch queued before it has been applied and
+// every checkpoint at or before through — clamped to the horizon
+// (Config.Horizon, else the interval containing the last streamed
+// reading) — has run. Past the horizon there is no data to checkpoint,
+// so an oversized through cannot spin the scheduler; through == 0 drains
+// to the horizon itself.
+func (s *Server) Drain(through model.Epoch) error {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	s.ingestWG.Add(1)
+	s.closeMu.RUnlock()
+	defer s.ingestWG.Done()
+	ctl := &drainCtl{through: through, done: make(chan error, 1)}
+	s.in <- ingestMsg{ctl: ctl}
+	return <-ctl.done
+}
+
+// Shutdown stops ingestion, drains every queued batch, runs the remaining
+// checkpoints through the horizon, finalizes the Result, and closes all
+// alert subscriptions. It is the SIGINT/SIGTERM path of rfidtrackd: after
+// it returns no accepted reading is unaccounted for. ctx bounds the final
+// drain; on expiry the remaining checkpoints are abandoned and ctx.Err()
+// returned (the Result still reflects every completed checkpoint).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+
+	s.ingestWG.Wait() // every accepted producer has enqueued
+	close(s.in)
+	<-s.schedDone // scheduler applied every queued batch
+
+	s.mu.Lock()
+	var err error
+	for s.feed.Next() <= s.horizonLocked() && s.runErr == nil {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+		default:
+			s.timedAdvance()
+		}
+		if err != nil {
+			break
+		}
+	}
+	res, closeErr := s.feed.Close()
+	if err == nil {
+		err = closeErr
+	}
+	if err == nil {
+		err = s.runErr
+	}
+	s.final = &res
+	s.mu.Unlock()
+	s.alerts.close()
+	return err
+}
+
+// scheduler is the single goroutine that mutates the cluster: it applies
+// queued batches in arrival order and advances the feed whenever stream
+// time crosses a checkpoint boundary.
+func (s *Server) scheduler() {
+	defer close(s.schedDone)
+	for msg := range s.in {
+		s.mu.Lock()
+		if msg.ctl != nil {
+			// Drains are clamped to the horizon: past the configured (or
+			// streamed) coverage there is no data to checkpoint, and an
+			// unbounded ?through= must not spin the scheduler.
+			through := msg.ctl.through
+			if h := s.horizonLocked(); through == 0 || through > h {
+				through = h
+			}
+			for s.feed.Next() <= through && s.runErr == nil {
+				s.timedAdvance()
+			}
+			err := s.runErr
+			s.mu.Unlock()
+			msg.ctl.done <- err
+			continue
+		}
+		for _, ev := range msg.events {
+			s.apply(ev)
+		}
+		for s.feed.Next()+s.cfg.Watermark <= s.maxT && s.runErr == nil {
+			s.timedAdvance()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// apply validates one event against the deployment layout and buffers it
+// into the feed. Invalid events are counted, never fatal. Caller holds mu.
+func (s *Server) apply(ev Event) {
+	s.received++
+	reject := func(format string, args ...any) {
+		s.invalid++
+		s.lastInv = fmt.Sprintf(format, args...)
+	}
+	w := s.cluster.World
+	switch ev.Type {
+	case TypeReading:
+		if ev.Site < 0 || ev.Site >= len(w.Sites) {
+			reject("reading for unknown site %d", ev.Site)
+			return
+		}
+		if int(ev.Tag) < 0 || int(ev.Tag) >= w.NumTags() {
+			reject("reading for unknown tag %d", ev.Tag)
+			return
+		}
+		if k := w.Sites[ev.Site].Tags[ev.Tag].Kind; k != model.KindItem && k != model.KindCase {
+			reject("reading for non-trackable tag %d (kind %d)", ev.Tag, k)
+			return
+		}
+		if ev.Mask == 0 || ev.Mask>>len(w.Sites[ev.Site].Readers) != 0 {
+			reject("reading mask %#x outside site %d's %d readers", ev.Mask, ev.Site, len(w.Sites[ev.Site].Readers))
+			return
+		}
+		// Past the horizon a reading could never be observed by any
+		// checkpoint; refusing it also keeps stream time bounded.
+		if bound, kind := s.epochBoundLocked(); ev.T >= bound {
+			reject("reading at epoch %d beyond %s %d", ev.T, kind, bound)
+			return
+		}
+		if err := s.feed.Observe(ev.Site, ev.T, ev.Tag, ev.Mask); err != nil {
+			reject("%v", err)
+			return
+		}
+		if ev.T > s.maxT {
+			s.maxT = ev.T
+		}
+	case TypeDepart:
+		if int(ev.Object) < 0 || int(ev.Object) >= w.NumTags() ||
+			w.Sites[0].Tags[ev.Object].Kind != model.KindItem {
+			reject("departure of non-item tag %d", ev.Object)
+			return
+		}
+		if bound, kind := s.epochBoundLocked(); ev.At >= bound {
+			reject("departure at epoch %d beyond %s %d", ev.At, kind, bound)
+			return
+		}
+		if err := s.feed.Depart(dist.Departure{Object: ev.Object, From: ev.From, To: ev.To, At: ev.At}); err != nil {
+			reject("%v", err)
+		}
+	default:
+		reject("unknown event type %q", ev.Type)
+	}
+}
+
+// timedAdvance runs one checkpoint and records its latency. Caller holds
+// mu. A feed error is latched into runErr; the server stops advancing but
+// keeps serving stats and snapshots so the failure is observable.
+func (s *Server) timedAdvance() {
+	start := time.Now()
+	err := s.feed.Advance()
+	d := time.Since(start)
+	s.sched.Advances++
+	s.sched.Total += d
+	s.sched.Last = d
+	if d > s.sched.Max {
+		s.sched.Max = d
+	}
+	if err != nil && s.runErr == nil {
+		s.runErr = err
+	}
+}
+
+// epochBoundLocked returns the highest epoch (exclusive) an event may
+// carry and what the bound is ("horizon" or "stream-time skip bound").
+// With a Horizon, later events could never be observed; without one, the
+// MaxSkip bound stops a single far-future epoch from dragging the
+// scheduler through millions of empty checkpoints. Caller holds mu.
+func (s *Server) epochBoundLocked() (model.Epoch, string) {
+	if s.cfg.Horizon > 0 {
+		return s.cfg.Horizon, "horizon"
+	}
+	bound := int64(s.feed.Next()) + int64(s.cfg.MaxSkip)*int64(s.cfg.Interval)
+	if bound > int64(dist.MaxEpoch) {
+		return dist.MaxEpoch, "stream-time skip bound"
+	}
+	return model.Epoch(bound), "stream-time skip bound"
+}
+
+// horizonLocked resolves the final-drain horizon. Caller holds mu.
+func (s *Server) horizonLocked() model.Epoch {
+	if s.cfg.Horizon > 0 {
+		return s.cfg.Horizon
+	}
+	if s.maxT == 0 {
+		return 0
+	}
+	return (s.maxT/s.cfg.Interval + 1) * s.cfg.Interval
+}
+
+// Result snapshots the accumulated replay result, in the exact shape
+// Cluster.ReplaySequential returns for the same stream. After Shutdown it
+// is the final, immutable result.
+func (s *Server) Result() dist.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.final != nil {
+		return *s.final
+	}
+	return s.feed.Result()
+}
+
+// Stats reports the server's ingestion, cluster, memo and scheduler
+// counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Received:       s.received,
+		Invalid:        s.invalid,
+		LastInvalid:    s.lastInv,
+		StreamTime:     s.maxT,
+		NextCheckpoint: s.feed.Next(),
+		Alerts:         s.alerts.len(),
+		Feed:           s.feed.Stats(),
+		Cluster:        s.cluster.Stats(),
+		Sched:          s.sched,
+	}
+	for _, eng := range s.cluster.Engines {
+		st.Memo = append(st.Memo, eng.Stats())
+	}
+	if s.runErr != nil {
+		st.Err = s.runErr.Error()
+	}
+	return st
+}
+
+// Healthy reports whether the pipeline is running without a feed error.
+func (s *Server) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr == nil
+}
+
+// Snapshot returns site s's current containment and location estimates.
+func (s *Server) Snapshot(site int) (SiteSnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if site < 0 || site >= len(s.cluster.Engines) {
+		return SiteSnapshot{}, fmt.Errorf("serve: site %d out of range [0,%d)", site, len(s.cluster.Engines))
+	}
+	eng := s.cluster.Engines[site]
+	now := eng.Now()
+	snap := SiteSnapshot{
+		Site:        site,
+		Now:         now,
+		Containment: eng.Containment(),
+		Location:    make(map[model.TagID]model.Loc),
+	}
+	for _, id := range eng.Objects() {
+		if loc := eng.LocationAt(id, now); loc != model.NoLoc {
+			snap.Location[id] = loc
+		}
+	}
+	return snap, nil
+}
+
+// Subscribe registers an alert subscriber; see Subscription.
+func (s *Server) Subscribe() *Subscription { return s.alerts.subscribe() }
+
+// AlertsSince returns the alerts with Seq >= since, waiting up to wait for
+// one to arrive when none is available yet (the long-poll primitive).
+func (s *Server) AlertsSince(since int, wait time.Duration) []Alert {
+	return s.alerts.since(since, wait)
+}

@@ -1,0 +1,180 @@
+// The alert fan-out: an append-only log of continuous-query matches with
+// channel subscribers (the Go API) and index-based readers (the HTTP
+// long-poll and SSE feeds). The log is the buffer, so a slow subscriber
+// delays only itself — never the scheduler, never its peers.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
+)
+
+// Alert is one continuous-query match, annotated with the site that raised
+// it and its position in the server-global alert sequence.
+type Alert struct {
+	// Seq is the alert's index in the server's append-only log; long-poll
+	// clients resume from their last Seq + 1.
+	Seq int `json:"seq"`
+	// Site is the site whose query engine fired.
+	Site int `json:"site"`
+	// Tag is the alerted object.
+	Tag model.TagID `json:"tag"`
+	// First and Last span the matched exposure episode.
+	First model.Epoch `json:"first"`
+	Last  model.Epoch `json:"last"`
+	// Values are the episode's collected measurements (temperatures).
+	Values []float64 `json:"values,omitempty"`
+}
+
+// alertLog is the shared alert buffer: publish appends (scheduler
+// goroutine), subscribers and pollers read by index.
+type alertLog struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries []Alert
+	closed  bool
+}
+
+func newAlertLog() *alertLog {
+	l := &alertLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// publish appends one match and wakes every waiter. After close it is a
+// no-op, so a cluster reused outside its server cannot grow a dead log.
+func (l *alertLog) publish(site int, m stream.Match) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.entries = append(l.entries, Alert{
+		Seq:    len(l.entries),
+		Site:   site,
+		Tag:    m.Tag,
+		First:  m.First,
+		Last:   m.Last,
+		Values: append([]float64(nil), m.Values...),
+	})
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// len returns the number of published alerts.
+func (l *alertLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// isClosed reports whether the log has been closed.
+func (l *alertLog) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// close wakes every waiter permanently; published alerts stay readable.
+func (l *alertLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// since returns the alerts with Seq >= since. When none exist yet it
+// waits up to wait (0 = no waiting) for one to be published.
+func (l *alertLog) since(since int, wait time.Duration) []Alert {
+	if since < 0 {
+		since = 0
+	}
+	deadline := time.Now().Add(wait)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.entries) <= since && !l.closed && wait > 0 && time.Now().Before(deadline) {
+		// cond has no timed wait; poke the condition at a coarse tick. The
+		// broadcast on publish wakes us immediately in the common case.
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		timedCondWait(l.cond, remaining)
+	}
+	if len(l.entries) <= since {
+		return nil
+	}
+	out := make([]Alert, len(l.entries)-since)
+	copy(out, l.entries[since:])
+	return out
+}
+
+// timedCondWait waits on cond, giving up after d. The caller holds
+// cond.L; a helper goroutine broadcasts at the deadline so Wait returns.
+func timedCondWait(cond *sync.Cond, d time.Duration) {
+	t := time.AfterFunc(d, cond.Broadcast)
+	defer t.Stop()
+	cond.Wait()
+}
+
+// Subscription delivers alerts in publication order on C. The channel is
+// fed by a pump goroutine reading the log, so a slow consumer backs up
+// only its own subscription. C is closed after Close, or when the server
+// shuts down and every published alert has been delivered.
+type Subscription struct {
+	C      <-chan Alert
+	cancel chan struct{}
+	once   sync.Once
+}
+
+// Close stops the subscription and eventually closes C.
+func (s *Subscription) Close() { s.once.Do(func() { close(s.cancel) }) }
+
+// subscribe starts a pump goroutine walking the log from its start.
+func (l *alertLog) subscribe() *Subscription {
+	ch := make(chan Alert, 16)
+	sub := &Subscription{C: ch, cancel: make(chan struct{})}
+	go func() {
+		defer close(ch)
+		next := 0
+		for {
+			l.mu.Lock()
+			for len(l.entries) <= next && !l.closed {
+				if canceled(sub.cancel) {
+					l.mu.Unlock()
+					return
+				}
+				timedCondWait(l.cond, 50*time.Millisecond)
+			}
+			if len(l.entries) <= next { // closed and fully delivered
+				l.mu.Unlock()
+				return
+			}
+			batch := make([]Alert, len(l.entries)-next)
+			copy(batch, l.entries[next:])
+			next = len(l.entries)
+			l.mu.Unlock()
+			for _, a := range batch {
+				select {
+				case ch <- a:
+				case <-sub.cancel:
+					return
+				}
+			}
+		}
+	}()
+	return sub
+}
+
+// canceled reports whether the subscription was closed.
+func canceled(c chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,12 @@
+// Package stream implements the continuous query processing substrate of
+// Section 4.2 and Appendix B: CQL-style relational operators over event
+// streams (selection, projection, partitioned row windows, lookup joins,
+// Rstream) plus an automaton-based SEQ(A+) pattern matcher whose
+// computation state is partitioned per object and serializable so it can be
+// migrated between sites.
+//
+// The engine is push-based: every operator consumes tuples and pushes
+// results to its sink. A pipeline for one query block is assembled by
+// chaining operators; Rstream semantics fall out naturally because each
+// emission is a stream element.
+package stream

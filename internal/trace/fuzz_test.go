@@ -34,8 +34,8 @@ func FuzzDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
-	f.Add(buf.Bytes()[:buf.Len()/2]) // truncated transfer
-	f.Add([]byte{wireVersion})       // empty stream
+	f.Add(buf.Bytes()[:buf.Len()/2])                                                       // truncated transfer
+	f.Add([]byte{wireVersion})                                                             // empty stream
 	f.Add([]byte{wireVersion, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // absurd count
 	f.Add([]byte{})
 

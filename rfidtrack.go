@@ -30,7 +30,12 @@
 //   - stream processing (internal/stream, internal/query): operators, SEQ
 //     pattern matching, queries Q1/Q2, centroid state sharing
 //   - distributed runtime (internal/dist): sites, ONS, migration strategies
+//   - online service (internal/serve): the rfidtrackd streaming daemon —
+//     bounded-queue ingestion, Δ-interval scheduling, alert subscriptions
 //   - baseline (internal/smurf): SMURF* for comparison
+//
+// See README.md for a tour and ARCHITECTURE.md for the dataflow and the
+// determinism argument.
 package rfidtrack
 
 import (
@@ -40,6 +45,7 @@ import (
 	"rfidtrack/internal/model"
 	"rfidtrack/internal/query"
 	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/serve"
 	"rfidtrack/internal/sim"
 	"rfidtrack/internal/smurf"
 	"rfidtrack/internal/stream"
@@ -177,6 +183,57 @@ const (
 	MigrateReadings = dist.MigrateReadings
 	MigrateFull     = dist.MigrateFull
 )
+
+// Online-runtime types (internal/serve): the rfidtrackd daemon as a
+// library.
+type (
+	// Server is the online streaming runtime around a Cluster: bounded-queue
+	// ingestion, Δ-interval scheduling, continuous-query alert feeds, and an
+	// HTTP front end. Results are bit-identical to ReplaySequential on the
+	// same stream.
+	Server = serve.Server
+	// ServeConfig tunes a Server (Δ interval, horizon, queue depth, workers,
+	// attached queries).
+	ServeConfig = serve.Config
+	// ServeEvent is one ingestion-stream element: a reading or a departure.
+	ServeEvent = serve.Event
+	// ServeStats is the server's ingestion/cluster/scheduler counters.
+	ServeStats = serve.Stats
+	// Alert is one continuous-query match published to subscribers.
+	Alert = serve.Alert
+	// AlertSubscription delivers alerts in publication order on its C channel.
+	AlertSubscription = serve.Subscription
+	// ServeClient is a minimal HTTP client for a running rfidtrackd.
+	ServeClient = serve.Client
+	// Departure reports an object leaving one site for another; feeding it
+	// to a Server (or Feed) triggers state migration.
+	Departure = dist.Departure
+	// Feed is the incremental ingestion interface of a Cluster, the layer
+	// Server builds on.
+	Feed = dist.Feed
+)
+
+// NewServer starts an online server over a cluster; see serve.New.
+func NewServer(c *Cluster, cfg ServeConfig) (*Server, error) { return serve.New(c, cfg) }
+
+// ColdChainQuery builds the canonical cold-chain demo query (the paper's
+// Q1 over a fixed manufacturer database) — the same construction
+// rfidtrackd serves and the determinism tests pin.
+func ColdChainQuery(w *World, interval Epoch) *ClusterQuery {
+	return dist.ColdChainQuery(w, interval)
+}
+
+// WorldEvents flattens a simulated world into the time-ordered event
+// stream a Server ingests (readings plus the given departures).
+func WorldEvents(w *World, deps []Departure) []ServeEvent { return serve.WorldEvents(w, deps) }
+
+// ReadingEvent builds one ingestion reading event.
+func ReadingEvent(site int, t Epoch, tag TagID, mask Mask) ServeEvent {
+	return serve.Reading(site, t, tag, mask)
+}
+
+// DepartEvent builds one ingestion departure event.
+func DepartEvent(d Departure) ServeEvent { return serve.Depart(d) }
 
 // Metric types.
 type (

@@ -27,7 +27,11 @@ var smokeBinaries = []struct {
 	{"cmd/rfidinfer", []string{"-epochs", "700", "-items", "3"}},
 	{"cmd/rfidquery", []string{"-epochs", "900", "-items", "2", "-sites", "2"}},
 	{"cmd/experiments", []string{"-only", "Figure 4"}},
+	// The daemon's demo mode exercises the full online loop — HTTP ingest,
+	// Δ-scheduling, drain, graceful shutdown — inside one process.
+	{"cmd/rfidtrackd", []string{"-demo", "-epochs", "900", "-items", "3", "-sites", "2"}},
 	{"examples/quickstart", nil},
+	{"examples/daemon", []string{"-epochs", "1200", "-items", "3"}},
 	{"examples/tracking", nil},
 	{"examples/supplychain", []string{"-epochs", "900", "-items", "3"}},
 	{"examples/hospital", []string{"-epochs", "700", "-items", "4"}},
