@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve docs-lint ci
+.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve bench-json bench-smoke docs-lint ci
 
 build:
 	$(GO) build ./...
@@ -37,9 +37,26 @@ bench-dist:
 	$(GO) test -bench 'BenchmarkMigration' -benchmem -run XXX ./internal/dist/
 
 # Online-runtime benchmarks: sustained ingest throughput into a 4-site
-# cluster and per-checkpoint scheduler latency (numbers in PERFORMANCE.md).
+# cluster (the readings/s metric is the headline number — regressions show
+# up directly in the log), the single-site batch fast path, per-checkpoint
+# scheduler latency, and ingest p99 while a checkpoint is running.
 bench-serve:
 	$(GO) test -bench 'BenchmarkIngest|BenchmarkCheckpoint' -benchmem -run XXX ./internal/serve/
+
+# Machine-readable benchmark tracking: run the serve, rfinfer and dist
+# suites and emit BENCH_<pkg>.json (name, ns/op, B/op, allocs/op, plus
+# custom metrics like readings/s) so the perf trajectory is comparable
+# across PRs.
+bench-json:
+	$(GO) test -bench 'BenchmarkIngest|BenchmarkCheckpoint' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -o BENCH_serve.json
+	$(GO) test -bench 'BenchmarkEngineRun|BenchmarkEStep' -benchmem -run XXX ./internal/rfinfer/ | $(GO) run ./cmd/benchjson -o BENCH_rfinfer.json
+	$(GO) test -bench 'BenchmarkMigration|BenchmarkFeedAdvance' -benchmem -run XXX ./internal/dist/ | $(GO) run ./cmd/benchjson -o BENCH_dist.json
+
+# Benchmark smoke: a 100ms pass over the online-runtime benchmarks that
+# fails on build error or panic, so a checkpoint/ingest regression that
+# crashes cannot land even when nobody ran the full bench suite.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkCheckpoint$$' -benchtime 100ms -run XXX ./internal/serve/
 
 # Documentation gate: formatting, vet, and no undocumented exported
 # identifiers in the public-facing packages.
@@ -49,4 +66,4 @@ docs-lint:
 	$(GO) run ./cmd/docslint . ./internal/serve ./internal/dist ./internal/query ./internal/stream
 
 # Tier-1 verify: everything the CI gate runs, in one command.
-ci: build vet test race fuzz-smoke docs-lint
+ci: build vet test race fuzz-smoke bench-smoke docs-lint

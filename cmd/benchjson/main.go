@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` output into a machine-
+// readable JSON file so the performance trajectory can be tracked across
+// PRs (`make bench-json` writes BENCH_serve.json / BENCH_rfinfer.json /
+// BENCH_dist.json at the repo root).
+//
+// It reads benchmark output on stdin, echoes every line through to stdout
+// (so logs stay human-readable), and writes the parsed records to -o:
+//
+//	go test -bench . -benchmem -run XXX ./internal/serve/ | benchjson -o BENCH_serve.json
+//
+// Each record carries the benchmark name (CPU suffix stripped), iteration
+// count, ns/op, B/op, allocs/op, and every custom metric the benchmark
+// reported (readings/s, ingest-p99-us, ...) under "metrics".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp mirror the standard columns; the
+	// latter two are -1 when -benchmem was not set.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every custom b.ReportMetric unit, e.g. "readings/s".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the emitted JSON document.
+type Output struct {
+	// Context lines are the goos/goarch/pkg/cpu header of the run.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks are the parsed result lines, in input order.
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (required)")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("benchjson: -o output file is required")
+	}
+
+	doc := Output{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if key, val, ok := contextLine(line); ok {
+			doc.Context[key] = val
+			continue
+		}
+		if rec, ok := parseBench(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: reading stdin: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines found on stdin")
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// contextLine recognizes the run's goos/goarch/pkg/cpu header lines.
+func contextLine(line string) (key, val string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if rest, found := strings.CutPrefix(line, k+": "); found {
+			return k, strings.TrimSpace(rest), true
+		}
+	}
+	return "", "", false
+}
+
+// parseBench parses one `BenchmarkX-N  iters  v unit  v unit ...` line.
+func parseBench(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{
+		Name:        strings.TrimPrefix(name, "Benchmark"),
+		Iterations:  iters,
+		BytesPerOp:  -1,
+		AllocsPerOp: -1,
+	}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp = v
+		case "B/op":
+			rec.BytesPerOp = v
+		case "allocs/op":
+			rec.AllocsPerOp = v
+		case "MB/s":
+			fallthrough
+		default:
+			if rec.Metrics == nil {
+				rec.Metrics = map[string]float64{}
+			}
+			rec.Metrics[unit] = v
+		}
+	}
+	return rec, true
+}

@@ -6,12 +6,17 @@
 // With -serve it instead acts as a load generator for rfidtrackd: the
 // world's readings and departures are streamed to the daemon's /ingest
 // endpoint as JSON lines, in stream-time order, optionally rate-limited.
+// With -per-site it emulates the real edge topology: one concurrent
+// producer per site posting that site's readings through the
+// /ingest/batch fast path, departures in-band over /ingest — start the
+// daemon with -watermark to absorb the cross-producer skew this creates.
 //
 // Usage:
 //
 //	rfidsim -epochs 3600 -rr 0.8 -anomaly 60 -o trace.bin
 //	rfidsim -lab T5 -o lab.bin
 //	rfidsim -sites 2 -path 2 -serve http://localhost:8080 -rate 50000
+//	rfidsim -sites 4 -path 2 -serve http://localhost:8080 -per-site
 package main
 
 import (
@@ -19,6 +24,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rfidtrack/internal/dist"
@@ -46,6 +54,8 @@ func main() {
 		serveURL = flag.String("serve", "", "stream the world to a running rfidtrackd at this base URL")
 		rate     = flag.Float64("rate", 0, "events per second to stream (0 = as fast as the daemon accepts)")
 		batch    = flag.Int("batch", 512, "events per ingest request when streaming")
+		perSite  = flag.Bool("per-site", false, "stream each site concurrently over /ingest/batch (set -watermark on the daemon to absorb producer skew)")
+		skew     = flag.Int("skew", 300, "per-site mode: max stream-time lead (epochs) of any producer over the slowest; keep at or below the daemon's -watermark")
 		drain    = flag.Bool("drain", true, "POST /drain after streaming so the daemon finishes the trailing interval")
 	)
 	flag.Parse()
@@ -90,7 +100,13 @@ func main() {
 	fmt.Printf("ground-truth containment changes: %d\n", len(w.Changes))
 
 	if *serveURL != "" {
-		if err := streamWorld(*serveURL, w, *rate, *batch, *drain); err != nil {
+		var err error
+		if *perSite {
+			err = streamWorldPerSite(*serveURL, w, *rate, *batch, model.Epoch(*skew), *drain)
+		} else {
+			err = streamWorld(*serveURL, w, *rate, *batch, *drain)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -111,6 +127,176 @@ func main() {
 		fmt.Printf("wrote %s (%d bytes, gzip would be %d)\n",
 			*out, st.Size(), trace.GzipSize(w.Sites[*siteFlag], nil))
 	}
+}
+
+// streamWorldPerSite is the sharded load-generator mode: one concurrent
+// producer per site ships that site's readings in stream-time order
+// through the /ingest/batch fast path, while the main goroutine delivers
+// the global departure stream over /ingest. This exercises the daemon the
+// way real edge readers would — independent per-site streams with skew —
+// so the daemon needs a watermark to avoid counting stragglers late.
+// Real readers are coupled to wall time; blasting at full speed is not,
+// so producers self-pace: none runs more than skew epochs of stream time
+// ahead of the slowest, keeping the skew inside what the daemon's
+// watermark absorbs.
+func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize int, skew model.Epoch, drain bool) error {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	// Per-site reading streams, each in (epoch, tag) stream order.
+	streams := make([][]dist.Reading, len(w.Sites))
+	total := 0
+	for s, tr := range w.Sites {
+		for i := range tr.Tags {
+			tg := &tr.Tags[i]
+			if tg.Kind == model.KindPallet {
+				continue
+			}
+			for _, rd := range tg.Readings {
+				streams[s] = append(streams[s], dist.Reading{T: rd.T, ID: tg.ID, Mask: rd.Mask})
+			}
+		}
+		slices.SortFunc(streams[s], func(a, b dist.Reading) int {
+			if a.T != b.T {
+				return int(a.T) - int(b.T)
+			}
+			return int(a.ID) - int(b.ID)
+		})
+		total += len(streams[s])
+	}
+	deps := dist.WorldDepartures(w)
+	fmt.Printf("streaming %d readings over %d per-site producers (+%d departures) to %s\n",
+		total, len(streams), len(deps), baseURL)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(streams))
+	// pos[s] is the last stream epoch producer s has fully delivered (the
+	// extra slot is the departure stream, which paces like any producer).
+	// Before sending a batch ending at epoch T, a producer waits until
+	// every peer has delivered through T-skew; because each batch spans at
+	// most skew epochs, the producer holding the minimum position can
+	// always send, so the pacing cannot deadlock. A finished producer
+	// parks at MaxInt64 so it never holds the others back.
+	pos := make([]atomic.Int64, len(streams)+1)
+	minOthers := func(self int) int64 {
+		mn := int64(1<<63 - 1)
+		for s := range pos {
+			if s == self {
+				continue
+			}
+			if v := pos[s].Load(); v < mn {
+				mn = v
+			}
+		}
+		return mn
+	}
+	for s := range streams {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer pos[s].Store(1<<63 - 1)
+			client := &serve.Client{BaseURL: baseURL}
+			stream := streams[s]
+			siteRate := rate / float64(len(streams))
+			sent := 0
+			for i := 0; i < len(stream); {
+				// Chunk by count and, when pacing, by epoch span ≤ skew.
+				end := i + 1
+				for end < len(stream) && end-i < batchSize &&
+					(skew <= 0 || stream[end].T < stream[i].T+skew) {
+					end++
+				}
+				frontier := int64(stream[end-1].T)
+				// This stream has nothing before its next epoch, so it has
+				// trivially delivered through nextStart-1 — publishing that
+				// lets peers cross shared quiet gaps without deadlocking.
+				if through := int64(stream[i].T) - 1; through > pos[s].Load() {
+					pos[s].Store(through)
+				}
+				// Compare as frontier-skew to keep a parked-at-MaxInt64 peer
+				// from overflowing the sum.
+				for skew > 0 && frontier-int64(skew) > minOthers(s) {
+					time.Sleep(time.Millisecond)
+				}
+				if _, err := client.IngestBatch(s, stream[i:end]); err != nil {
+					errs[s] = err
+					return
+				}
+				pos[s].Store(frontier)
+				sent = end
+				i = end
+				if siteRate > 0 {
+					ahead := time.Duration(float64(sent)/siteRate*float64(time.Second)) - time.Since(start)
+					if ahead > 0 {
+						time.Sleep(ahead)
+					}
+				}
+			}
+		}(s)
+	}
+	// Departures ride the mixed /ingest path in global time order, paced
+	// like a producer so they never outrun the daemon's stream-time skip
+	// bound (which would count them invalid and silently skip migrations).
+	depErr := func() error {
+		depIdx := len(streams)
+		defer pos[depIdx].Store(1<<63 - 1)
+		client := &serve.Client{BaseURL: baseURL}
+		depEvents := make([]serve.Event, 0, len(deps))
+		for _, d := range deps {
+			depEvents = append(depEvents, serve.Depart(d))
+		}
+		for i := 0; i < len(depEvents); {
+			end := i + 1
+			for end < len(depEvents) && end-i < batchSize &&
+				(skew <= 0 || depEvents[end].At < depEvents[i].At+skew) {
+				end++
+			}
+			frontier := int64(depEvents[end-1].At)
+			if through := int64(depEvents[i].At) - 1; through > pos[depIdx].Load() {
+				pos[depIdx].Store(through)
+			}
+			for skew > 0 && frontier-int64(skew) > minOthers(depIdx) {
+				time.Sleep(time.Millisecond)
+			}
+			if _, err := client.Ingest(depEvents[i:end]); err != nil {
+				return err
+			}
+			pos[depIdx].Store(frontier)
+			i = end
+		}
+		return nil
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if depErr != nil {
+		return depErr
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("streamed %d readings in %s (%.0f readings/s across %d producers)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), len(streams))
+	return reportDaemon(&serve.Client{BaseURL: baseURL}, drain)
+}
+
+// reportDaemon drains (or polls) the daemon and prints its counters.
+func reportDaemon(client *serve.Client, drain bool) error {
+	var st serve.Stats
+	var err error
+	if drain {
+		st, err = client.Drain(0)
+	} else {
+		st, err = client.Stats()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("daemon: %d observed, %d late, %d invalid, %d checkpoints, %d alerts\n",
+		st.Feed.Observed, st.Feed.Late, st.Invalid, st.Feed.Checkpoints, st.Alerts)
+	return nil
 }
 
 // streamWorld is the load-generator mode: ship the world's readings and
@@ -146,18 +332,5 @@ func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drai
 	elapsed := time.Since(start)
 	fmt.Printf("streamed %d events in %s (%.0f events/s)\n",
 		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
-
-	var st serve.Stats
-	var err error
-	if drain {
-		st, err = client.Drain(0)
-	} else {
-		st, err = client.Stats()
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("daemon: %d observed, %d late, %d invalid, %d checkpoints, %d alerts\n",
-		st.Feed.Observed, st.Feed.Late, st.Invalid, st.Feed.Checkpoints, st.Alerts)
-	return nil
+	return reportDaemon(client, drain)
 }

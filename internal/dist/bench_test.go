@@ -3,6 +3,7 @@ package dist
 import (
 	"testing"
 
+	"rfidtrack/internal/model"
 	"rfidtrack/internal/rfinfer"
 	"rfidtrack/internal/sim"
 )
@@ -53,6 +54,94 @@ func benchMigration(b *testing.B, st Strategy) {
 		if err := c.applyPayload(d, payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFeedAdvance measures one Δ-interval feed checkpoint driven the
+// way the sharded server drives it: per-site interval batches handed to
+// AdvanceWith (sorted in place, ingested, inferred, scored), cycling the
+// world with a stream-time offset so truncation keeps the steady state
+// flat. The per-site (epoch, tag) ordering runs through sortReadings —
+// the closure-free sort whose allocation behavior TestSortReadingsAllocs
+// pins at zero.
+func BenchmarkFeedAdvance(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Warehouses = 2
+	cfg.PathLength = 2
+	cfg.Epochs = 900
+	cfg.ItemsPerCase = 5
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const interval = model.Epoch(300)
+	numCkpts := int(w.Epochs / interval)
+
+	// Per-site, per-interval base batches, copied into reused buffers each
+	// iteration (AdvanceWith sorts its input in place).
+	base := make([][][]Reading, len(w.Sites))
+	maxLen := 0
+	for s, evs := range buildFeeds(w, false) {
+		base[s] = make([][]Reading, numCkpts)
+		for _, ev := range evs {
+			k := min(int(ev.T/interval), numCkpts-1)
+			base[s][k] = append(base[s][k], ev)
+		}
+		for _, bk := range base[s] {
+			maxLen = max(maxLen, len(bk))
+		}
+	}
+	due := make([][]Reading, len(w.Sites))
+	bufs := make([][]Reading, len(w.Sites))
+	for s := range bufs {
+		bufs[s] = make([]Reading, maxLen)
+	}
+
+	c := NewCluster(w, MigrateNone, rfinfer.DefaultConfig())
+	f, err := c.OpenFeed(interval)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var offset model.Epoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % numCkpts
+		if k == 0 && i > 0 {
+			offset += w.Epochs
+		}
+		for s := range due {
+			src := base[s][k]
+			d := bufs[s][:len(src)]
+			copy(d, src)
+			for j := range d {
+				d[j].T += offset
+			}
+			due[s] = d
+		}
+		if err := f.AdvanceWith(due); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := f.Stats()
+	b.ReportMetric(float64(st.Observed)/b.Elapsed().Seconds(), "readings/s")
+}
+
+// TestSortReadingsAllocs pins the Feed.Advance sort fix: ordering one
+// interval bucket by (epoch, tag) must not allocate. The closure-based
+// sort.Slice this replaced allocated its comparator and interface header
+// on every call — once per site per checkpoint, forever.
+func TestSortReadingsAllocs(t *testing.T) {
+	bucket := make([]Reading, 4096)
+	for i := range bucket {
+		bucket[i] = Reading{T: model.Epoch((i * 7919) % 300), ID: model.TagID(i % 97), Mask: 1}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		sortReadings(bucket)
+	})
+	if allocs != 0 {
+		t.Fatalf("sortReadings allocated %.1f times per call, want 0", allocs)
 	}
 }
 

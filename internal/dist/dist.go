@@ -1,9 +1,10 @@
 package dist
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -297,11 +298,11 @@ func WorldDepartures(w *sim.World) []Departure {
 			})
 		}
 	}
-	sort.Slice(deps, func(i, j int) bool {
-		if deps[i].At != deps[j].At {
-			return deps[i].At < deps[j].At
+	slices.SortFunc(deps, func(a, b Departure) int {
+		if c := cmp.Compare(a.At, b.At); c != 0 {
+			return c
 		}
-		return deps[i].Object < deps[j].Object
+		return cmp.Compare(a.Object, b.Object)
 	})
 	return deps
 }
@@ -371,38 +372,26 @@ func (c *Cluster) ReplaySequential(interval model.Epoch) (Result, error) {
 	return c.replayBarrier(interval, 1)
 }
 
-// feedEvent is one site-local reading ready for replay.
-type feedEvent struct {
-	t    model.Epoch
-	id   model.TagID
-	mask model.Mask
-}
-
 // buildFeeds flattens every site's readings (cases and items only) into
 // per-site replay streams, (epoch, tag)-ordered when sorted is set. The
 // pipelined replay walks the streams directly and needs the order; the
 // barrier replay pushes them through Feed.Observe, which re-buckets and
 // re-sorts per interval anyway, so it skips the redundant sort.
-func buildFeeds(w *sim.World, sorted bool) [][]feedEvent {
-	feeds := make([][]feedEvent, len(w.Sites))
+func buildFeeds(w *sim.World, sorted bool) [][]Reading {
+	feeds := make([][]Reading, len(w.Sites))
 	for s, tr := range w.Sites {
-		var f []feedEvent
+		var f []Reading
 		for i := range tr.Tags {
 			tg := &tr.Tags[i]
 			if tg.Kind == model.KindPallet {
 				continue
 			}
 			for _, rd := range tg.Readings {
-				f = append(f, feedEvent{t: rd.T, id: tg.ID, mask: rd.Mask})
+				f = append(f, Reading{T: rd.T, ID: tg.ID, Mask: rd.Mask})
 			}
 		}
 		if sorted {
-			sort.Slice(f, func(i, j int) bool {
-				if f[i].t != f[j].t {
-					return f[i].t < f[j].t
-				}
-				return f[i].id < f[j].id
-			})
+			sortReadings(f)
 		}
 		feeds[s] = f
 	}
@@ -461,11 +450,11 @@ func sortedLinks(links map[linkKey]Costs) []LinkCost {
 	for k, v := range links {
 		out = append(out, LinkCost{From: k.from, To: k.to, Costs: v})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
+	slices.SortFunc(out, func(a, b LinkCost) int {
+		if c := cmp.Compare(a.From, b.From); c != 0 {
+			return c
 		}
-		return out[i].To < out[j].To
+		return cmp.Compare(a.To, b.To)
 	})
 	return out
 }

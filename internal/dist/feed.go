@@ -10,14 +10,37 @@
 // incrementally yields a Result bit-identical to ReplaySequential on the
 // same trace, at any worker count. internal/serve builds the network
 // daemon on this API.
+//
+// A sharded front end (internal/serve) can skip Observe entirely: it
+// buffers each site's readings itself and hands one interval's worth per
+// site to AdvanceWith, which ingests the caller's slices in place without
+// copying — that is what lets ingestion proceed concurrently with a
+// running checkpoint.
 package dist
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"time"
 
+	"rfidtrack/internal/metrics"
 	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
 )
+
+// Reading is one site-local tag observation in flight through the feed: the
+// epoch, the tag read, and the bitmask of reader locations that saw it. It
+// is the element type of the sharded ingest buckets (internal/serve) and of
+// the per-site batches AdvanceWith consumes.
+type Reading struct {
+	// T is the observation epoch.
+	T model.Epoch `json:"t"`
+	// ID is the tag that was read.
+	ID model.TagID `json:"id"`
+	// Mask is the bitmask of reader locations that saw the tag.
+	Mask model.Mask `json:"mask"`
+}
 
 // Feed is the incremental ingestion interface of a Cluster: push readings
 // and departures, then Advance through checkpoints. Readings may arrive in
@@ -38,16 +61,26 @@ type Feed struct {
 	// pending[site][k] buffers the readings of checkpoint next + k*interval,
 	// so each Advance consumes exactly one bucket per site instead of
 	// rescanning the whole buffer.
-	pending   [][][]feedEvent
+	pending   [][][]Reading
 	buffered  int
 	deps      []Departure // buffered departures not yet observed
 	depsDirty bool        // deps gained entries since the last Advance sort
 	owned     []map[model.TagID]bool
 	links     map[linkKey]Costs
 	res       Result
+	tails     []tailShard // per-site score shards of the fanned-out tail
+	ingested  []int       // per-site ingest counts, reused across Advances
+	popped    []int       // per-site pending-bucket sizes, reused likewise
 
 	stats  FeedStats
 	closed bool
+}
+
+// tailShard is one site's score contribution from a fanned-out Advance
+// tail, merged into the Result in site order after the join so totals stay
+// bit-identical to the sequential schedule.
+type tailShard struct {
+	cont, loc metrics.Counts
 }
 
 // MaxEpoch bounds the epochs a Feed accepts: high enough for any real
@@ -61,6 +94,28 @@ const MaxEpoch = model.Epoch(1) << 30
 // allocate millions of slots; a million intervals is far beyond any real
 // replay or stream while keeping worst-case bucket memory small.
 const maxSkipIntervals = 1 << 20
+
+// PhaseNS breaks Advance wall time into its pipeline phases: parallel
+// interval ingest, migrations in departure order, parallel inference, and
+// the query-feed + scoring tail.
+type PhaseNS struct {
+	// Ingest is the (epoch, tag)-ordered interval ingest phase.
+	Ingest time.Duration `json:"ingest_ns"`
+	// Migrate is the departure-ordered state-migration phase.
+	Migrate time.Duration `json:"migrate_ns"`
+	// Infer is the per-site inference phase.
+	Infer time.Duration `json:"infer_ns"`
+	// Tail is the hook / query-feed / scoring phase.
+	Tail time.Duration `json:"tail_ns"`
+}
+
+// add accumulates another breakdown.
+func (p *PhaseNS) add(o PhaseNS) {
+	p.Ingest += o.Ingest
+	p.Migrate += o.Migrate
+	p.Infer += o.Infer
+	p.Tail += o.Tail
+}
 
 // FeedStats counts the traffic a Feed has accepted and refused.
 type FeedStats struct {
@@ -77,6 +132,9 @@ type FeedStats struct {
 	PendingDepartures int
 	// Checkpoints is the number of completed Advance calls.
 	Checkpoints int
+	// Phases accumulates per-phase Advance latency across all checkpoints;
+	// LastPhases is the most recent checkpoint's breakdown.
+	Phases, LastPhases PhaseNS
 }
 
 // OpenFeed prepares the cluster for incremental ingestion with Δ-interval
@@ -97,7 +155,7 @@ func (c *Cluster) openFeed(interval model.Epoch, workers int) (*Feed, error) {
 		interval: interval,
 		workers:  workers,
 		next:     interval,
-		pending:  make([][][]feedEvent, len(c.World.Sites)),
+		pending:  make([][][]Reading, len(c.World.Sites)),
 		links:    make(map[linkKey]Costs),
 		owned:    c.initQueries(),
 	}
@@ -145,7 +203,7 @@ func (f *Feed) Observe(site int, t model.Epoch, id model.TagID, mask model.Mask)
 	for len(f.pending[site]) <= k {
 		f.pending[site] = append(f.pending[site], nil)
 	}
-	f.pending[site][k] = append(f.pending[site][k], feedEvent{t: t, id: id, mask: mask})
+	f.pending[site][k] = append(f.pending[site][k], Reading{T: t, ID: id, Mask: mask})
 	f.buffered++
 	return nil
 }
@@ -176,59 +234,107 @@ func (f *Feed) Depart(d Departure) error {
 	return nil
 }
 
+// sortReadings orders one interval bucket by (epoch, tag). This runs for
+// every site at every checkpoint, so it must not allocate: slices.SortFunc
+// with a capture-free comparator stays off the heap, unlike the closure
+// sort.Slice builds per call.
+func sortReadings(evs []Reading) {
+	slices.SortFunc(evs, func(a, b Reading) int {
+		if c := cmp.Compare(a.T, b.T); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+}
+
 // Advance runs the next checkpoint: parallel ingest of the interval's
 // readings in (epoch, tag) order, migrations in global (time, object)
 // departure order, parallel inference, then hooks, query feeding and
-// scoring in site order — the barrier schedule of the sequential
-// reference.
-func (f *Feed) Advance() error {
+// scoring — the barrier schedule of the sequential reference. The tail
+// (query feeding + scoring) fans out over sites like ingest and inference
+// when no hooks are installed; per-site subtotals merge in site order, so
+// the Result is bit-identical at every worker count.
+func (f *Feed) Advance() error { return f.AdvanceWith(nil) }
+
+// AdvanceWith runs the next checkpoint like Advance, additionally ingesting
+// due[s] for every site s — readings a sharded front end buffered outside
+// the feed. Every reading in due must belong to the current interval
+// [Next()-Interval(), Next()); the slices are sorted in place and released
+// when AdvanceWith returns, so the caller may recycle their backing arrays.
+// due may be nil (plain Advance) and its entries may be nil or empty.
+func (f *Feed) AdvanceWith(due [][]Reading) error {
 	if f.closed {
 		return fmt.Errorf("dist: feed is closed")
 	}
 	if f.next >= MaxEpoch {
 		return fmt.Errorf("dist: checkpoint %d beyond MaxEpoch", f.next)
 	}
+	if due != nil && len(due) != len(f.pending) {
+		return fmt.Errorf("dist: AdvanceWith got %d site batches, want %d", len(due), len(f.pending))
+	}
 	c := f.c
 	ckpt := f.next
+	var phases PhaseNS
+	phaseStart := time.Now()
 
-	ingested := make([]int, len(f.pending))
+	if f.ingested == nil {
+		f.ingested = make([]int, len(f.pending))
+		f.popped = make([]int, len(f.pending))
+	}
+	ingested, popped := f.ingested, f.popped
 	err := forEachSite(len(f.pending), f.workers, func(s int) error {
-		var due []feedEvent
+		var bucket []Reading
+		popped[s] = 0
 		if len(f.pending[s]) > 0 {
-			due = f.pending[s][0]
+			bucket = f.pending[s][0]
 			f.pending[s] = f.pending[s][1:]
+			popped[s] = len(bucket)
 		}
-		sort.Slice(due, func(i, j int) bool {
-			if due[i].t != due[j].t {
-				return due[i].t < due[j].t
+		if due != nil && len(due[s]) > 0 {
+			if bucket == nil {
+				bucket = due[s]
+			} else {
+				bucket = append(bucket, due[s]...)
 			}
-			return due[i].id < due[j].id
-		})
+		}
+		sortReadings(bucket)
+		if len(bucket) > 0 {
+			// One O(1) range check on the sorted bucket guards the
+			// AdvanceWith contract: a reading outside the current interval
+			// would silently be ingested at the wrong checkpoint.
+			if lo, hi := bucket[0].T, bucket[len(bucket)-1].T; lo < ckpt-f.interval || hi >= ckpt {
+				return fmt.Errorf("dist: site %d batch spans [%d,%d], outside checkpoint %d's interval", s, lo, hi, ckpt)
+			}
+		}
 		eng := c.Engines[s]
-		for _, ev := range due {
-			if err := eng.ObserveMask(ev.t, ev.id, ev.mask); err != nil {
+		for _, ev := range bucket {
+			if err := eng.ObserveMask(ev.T, ev.ID, ev.Mask); err != nil {
 				return err
 			}
 		}
-		ingested[s] = len(due)
+		ingested[s] = len(bucket)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	for _, n := range ingested {
+	for s, n := range ingested {
 		f.stats.Observed += n
-		f.buffered -= n
+		// Only readings that sat in pending count against buffered; due
+		// readings were buffered by the caller, never here.
+		f.buffered -= popped[s]
 	}
+	phases.Ingest = time.Since(phaseStart)
+	phaseStart = time.Now()
 
 	// Departures observed by this checkpoint migrate before any site runs,
 	// so the destination's run already sees the imported state.
 	if f.depsDirty {
-		sort.Slice(f.deps, func(i, j int) bool {
-			if f.deps[i].At != f.deps[j].At {
-				return f.deps[i].At < f.deps[j].At
+		slices.SortFunc(f.deps, func(a, b Departure) int {
+			if c := cmp.Compare(a.At, b.At); c != 0 {
+				return c
 			}
-			return f.deps[i].Object < f.deps[j].Object
+			return cmp.Compare(a.Object, b.Object)
 		})
 		f.depsDirty = false
 	}
@@ -242,6 +348,8 @@ func (f *Feed) Advance() error {
 		}
 	}
 	f.deps = append(f.deps[:0], f.deps[nDue:]...)
+	phases.Migrate = time.Since(phaseStart)
+	phaseStart = time.Now()
 
 	evalAt := ckpt - 1
 	if err := forEachSite(len(c.Engines), f.workers, func(s int) error {
@@ -250,24 +358,70 @@ func (f *Feed) Advance() error {
 	}); err != nil {
 		return err
 	}
+	phases.Infer = time.Since(phaseStart)
+	phaseStart = time.Now()
 
-	for s, eng := range c.Engines {
-		if c.Hooks.OnCheckpoint != nil {
-			c.Hooks.OnCheckpoint(s, eng, evalAt)
-		}
-		if c.Query != nil {
-			own := f.owned[s]
-			c.Query.Feed(s, c.siteQ[s], eng, evalAt, func(id model.TagID) bool {
-				return own[id]
-			})
-		}
-		c.scoreSite(s, evalAt, &f.res.ContErr, &f.res.LocErr)
-		c.stats.Sites[s].Epochs++
+	if err := f.runTail(evalAt); err != nil {
+		return err
 	}
+	phases.Tail = time.Since(phaseStart)
+
 	f.res.Runs++
 	f.stats.Checkpoints++
+	f.stats.Phases.add(phases)
+	f.stats.LastPhases = phases
 	f.next += f.interval
 	return nil
+}
+
+// runTail runs the post-inference tail of one checkpoint: hooks, query
+// feeding and scoring. With hooks installed (or a single worker) it keeps
+// the sequential site order, since a hook may read cross-site state.
+// Hook-free it fans out over sites — each site's query engine is touched
+// only by its own worker — and merges the integer score subtotals in site
+// order, which is exact, so the Result stays bit-identical.
+func (f *Feed) runTail(evalAt model.Epoch) error {
+	c := f.c
+	if c.Hooks.OnCheckpoint != nil || f.workers <= 1 || len(c.Engines) <= 1 {
+		for s, eng := range c.Engines {
+			if c.Hooks.OnCheckpoint != nil {
+				c.Hooks.OnCheckpoint(s, eng, evalAt)
+			}
+			f.feedQuery(s, eng, evalAt)
+			c.scoreSite(s, evalAt, &f.res.ContErr, &f.res.LocErr)
+			c.stats.Sites[s].Epochs++
+		}
+		return nil
+	}
+	if f.tails == nil {
+		f.tails = make([]tailShard, len(c.Engines))
+	}
+	if err := forEachSite(len(c.Engines), f.workers, func(s int) error {
+		f.feedQuery(s, c.Engines[s], evalAt)
+		f.tails[s] = tailShard{}
+		c.scoreSite(s, evalAt, &f.tails[s].cont, &f.tails[s].loc)
+		c.stats.Sites[s].Epochs++
+		return nil
+	}); err != nil {
+		return err
+	}
+	for s := range f.tails {
+		f.res.ContErr.Add(f.tails[s].cont)
+		f.res.LocErr.Add(f.tails[s].loc)
+	}
+	return nil
+}
+
+// feedQuery pushes one site's checkpoint into its continuous query engine.
+func (f *Feed) feedQuery(s int, eng *rfinfer.Engine, evalAt model.Epoch) {
+	c := f.c
+	if c.Query == nil {
+		return
+	}
+	own := f.owned[s]
+	c.Query.Feed(s, c.siteQ[s], eng, evalAt, func(id model.TagID) bool {
+		return own[id]
+	})
 }
 
 // AdvanceTo runs checkpoints while the next one is at or before through.

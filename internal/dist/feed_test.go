@@ -48,18 +48,18 @@ func TestFeedMatchesSequential(t *testing.T) {
 	// stream: arrival order within an interval must not matter.
 	type ev struct {
 		site int
-		feedEvent
+		Reading
 	}
 	var all []ev
 	for s, evs := range buildFeeds(w, true) {
 		for _, e := range evs {
-			all = append(all, ev{site: s, feedEvent: e})
+			all = append(all, ev{site: s, Reading: e})
 		}
 	}
 	rng := rand.New(rand.NewPCG(7, 7))
 	byInterval := make(map[model.Epoch][]ev)
 	for _, e := range all {
-		k := (e.t / interval) * interval
+		k := (e.T / interval) * interval
 		byInterval[k] = append(byInterval[k], e)
 	}
 	for _, d := range c.Departures() {
@@ -71,7 +71,7 @@ func TestFeedMatchesSequential(t *testing.T) {
 		batch := byInterval[ckpt-interval]
 		rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
 		for _, e := range batch {
-			if err := f.Observe(e.site, e.t, e.id, e.mask); err != nil {
+			if err := f.Observe(e.site, e.T, e.ID, e.Mask); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -63,7 +63,7 @@ func (s *semaphore) release() { <-s.tokens }
 type siteRunner struct {
 	c    *Cluster
 	id   int
-	feed []feedEvent
+	feed []Reading
 	ops  [][]planOp // per checkpoint, in global departure order
 	q    *query.Engine
 	// owned tracks which items this site currently owns (deterministic
@@ -101,9 +101,9 @@ func (s *siteRunner) run(interval model.Epoch, numCkpts int, sem *semaphore, abo
 	idx := 0
 	for k := 0; k < numCkpts; k++ {
 		ckpt := interval * model.Epoch(k+1)
-		for idx < len(s.feed) && s.feed[idx].t < ckpt {
+		for idx < len(s.feed) && s.feed[idx].T < ckpt {
 			ev := s.feed[idx]
-			if err := eng.ObserveMask(ev.t, ev.id, ev.mask); err != nil {
+			if err := eng.ObserveMask(ev.T, ev.ID, ev.Mask); err != nil {
 				s.fail(err, abortOnce, abort)
 				return
 			}
@@ -263,7 +263,7 @@ func (c *Cluster) replayBarrier(interval model.Epoch, workers int) (Result, erro
 	w := c.World
 	for s, evs := range buildFeeds(w, false) {
 		for _, ev := range evs {
-			if err := f.Observe(s, ev.t, ev.id, ev.mask); err != nil {
+			if err := f.Observe(s, ev.T, ev.ID, ev.Mask); err != nil {
 				return Result{}, err
 			}
 		}

@@ -2,7 +2,6 @@ package rfinfer
 
 import (
 	"math"
-	"slices"
 	"sort"
 
 	"rfidtrack/internal/model"
@@ -111,8 +110,7 @@ func (e *Engine) computePosterior(rec *tagRec, group []model.TagID, from model.E
 	s.series = members
 
 	// Active epochs to compute: the union of all member read epochs >= from.
-	fresh := epochUnionInto(s.epochs[:0], members, from)
-	s.epochs = fresh
+	fresh := epochUnionInto(s, members, from)
 
 	p.resize(keep, keep+len(fresh), n)
 	e.nRowsReused.Add(int64(keep))
@@ -207,23 +205,91 @@ func normalizeLog(lq []float64, q []float64) {
 	}
 }
 
-// epochUnionInto appends the sorted, deduplicated union of every member
-// series' read epochs >= from to dst and returns it.
-func epochUnionInto(dst []model.Epoch, members []model.Series, from model.Epoch) []model.Epoch {
+// epochUnionInto builds the sorted, deduplicated union of every member
+// series' read epochs >= from in s.epochs (swapping backing arrays with
+// s.epochsBuf) and returns it. Each series is already epoch-sorted, so the
+// union is a chain of linear two-way merges — no O(n log n) sort in the
+// hot path.
+func epochUnionInto(s *scratch, members []model.Series, from model.Epoch) []model.Epoch {
+	dst := s.epochs[:0]
 	for _, ser := range members {
 		w := ser
 		if from > epochMin {
 			w = ser.Window(from, epochMax)
 		}
-		for _, rd := range w {
-			dst = append(dst, rd.T)
+		dst = mergeSeriesEpochs(dst, w, &s.epochsBuf)
+	}
+	s.epochs = dst
+	return dst
+}
+
+// mergeSeriesEpochs merges the read epochs of one sorted series into the
+// sorted, deduplicated epoch list a, writing the union into *buf's backing
+// and handing a's old backing to *buf for the next merge. The swap keeps
+// the whole chain allocation-free in steady state.
+func mergeSeriesEpochs(a []model.Epoch, b model.Series, buf *[]model.Epoch) []model.Epoch {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		for _, rd := range b {
+			a = append(a, rd.T)
+		}
+		return a
+	}
+	out := (*buf)[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j].T:
+			out = append(out, a[i])
+			i++
+		case b[j].T < a[i]:
+			out = append(out, b[j].T)
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
 		}
 	}
-	if len(dst) == 0 {
-		return dst
+	out = append(out, a[i:]...)
+	for ; j < len(b); j++ {
+		out = append(out, b[j].T)
 	}
-	slices.Sort(dst)
-	return slices.Compact(dst)
+	*buf = a[:0]
+	return out
+}
+
+// mergeEpochs is mergeSeriesEpochs over two plain epoch lists, with the
+// same backing-array swap.
+func mergeEpochs(a, b []model.Epoch, buf *[]model.Epoch) []model.Epoch {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append(a, b...)
+	}
+	out := (*buf)[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	*buf = a[:0]
+	return out
 }
 
 // locateAt returns the posterior-argmax location of the container at epoch

@@ -1,8 +1,6 @@
 package rfinfer
 
 import (
-	"slices"
-
 	"rfidtrack/internal/model"
 )
 
@@ -47,15 +45,22 @@ func (e *Engine) computeEvidence(rec *tagRec, s *scratch) *objEvidence {
 		return ev
 	}
 
+	// Hoist the candidate records out of the per-epoch loop: one map lookup
+	// per candidate instead of one per (epoch, candidate) pair.
+	posts := s.postRefs(len(cands))
+	for k, cid := range cands {
+		posts[k] = &e.tags[cid].post
+	}
+
 	// Union of the object's read epochs and the candidates' active epochs.
-	for _, rd := range rec.series {
-		ev.epochs = append(ev.epochs, rd.T)
+	// Every input list is already sorted, so the union is a chain of linear
+	// merges — the per-object sort was the hottest allocation-free cost of
+	// the M-step.
+	epochs := mergeSeriesEpochs(ev.epochs[:0], rec.series, &s.epochsBuf)
+	for _, p := range posts {
+		epochs = mergeEpochs(epochs, p.epochs, &s.epochsBuf)
 	}
-	for _, cid := range cands {
-		ev.epochs = append(ev.epochs, e.tags[cid].post.epochs...)
-	}
-	slices.Sort(ev.epochs)
-	ev.epochs = slices.Compact(ev.epochs)
+	ev.epochs = epochs
 	ne := len(ev.epochs)
 
 	if cap(ev.evid) < len(cands)*ne {
@@ -91,8 +96,8 @@ func (e *Engine) computeEvidence(rec *tagRec, s *scratch) *objEvidence {
 		uni := e.lik.UniformBase(t) + maskMean
 		ev.uniTotal += uni
 
-		for k, cid := range cands {
-			post := &e.tags[cid].post
+		for k := range cands {
+			post := posts[k]
 			j := postIdx[k]
 			for j < len(post.epochs) && post.epochs[j] < t {
 				j++

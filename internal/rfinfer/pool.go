@@ -12,12 +12,23 @@ import (
 // path. Every buffer is grown on demand and kept across Runs, so the steady
 // state allocates nothing.
 type scratch struct {
-	lq      []float64      // per-location log-score accumulator (E-step)
-	cursors []int          // per-series merge cursors (E- and M-step)
-	epochs  []model.Epoch  // epoch-union builder
-	epochs2 []model.Epoch  // dropped-epoch merge (memo refresh)
-	series  []model.Series // member series gathered for one container
-	prefix  []float64      // prefix-sum table (critical-region search)
+	lq        []float64      // per-location log-score accumulator (E-step)
+	cursors   []int          // per-series merge cursors (E- and M-step)
+	epochs    []model.Epoch  // epoch-union builder
+	epochsBuf []model.Epoch  // merge double buffer (swaps with union targets)
+	epochs2   []model.Epoch  // dropped-epoch merge (memo refresh)
+	series    []model.Series // member series gathered for one container
+	prefix    []float64      // prefix-sum table (critical-region search)
+	posts     []*posterior   // hoisted candidate posteriors (M-step)
+}
+
+// postRefs returns a length-n posterior-pointer buffer backed by s.posts.
+func (s *scratch) postRefs(n int) []*posterior {
+	if cap(s.posts) < n {
+		s.posts = make([]*posterior, n)
+	}
+	s.posts = s.posts[:n]
+	return s.posts
 }
 
 // floats returns a length-n float buffer backed by dst, growing it if

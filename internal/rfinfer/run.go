@@ -179,8 +179,11 @@ func (rec *tagRec) resetSeriesFrom(from model.Epoch) {
 // slide a window of width CRWindow over each object's evidence; whenever
 // the best candidate's windowed evidence exceeds the second best by
 // CRThreshold, the window becomes the object's (most recent) critical
-// region. Objects are independent, so the search fans out over the worker
-// pool.
+// region. Only the most recent qualifying window survives, so the search
+// walks the windows newest-first with running sums and stops at the first
+// hit — in the stable steady state that touches one window instead of the
+// whole retained history. Objects are independent, so the search fans out
+// over the worker pool.
 func (e *Engine) updateCriticalRegions() {
 	w := e.cfg.CRWindow
 	e.parallelFor(len(e.objects), func(s *scratch, oi int) {
@@ -191,38 +194,44 @@ func (e *Engine) updateCriticalRegions() {
 		}
 		n := len(ev.epochs)
 		k := len(ev.cands)
-		// Prefix sums per candidate for O(1) window sums, in one pooled
-		// table: candidate j's sums at prefix[j*(n+1) : (j+1)*(n+1)].
-		prefix := s.floats(&s.prefix, k*(n+1))
-		for j := 0; j < k; j++ {
-			p := prefix[j*(n+1) : (j+1)*(n+1)]
-			row := ev.row(j)
-			p[0] = 0
-			for i := 0; i < n; i++ {
-				p[i+1] = p[i] + row[i]
-			}
+		// Running windowed sums per candidate. Walking hi from newest to
+		// oldest, the window [lo, hi] only ever loses elements on the right
+		// and gains them on the left, so every evidence point enters and
+		// leaves each sum at most once — O(k·n) worst case, O(k·window) when
+		// the newest window already qualifies.
+		sums := s.floats(&s.prefix, k)
+		for j := range sums {
+			sums[j] = 0
 		}
-		lo := 0
-		for hi := 0; hi < n; hi++ {
+		lo, hiPrev := n, n-1 // window [lo, hiPrev] currently folded into sums
+		for hi := n - 1; hi >= 0; hi-- {
 			t := ev.epochs[hi]
-			for ev.epochs[lo] < t-w {
-				lo++
+			// Drop epochs newer than hi from the right edge.
+			for hiPrev > hi {
+				for j := 0; j < k; j++ {
+					sums[j] -= ev.row(j)[hiPrev]
+				}
+				hiPrev--
 			}
-			// Best and second-best windowed evidence over [t-w, t].
+			// Extend the left edge down to the first epoch >= t-w.
+			for lo > 0 && ev.epochs[lo-1] >= t-w {
+				lo--
+				for j := 0; j < k; j++ {
+					sums[j] += ev.row(j)[lo]
+				}
+			}
 			best, second := -1e308, -1e308
 			for j := 0; j < k; j++ {
-				p := prefix[j*(n+1) : (j+1)*(n+1)]
-				sum := p[hi+1] - p[lo]
-				if sum > best {
+				if sums[j] > best {
 					second = best
-					best = sum
-				} else if sum > second {
-					second = sum
+					best = sums[j]
+				} else if sums[j] > second {
+					second = sums[j]
 				}
 			}
 			if best-second >= e.cfg.CRThreshold {
-				from := ev.epochs[lo]
-				rec.cr = window{From: from, To: t + 1}
+				rec.cr = window{From: ev.epochs[lo], To: t + 1}
+				return
 			}
 		}
 	})
@@ -314,8 +323,7 @@ func (e *Engine) refreshMemo() {
 		}
 		s.series = members
 
-		union := epochUnionInto(s.epochs[:0], members, epochMin)
-		s.epochs = union
+		union := epochUnionInto(s, members, epochMin)
 
 		// Epochs whose rows went stale: some member dropped a reading there.
 		stale := s.epochs2[:0]

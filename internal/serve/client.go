@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 
+	"rfidtrack/internal/dist"
 	"rfidtrack/internal/model"
 )
 
@@ -50,6 +51,22 @@ func (c *Client) Ingest(events []Event) (IngestResponse, error) {
 		return IngestResponse{}, err
 	}
 	resp, err := c.httpClient().Post(c.BaseURL+"/ingest", "application/x-ndjson", &body)
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	var ir IngestResponse
+	err = checkStatus(resp, &ir)
+	return ir, err
+}
+
+// IngestBatch posts one site's readings through the /ingest/batch fast
+// path.
+func (c *Client) IngestBatch(site int, readings []dist.Reading) (IngestResponse, error) {
+	body, err := json.Marshal(BatchRequest{Site: site, Readings: readings})
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/ingest/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return IngestResponse{}, err
 	}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"rfidtrack/internal/dist"
 	"rfidtrack/internal/model"
 )
 
@@ -23,9 +24,10 @@ const ingestBatch = 512
 // Handler returns the daemon's HTTP API:
 //
 //	POST /ingest                JSON-lines of reading/depart events
+//	POST /ingest/batch          one site's readings as a single JSON batch
 //	POST /drain?through=N       run checkpoints through epoch N (0 = horizon)
 //	GET  /healthz               liveness + pipeline health
-//	GET  /stats                 Stats (ingest, cluster, memo, scheduler)
+//	GET  /stats                 Stats (ingest, shards, cluster, memo, scheduler)
 //	GET  /snapshot?site=N       SiteSnapshot of one site's estimates
 //	GET  /result                the accumulated dist.Result
 //	GET  /alerts?since=N&wait_ms=M   long-poll the alert log
@@ -33,6 +35,7 @@ const ingestBatch = 512
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /ingest/batch", s.handleIngestBatch)
 	mux.HandleFunc("POST /drain", s.handleDrain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
@@ -55,9 +58,9 @@ type IngestResponse struct {
 	BadLines int `json:"bad_lines"`
 }
 
-// handleIngest streams the request body's JSON lines into the queue in
-// bounded batches. A full queue blocks the request — HTTP clients see
-// backpressure as latency, never as data loss.
+// handleIngest streams the request body's JSON lines into the ingest
+// shards in bounded batches. A full stripe blocks the request — HTTP
+// clients see backpressure as latency, never as data loss.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var resp IngestResponse
 	batch := make([]Event, 0, ingestBatch)
@@ -69,9 +72,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		resp.Queued += len(batch)
-		// The queued slice now belongs to the scheduler; start a fresh one
-		// rather than reusing the backing array under it.
-		batch = make([]Event, 0, ingestBatch)
+		// Ingest buckets synchronously and does not retain the slice, so
+		// the one backing array serves the whole request.
+		batch = batch[:0]
 		return nil
 	}
 	bad, err := ReadEvents(r.Body, func(e Event) error {
@@ -94,6 +97,43 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// BatchRequest is the POST /ingest/batch payload: one site's readings,
+// the wire form of the IngestBatch fast path. It skips the per-line JSON
+// of /ingest, so a site-local edge relay can ship its interval in one
+// decode.
+type BatchRequest struct {
+	// Site is the observing site; every reading in the batch belongs to it.
+	Site int `json:"site"`
+	// Readings are the site-local observations.
+	Readings []dist.Reading `json:"readings"`
+}
+
+// maxBatchBytes bounds one /ingest/batch body (~250k readings). A larger
+// batch is a malformed client, not a bigger buffer — the same stance the
+// line-oriented /ingest takes per event — so the daemon never
+// materializes an attacker-sized slice.
+const maxBatchBytes = 8 << 20
+
+// handleIngestBatch decodes one BatchRequest and runs it through the
+// single-site IngestBatch fast path.
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed batch: " + err.Error()})
+		return
+	}
+	if err := s.IngestBatch(req.Site, req.Readings); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, IngestResponse{Queued: len(req.Readings)})
 }
 
 // handleDrain runs checkpoints through ?through=, clamped to the horizon

@@ -217,6 +217,56 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 }
 
+// TestHTTPIngestBatch drives the site-addressed batch fast path over the
+// wire: valid batches are queued and observed, malformed bodies and
+// unknown sites are 400s, and the daemon stays healthy throughout.
+func TestHTTPIngestBatch(t *testing.T) {
+	w := testWorld(t)
+	c := dist.NewCluster(w, dist.MigrateNone, rfinfer.DefaultConfig())
+	srv, err := New(c, Config{Interval: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL}
+
+	item := w.Sites[1].Items()[0]
+	batch := []dist.Reading{{T: 10, ID: item, Mask: 1}, {T: 11, ID: item, Mask: 1}}
+	ir, err := client.IngestBatch(1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Queued != len(batch) {
+		t.Errorf("queued %d, want %d", ir.Queued, len(batch))
+	}
+	if _, err := client.IngestBatch(99, batch); err == nil {
+		t.Error("unknown site accepted over HTTP")
+	}
+	resp, err := http.Post(ts.URL+"/ingest/batch", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed batch body = %d, want 400", resp.StatusCode)
+	}
+	if _, err := client.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Feed.Observed != len(batch) || st.Invalid != 0 {
+		t.Errorf("observed=%d invalid=%d, want %d observed and 0 invalid", st.Feed.Observed, st.Invalid, len(batch))
+	}
+	if len(st.Shards) != len(w.Sites) || st.Shards[1].Received != len(batch) {
+		t.Errorf("shard stats missing the batch: %+v", st.Shards)
+	}
+}
+
 // TestReadEventsOversizedLine checks that one over-long line is skipped
 // and counted without aborting the stream or losing its neighbors.
 func TestReadEventsOversizedLine(t *testing.T) {

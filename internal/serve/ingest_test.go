@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+)
+
+// TestConcurrentProducersNoLoss races N producers over the sharded ingest
+// front end — half through the mixed-event Ingest path one event at a
+// time, half through the site-addressed IngestBatch fast path — with real
+// cross-producer skew inside every interval, live checkpoints, and a
+// one-interval watermark. After the final drain every accepted reading
+// must be observed: zero loss, zero late, zero invalid. A deterministic
+// second phase then sends known-late readings and requires the Late
+// counter to match exactly. `make race` runs this under the race
+// detector, which is what pins the sharded path race-clean.
+func TestConcurrentProducersNoLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	w := testWorld(t)
+	const interval = model.Epoch(300)
+	const producers = 8
+
+	events := WorldEvents(w, nil) // readings only: loss accounting is exact
+	numWaves := int(w.Epochs/interval) + 1
+	waves := make([][]Event, numWaves)
+	for _, ev := range events {
+		k := min(int(ev.Time()/interval), numWaves-1)
+		waves[k] = append(waves[k], ev)
+	}
+
+	c := dist.NewCluster(w, dist.MigrateNone, rfinfer.DefaultConfig())
+	srv, err := New(c, Config{Interval: interval, Watermark: interval, QueueSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Producers rendezvous between waves, so skew never exceeds one
+	// interval — which the watermark absorbs. Within a wave, producers
+	// interleave freely across all shards: each takes the event stripe
+	// i ≡ p (mod producers), even ones event-by-event through Ingest,
+	// odd ones per-site batched through IngestBatch.
+	for k := 0; k < numWaves; k++ {
+		wave := waves[k]
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				if p%2 == 0 {
+					for i := p; i < len(wave); i += producers {
+						if err := srv.Ingest(wave[i : i+1]); err != nil {
+							t.Errorf("producer %d: %v", p, err)
+							return
+						}
+					}
+					return
+				}
+				buckets := make([][]dist.Reading, len(w.Sites))
+				for i := p; i < len(wave); i += producers {
+					ev := wave[i]
+					buckets[ev.Site] = append(buckets[ev.Site], dist.Reading{T: ev.T, ID: ev.Tag, Mask: ev.Mask})
+				}
+				for site, batch := range buckets {
+					if err := srv.IngestBatch(site, batch); err != nil {
+						t.Errorf("producer %d site %d: %v", p, site, err)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	if err := srv.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Received != len(events) {
+		t.Errorf("received %d events, want %d", st.Received, len(events))
+	}
+	if st.Feed.Observed != len(events) {
+		t.Errorf("observed %d readings after drain, want %d (lost %d)",
+			st.Feed.Observed, len(events), len(events)-st.Feed.Observed)
+	}
+	if st.Feed.Late != 0 || st.Invalid != 0 || st.Feed.Buffered != 0 {
+		t.Errorf("post-drain counters: late=%d invalid=%d buffered=%d, want all zero",
+			st.Feed.Late, st.Invalid, st.Feed.Buffered)
+	}
+	if len(st.Shards) != len(w.Sites) {
+		t.Fatalf("stats report %d shards, want %d", len(st.Shards), len(w.Sites))
+	}
+	perShard := 0
+	for _, ss := range st.Shards {
+		perShard += ss.Received
+	}
+	if perShard != len(events) {
+		t.Errorf("shard received sum %d, want %d", perShard, len(events))
+	}
+
+	// Deterministic late phase: every checkpoint through the horizon has
+	// run, so readings at epoch 0 are unambiguously late — raced from N
+	// goroutines they must all be counted, never observed, never lost.
+	const lateEach = 16
+	item := w.Sites[0].Items()[0]
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < lateEach; i++ {
+				var err error
+				if p%2 == 0 {
+					err = srv.IngestReading(p%len(w.Sites), 0, item, 1)
+				} else {
+					err = srv.IngestBatch(p%len(w.Sites), []dist.Reading{{T: 0, ID: item, Mask: 1}})
+				}
+				if err != nil {
+					t.Errorf("late producer %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	st = srv.Stats()
+	if want := producers * lateEach; st.Feed.Late != want {
+		t.Errorf("late = %d, want exactly %d", st.Feed.Late, want)
+	}
+	if st.Feed.Observed != len(events) {
+		t.Errorf("late readings leaked into the feed: observed %d, want %d", st.Feed.Observed, len(events))
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestBatchValidation pins the batch fast path's edges: out-of-range
+// sites error (the batch is site-addressed), invalid readings inside a
+// batch are counted without poisoning their neighbors, and the HTTP batch
+// endpoint shares all of it.
+func TestIngestBatchValidation(t *testing.T) {
+	w := testWorld(t)
+	item := w.Sites[0].Items()[0]
+	c := dist.NewCluster(w, dist.MigrateNone, rfinfer.DefaultConfig())
+	srv, err := New(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.IngestBatch(99, []dist.Reading{{T: 1, ID: item, Mask: 1}}); err == nil {
+		t.Error("IngestBatch accepted an unknown site")
+	}
+	batch := []dist.Reading{
+		{T: 10, ID: item, Mask: 1},                     // valid
+		{T: 10, ID: model.TagID(w.NumTags()), Mask: 1}, // unknown tag
+		{T: 10, ID: item, Mask: 0},                     // empty mask
+		{T: 11, ID: item, Mask: 1},                     // valid
+	}
+	if err := srv.IngestBatch(0, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Invalid != 2 {
+		t.Errorf("invalid = %d, want 2 (last: %s)", st.Invalid, st.LastInvalid)
+	}
+	if st.Feed.Observed != 2 {
+		t.Errorf("observed = %d, want 2", st.Feed.Observed)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A distant Horizon admits far-future epochs past MaxSkip, but the
+	// per-shard bucket window stays bounded: a reading millions of
+	// intervals ahead is rejected, not allowed to grow a multi-million
+	// slot bucket slice under the stripe lock.
+	c2 := dist.NewCluster(w, dist.MigrateNone, rfinfer.DefaultConfig())
+	srv2, err := New(c2, Config{Interval: 300, Horizon: dist.MaxEpoch - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.IngestBatch(0, []dist.Reading{{T: dist.MaxEpoch - 2, ID: item, Mask: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv2.Stats(); st.Invalid != 1 || st.Feed.Buffered != 0 {
+		t.Errorf("far-future reading under a distant horizon: invalid=%d buffered=%d, want 1 rejected and 0 buffered (last: %s)",
+			st.Invalid, st.Feed.Buffered, st.LastInvalid)
+	}
+	// Keep the shutdown drain cheap: no stream time was ever published.
+	if err := srv2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

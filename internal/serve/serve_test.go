@@ -49,9 +49,10 @@ func alertTagSets(sites int, alerts []Alert) []map[model.TagID]bool {
 
 // TestServerMatchesSequential is the daemon-path determinism contract: a
 // world streamed through the Server — readings and departures over the
-// ingestion queue, checkpoints triggered by stream time — yields a Result
-// and per-site alert sets bit-identical to Cluster.ReplaySequential, at 1
-// worker and at GOMAXPROCS workers.
+// sharded ingest front end, checkpoints triggered by stream time — yields
+// a Result and per-site alert sets bit-identical to
+// Cluster.ReplaySequential, at 1, 4 and GOMAXPROCS workers, fed both by a
+// single ordered producer and by racing concurrent producers.
 func TestServerMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
@@ -76,63 +77,132 @@ func TestServerMatchesSequential(t *testing.T) {
 	}
 	events := WorldEvents(w, ref.Departures())
 
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-		c := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
-		srv, err := New(c, Config{
-			Interval: interval,
-			Horizon:  w.Epochs,
-			Workers:  workers,
-			Query:    exposureQuery(w, interval),
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		sub := srv.Subscribe()
-		var subAlerts []Alert
-		var subWG sync.WaitGroup
-		subWG.Add(1)
-		go func() {
-			defer subWG.Done()
-			for a := range sub.C {
-				subAlerts = append(subAlerts, a)
-			}
-		}()
-
-		for i := 0; i < len(events); i += 256 {
-			end := min(i+256, len(events))
-			if err := srv.Ingest(events[i:end]); err != nil {
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for _, mode := range []string{"serial", "concurrent"} {
+			name := mode
+			c := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+			srv, err := New(c, Config{
+				Interval: interval,
+				Horizon:  w.Epochs,
+				Workers:  workers,
+				Query:    exposureQuery(w, interval),
+			})
+			if err != nil {
 				t.Fatal(err)
 			}
-		}
-		if err := srv.Shutdown(context.Background()); err != nil {
-			t.Fatalf("workers=%d: shutdown: %v", workers, err)
-		}
-		subWG.Wait()
+			sub := srv.Subscribe()
+			var subAlerts []Alert
+			var subWG sync.WaitGroup
+			subWG.Add(1)
+			go func() {
+				defer subWG.Done()
+				for a := range sub.C {
+					subAlerts = append(subAlerts, a)
+				}
+			}()
 
-		if got := srv.Result(); !reflect.DeepEqual(got, want) {
-			t.Errorf("workers=%d: served Result diverged from sequential reference\n got: %+v\nwant: %+v",
-				workers, got, want)
+			if mode == "serial" {
+				for i := 0; i < len(events); i += 256 {
+					end := min(i+256, len(events))
+					if err := srv.Ingest(events[i:end]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else {
+				feedConcurrently(t, srv, events, interval)
+			}
+			if err := srv.Shutdown(context.Background()); err != nil {
+				t.Fatalf("workers=%d/%s: shutdown: %v", workers, name, err)
+			}
+			subWG.Wait()
+
+			if got := srv.Result(); !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d/%s: served Result diverged from sequential reference\n got: %+v\nwant: %+v",
+					workers, name, got, want)
+			}
+			if got := alertTagSets(len(w.Sites), subAlerts); !reflect.DeepEqual(got, wantAlerts) {
+				t.Errorf("workers=%d/%s: subscribed alert sets diverged\n got: %v\nwant: %v", workers, name, got, wantAlerts)
+			}
+			if len(subAlerts) != totalAlerts {
+				t.Errorf("workers=%d/%s: subscription delivered %d alerts, reference fired %d",
+					workers, name, len(subAlerts), totalAlerts)
+			}
+			st := srv.Stats()
+			if st.Invalid != 0 || st.Feed.Late != 0 {
+				t.Errorf("workers=%d/%s: clean stream counted invalid=%d late=%d", workers, name, st.Invalid, st.Feed.Late)
+			}
+			if st.Feed.Checkpoints != int(w.Epochs/interval) {
+				t.Errorf("workers=%d/%s: ran %d checkpoints, want %d", workers, name, st.Feed.Checkpoints, w.Epochs/interval)
+			}
+			if st.Sched.Advances != st.Feed.Checkpoints || st.Sched.Total <= 0 {
+				t.Errorf("workers=%d/%s: scheduler latency accounting missing: %+v", workers, name, st.Sched)
+			}
+			if err := srv.Ingest(events[:1]); err != ErrClosed {
+				t.Errorf("workers=%d/%s: Ingest after Shutdown = %v, want ErrClosed", workers, name, err)
+			}
 		}
-		if got := alertTagSets(len(w.Sites), subAlerts); !reflect.DeepEqual(got, wantAlerts) {
-			t.Errorf("workers=%d: subscribed alert sets diverged\n got: %v\nwant: %v", workers, got, wantAlerts)
+	}
+}
+
+// feedConcurrently streams the events with 6 racing producers per
+// Δ-interval wave: readings split across producers (half Ingest, half
+// IngestBatch), departures in-band. Producers rendezvous at interval
+// boundaries, so no event can arrive after its checkpoint sealed — which
+// is what makes the concurrent schedule reproduce the reference exactly.
+func feedConcurrently(t *testing.T, srv *Server, events []Event, interval model.Epoch) {
+	t.Helper()
+	var maxT model.Epoch
+	for _, ev := range events {
+		if ev.Time() > maxT {
+			maxT = ev.Time()
 		}
-		if len(subAlerts) != totalAlerts {
-			t.Errorf("workers=%d: subscription delivered %d alerts, reference fired %d",
-				workers, len(subAlerts), totalAlerts)
+	}
+	numWaves := int(maxT/interval) + 1
+	waves := make([][]Event, numWaves)
+	for _, ev := range events {
+		k := min(int(ev.Time()/interval), numWaves-1)
+		waves[k] = append(waves[k], ev)
+	}
+	const producers = 6
+	for k := 0; k < numWaves; k++ {
+		wave := waves[k]
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				if p%2 == 0 {
+					for i := p; i < len(wave); i += producers {
+						if err := srv.Ingest(wave[i : i+1]); err != nil {
+							t.Errorf("producer %d: %v", p, err)
+							return
+						}
+					}
+					return
+				}
+				// Batch path for this stripe's readings; departures and other
+				// events go through Ingest.
+				bySite := map[int][]dist.Reading{}
+				for i := p; i < len(wave); i += producers {
+					ev := wave[i]
+					if ev.Type == TypeReading {
+						bySite[ev.Site] = append(bySite[ev.Site], dist.Reading{T: ev.T, ID: ev.Tag, Mask: ev.Mask})
+						continue
+					}
+					if err := srv.Ingest(wave[i : i+1]); err != nil {
+						t.Errorf("producer %d: %v", p, err)
+						return
+					}
+				}
+				for site, batch := range bySite {
+					if err := srv.IngestBatch(site, batch); err != nil {
+						t.Errorf("producer %d site %d: %v", p, site, err)
+						return
+					}
+				}
+			}(p)
 		}
-		st := srv.Stats()
-		if st.Invalid != 0 || st.Feed.Late != 0 {
-			t.Errorf("workers=%d: clean stream counted invalid=%d late=%d", workers, st.Invalid, st.Feed.Late)
-		}
-		if st.Feed.Checkpoints != int(w.Epochs/interval) {
-			t.Errorf("workers=%d: ran %d checkpoints, want %d", workers, st.Feed.Checkpoints, w.Epochs/interval)
-		}
-		if st.Sched.Advances != st.Feed.Checkpoints || st.Sched.Total <= 0 {
-			t.Errorf("workers=%d: scheduler latency accounting missing: %+v", workers, st.Sched)
-		}
-		if err := srv.Ingest(events[:1]); err != ErrClosed {
-			t.Errorf("workers=%d: Ingest after Shutdown = %v, want ErrClosed", workers, err)
-		}
+		wg.Wait()
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rfidtrack/internal/dist"
@@ -18,19 +19,26 @@ import (
 var ErrClosed = errors.New("serve: server is shut down")
 
 // Config tunes a Server. The zero value is usable: Δ = 300 s of stream
-// time (the paper's re-inference interval) and a 64-batch ingest queue.
+// time (the paper's re-inference interval) and an 8192-reading per-shard
+// backlog bound.
 type Config struct {
 	// Interval is Δ, the stream-time gap between inference checkpoints.
 	// Default 300, the paper's deployed re-inference period.
 	Interval model.Epoch
 	// Horizon, when positive, is the last stream epoch the deployment
-	// covers: Drain and Shutdown advance checkpoints through it, exactly
-	// like a Replay over a world with Epochs = Horizon. When zero the
-	// final drain stops after the interval containing the last streamed
-	// reading.
+	// covers: events at or past it are rejected, and Drain and Shutdown
+	// advance checkpoints through it exactly like a Replay over a world
+	// with Epochs = Horizon — except that trailing intervals past the
+	// last streamed reading, which observe nothing, are skipped. When
+	// zero the final drain likewise stops after the interval containing
+	// the last streamed reading.
 	Horizon model.Epoch
-	// QueueSize bounds the ingest queue in batches. Producers block when
-	// it is full — backpressure, never loss. Default 64.
+	// QueueSize bounds each per-site ingest shard's backlog of buffered
+	// readings while a checkpoint is due or running: producers that hit
+	// the bound block until the checkpoint completes — backpressure, never
+	// loss. While no checkpoint is pending, ingestion never blocks (the
+	// producers themselves are what move stream time forward, so blocking
+	// them could make no progress). Default 8192.
 	QueueSize int
 	// MaxSkip bounds how many Δ-intervals ahead of the next checkpoint an
 	// event may be when no Horizon is configured (default 1024). Events
@@ -62,7 +70,7 @@ func (c Config) withDefaults() Config {
 		c.Interval = 300
 	}
 	if c.QueueSize <= 0 {
-		c.QueueSize = 64
+		c.QueueSize = 8192
 	}
 	if c.MaxSkip <= 0 {
 		c.MaxSkip = 1024
@@ -71,8 +79,9 @@ func (c Config) withDefaults() Config {
 }
 
 // SchedStats reports the scheduler's checkpoint latency: the wall time
-// feed.Advance spends ingesting an interval, migrating and running
-// inference at every site.
+// feed.AdvanceWith spends ingesting an interval, migrating and running
+// inference at every site. The per-phase breakdown (interval ingest,
+// migration, inference, query/scoring tail) is in Stats.Feed.Phases.
 type SchedStats struct {
 	// Advances is the number of completed checkpoints.
 	Advances int `json:"advances"`
@@ -82,12 +91,13 @@ type SchedStats struct {
 	Last  time.Duration `json:"last_ns"`
 }
 
-// Stats is the /stats payload: ingestion counters, feed state, per-site
-// cluster runtime counters, inference memo statistics, and scheduler
-// latency.
+// Stats is the /stats payload: ingestion counters, feed state, per-shard
+// ingest stripes, per-site cluster runtime counters, inference memo
+// statistics, and scheduler latency.
 type Stats struct {
-	// Received counts events accepted into the queue; Invalid counts
-	// events rejected by validation (unknown site, tag, reader bit...).
+	// Received counts events accepted into the ingest shards; Invalid
+	// counts events rejected by validation (unknown site, tag, reader
+	// bit...).
 	Received int `json:"received"`
 	Invalid  int `json:"invalid"`
 	// LastInvalid describes the most recent validation rejection.
@@ -98,8 +108,11 @@ type Stats struct {
 	NextCheckpoint model.Epoch `json:"next_checkpoint"`
 	// Alerts is the number of continuous-query alerts published so far.
 	Alerts int `json:"alerts"`
-	// Feed is the incremental feed's ingestion counters.
+	// Feed is the incremental feed's ingestion counters (Late and Buffered
+	// include the ingest shards' stripe-local counts).
 	Feed dist.FeedStats `json:"feed"`
+	// Shards is the per-site ingest stripe breakdown.
+	Shards []ShardStats `json:"shards"`
 	// Cluster is the per-site migration/checkpoint accounting.
 	Cluster dist.ClusterStats `json:"cluster"`
 	// Memo is each site engine's posterior-memoization counters.
@@ -122,13 +135,6 @@ type SiteSnapshot struct {
 	Location map[model.TagID]model.Loc `json:"location"`
 }
 
-// ingestMsg is one queue element: a batch of events, or a control message
-// asking the scheduler to drain through an epoch.
-type ingestMsg struct {
-	events []Event
-	ctl    *drainCtl
-}
-
 // drainCtl asks the scheduler to advance through an epoch and reply.
 type drainCtl struct {
 	through model.Epoch
@@ -136,43 +142,70 @@ type drainCtl struct {
 }
 
 // Server is the online runtime around one dist.Cluster. Create it with
-// New, feed it with Ingest (or the HTTP Handler), and stop it with
-// Shutdown. All cluster mutation happens on the single scheduler
-// goroutine, which is what preserves the replay determinism contract.
+// New, feed it with Ingest / IngestBatch (or the HTTP Handler), and stop
+// it with Shutdown.
+//
+// Ingestion is sharded per site: producers validate and interval-bucket
+// their own readings under the owning stripe's lock, so N producers across
+// N sites never contend. The scheduler goroutine owns the feed and is the
+// only goroutine that mutates the cluster — which is what preserves the
+// replay determinism contract — but it touches a reading exactly once, at
+// its checkpoint: when stream time crosses a Δ boundary it seals the
+// current interval's bucket on every stripe and hands the sealed buckets
+// to Feed.AdvanceWith, while producers keep bucketing future intervals
+// concurrently. Ingest latency is therefore independent of checkpoint
+// latency.
 type Server struct {
 	cfg     Config
 	cluster *dist.Cluster
 
-	in        chan ingestMsg
-	schedDone chan struct{}
-	alerts    *alertLog
+	shards []*shard
+	alerts *alertLog
 
 	closeMu  sync.RWMutex
 	closed   bool
 	ingestWG sync.WaitGroup
 
-	mu       sync.Mutex // guards everything below
-	feed     *dist.Feed
-	maxT     model.Epoch
-	received int
-	invalid  int
-	lastInv  string
-	sched    SchedStats
-	runErr   error
-	final    *dist.Result
+	notify    chan struct{} // "stream time may have crossed a boundary"
+	ctl       chan *drainCtl
+	quit      chan struct{}
+	schedDone chan struct{}
+
+	maxT     atomic.Int64 // global stream time (-1 until the first reading)
+	dueAt    atomic.Int64 // stream time at which the next checkpoint is due
+	nextCkpt atomic.Int64 // feed.Next(), for producer-side epoch bounds
+	failed   atomic.Bool  // latched runErr, releases backpressure waiters
+
+	invMu        sync.Mutex // guards the rejection counters
+	invalid      int
+	lastInv      string
+	miscReceived int // events not routed to any stripe (departures, junk)
+
+	depMu     sync.Mutex // guards the departure buffer
+	deps      []dist.Departure
+	depsSpare []dist.Departure // double buffer recycled by the scheduler
+
+	mu     sync.Mutex // guards the feed and everything below
+	feed   *dist.Feed
+	due    [][]dist.Reading // sealed per-site buckets, reused per checkpoint
+	sched  SchedStats
+	runErr error
+	final  *dist.Result
 }
 
 // New builds and starts a server over the cluster: it opens the cluster's
-// incremental feed (resetting its runtime counters) and launches the
-// scheduler goroutine. The server takes over the cluster's Query and
-// Workers wiring; the cluster must not be used concurrently by the
-// caller until Shutdown returns.
+// incremental feed (resetting its runtime counters), builds one ingest
+// shard per site, and launches the scheduler goroutine. The server takes
+// over the cluster's Query and Workers wiring; the cluster must not be
+// used concurrently by the caller until Shutdown returns.
 func New(c *dist.Cluster, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,
 		cluster:   c,
-		in:        make(chan ingestMsg, cfg.QueueSize),
+		notify:    make(chan struct{}, 1),
+		ctl:       make(chan *drainCtl),
+		quit:      make(chan struct{}),
 		schedDone: make(chan struct{}),
 		alerts:    newAlertLog(),
 	}
@@ -189,12 +222,26 @@ func New(c *dist.Cluster, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.feed = feed
+	s.shards = make([]*shard, len(c.World.Sites))
+	for site, tr := range c.World.Sites {
+		kinds := make([]model.TagKind, len(tr.Tags))
+		for i := range tr.Tags {
+			kinds[i] = tr.Tags[i].Kind
+		}
+		s.shards[site] = newShard(site, len(tr.Readers), kinds)
+	}
+	s.due = make([][]dist.Reading, len(s.shards))
+	s.maxT.Store(-1)
+	s.nextCkpt.Store(int64(cfg.Interval))
+	s.dueAt.Store(int64(cfg.Interval + cfg.Watermark))
 	go s.scheduler()
 	return s, nil
 }
 
 // hookQuery wraps a ClusterQuery so every per-site engine publishes its
-// matches to the alert log the moment a pattern fires.
+// matches to the alert log the moment a pattern fires. The log is
+// mutex-guarded, so this stays safe when the checkpoint tail fans out
+// over sites.
 func (s *Server) hookQuery(q *dist.ClusterQuery) *dist.ClusterQuery {
 	return &dist.ClusterQuery{
 		New: func(site int) *query.Engine {
@@ -206,12 +253,14 @@ func (s *Server) hookQuery(q *dist.ClusterQuery) *dist.ClusterQuery {
 	}
 }
 
-// Ingest validates nothing and blocks only on the bounded queue; the
-// scheduler does validation and buffering. It returns ErrClosed once
-// Shutdown has begun. Events within one Δ-interval may arrive in any
-// order; an event older than an already-completed checkpoint is counted
-// late and dropped. The slice is retained until the scheduler applies it:
-// the caller must not reuse it after Ingest returns.
+// Ingest validates and interval-buckets the events on the calling
+// goroutine — by the time it returns, every accepted event is buffered in
+// its site's shard and will be observed by that interval's checkpoint.
+// It blocks only on per-shard backpressure (a full stripe behind a due
+// checkpoint) and returns ErrClosed once Shutdown has begun. Events within
+// one Δ-interval may arrive in any order; an event older than an
+// already-sealed checkpoint is counted late and dropped. The slice is not
+// retained: the caller may reuse it as soon as Ingest returns.
 func (s *Server) Ingest(events []Event) error {
 	if len(events) == 0 {
 		return nil
@@ -224,7 +273,75 @@ func (s *Server) Ingest(events []Event) error {
 	s.ingestWG.Add(1)
 	s.closeMu.RUnlock()
 	defer s.ingestWG.Done()
-	s.in <- ingestMsg{events: events}
+
+	// Hold the current event's stripe lock across runs of same-site
+	// events: a time-ordered multi-site stream costs one uncontended
+	// lock hop per site switch, a site-homogeneous batch costs one total.
+	var cur *shard
+	batchMax := model.Epoch(-1)
+	for i := range events {
+		ev := &events[i]
+		switch ev.Type {
+		case TypeReading:
+			if ev.Site < 0 || ev.Site >= len(s.shards) {
+				s.rejectMiscf("reading for unknown site %d", ev.Site)
+				continue
+			}
+			sh := s.shards[ev.Site]
+			if sh != cur {
+				if cur != nil {
+					cur.mu.Unlock()
+				}
+				sh.mu.Lock()
+				cur = sh
+			}
+			if t := s.applyReadingLocked(sh, ev.T, ev.Tag, ev.Mask); t > batchMax {
+				batchMax = t
+			}
+		case TypeDepart:
+			s.applyDeparture(dist.Departure{Object: ev.Object, From: ev.From, To: ev.To, At: ev.At})
+		default:
+			s.rejectMiscf("unknown event type %q", ev.Type)
+		}
+	}
+	if cur != nil {
+		cur.mu.Unlock()
+	}
+	s.publishTime(batchMax)
+	return nil
+}
+
+// IngestBatch is the single-site fast path: validate and bucket a batch of
+// readings for one site under one lock acquisition, allocation-free in
+// steady state. The readings slice is not retained; the caller may reuse
+// it immediately. An out-of-range site is an error (the batch is
+// site-addressed), unlike Ingest, which counts unroutable events invalid.
+func (s *Server) IngestBatch(site int, readings []dist.Reading) error {
+	if len(readings) == 0 {
+		return nil
+	}
+	if site < 0 || site >= len(s.shards) {
+		return fmt.Errorf("serve: site %d out of range [0,%d)", site, len(s.shards))
+	}
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	s.ingestWG.Add(1)
+	s.closeMu.RUnlock()
+	defer s.ingestWG.Done()
+
+	sh := s.shards[site]
+	batchMax := model.Epoch(-1)
+	sh.mu.Lock()
+	for i := range readings {
+		if t := s.applyReadingLocked(sh, readings[i].T, readings[i].ID, readings[i].Mask); t > batchMax {
+			batchMax = t
+		}
+	}
+	sh.mu.Unlock()
+	s.publishTime(batchMax)
 	return nil
 }
 
@@ -238,12 +355,142 @@ func (s *Server) IngestDeparture(d dist.Departure) error {
 	return s.Ingest([]Event{Depart(d)})
 }
 
-// Drain blocks until every batch queued before it has been applied and
+// applyReadingLocked validates one reading against the deployment layout
+// and buckets it into the shard. It returns the accepted epoch, or -1 when
+// the reading was rejected or late. Caller holds sh.mu.
+func (s *Server) applyReadingLocked(sh *shard, t model.Epoch, tag model.TagID, mask model.Mask) model.Epoch {
+	sh.received++
+	if int(tag) < 0 || int(tag) >= len(sh.kinds) {
+		s.rejectf("reading for unknown tag %d", tag)
+		return -1
+	}
+	if k := sh.kinds[tag]; k != model.KindItem && k != model.KindCase {
+		s.rejectf("reading for non-trackable tag %d (kind %d)", tag, k)
+		return -1
+	}
+	if mask == 0 || mask>>sh.readers != 0 {
+		s.rejectf("reading mask %#x outside site %d's %d readers", mask, sh.site, sh.readers)
+		return -1
+	}
+	// Past the horizon a reading could never be observed by any
+	// checkpoint; refusing it also keeps stream time bounded.
+	if bound, kind := s.epochBound(); t >= bound || t < 0 {
+		s.rejectf("reading at epoch %d beyond %s %d", t, kind, bound)
+		return -1
+	}
+	if t < sh.lateBefore {
+		sh.late++
+		return -1
+	}
+	// Backpressure: while the stripe is full *and* the scheduler has a
+	// checkpoint to run, wait for that checkpoint to drain the stripe.
+	// Without a runnable checkpoint the producers themselves are the only
+	// source of progress, so the bound does not apply.
+	for sh.backlog >= s.cfg.QueueSize && s.checkpointDue() && !s.failed.Load() {
+		sh.waits++
+		sh.cond.Wait()
+		if t < sh.lateBefore { // the checkpoint we waited on sealed past us
+			sh.late++
+			return -1
+		}
+	}
+	k := int(t/s.cfg.Interval) - sh.base
+	if k >= maxShardIntervals {
+		s.rejectf("reading at epoch %d is %d intervals ahead of checkpoint %d (max %d)",
+			t, k, sh.lateBefore+s.cfg.Interval, maxShardIntervals)
+		return -1
+	}
+	sh.growTo(k)
+	sh.buckets[k] = append(sh.buckets[k], dist.Reading{T: t, ID: tag, Mask: mask})
+	sh.backlog++
+	if t > sh.maxT {
+		sh.maxT = t
+	}
+	return t
+}
+
+// applyDeparture validates one departure and buffers it for the scheduler,
+// which flushes the buffer into the feed ahead of every checkpoint.
+func (s *Server) applyDeparture(d dist.Departure) {
+	s.invMu.Lock()
+	s.miscReceived++
+	s.invMu.Unlock()
+	w := s.cluster.World
+	n := len(w.Sites)
+	if int(d.Object) < 0 || int(d.Object) >= w.NumTags() ||
+		w.Sites[0].Tags[d.Object].Kind != model.KindItem {
+		s.rejectf("departure of non-item tag %d", d.Object)
+		return
+	}
+	if d.From < 0 || d.From >= n || d.To < 0 || d.To >= n || d.From == d.To {
+		s.rejectf("departure %d->%d invalid for %d sites", d.From, d.To, n)
+		return
+	}
+	if bound, kind := s.epochBound(); d.At >= bound || d.At < 0 {
+		s.rejectf("departure at epoch %d beyond %s %d", d.At, kind, bound)
+		return
+	}
+	s.depMu.Lock()
+	s.deps = append(s.deps, d)
+	s.depMu.Unlock()
+}
+
+// rejectf counts one validation rejection.
+func (s *Server) rejectf(format string, args ...any) {
+	s.invMu.Lock()
+	s.invalid++
+	s.lastInv = fmt.Sprintf(format, args...)
+	s.invMu.Unlock()
+}
+
+// rejectMiscf counts a rejected event that was never routed to a stripe
+// (unknown site, unknown type), so Received still accounts for it.
+func (s *Server) rejectMiscf(format string, args ...any) {
+	s.invMu.Lock()
+	s.invalid++
+	s.miscReceived++
+	s.lastInv = fmt.Sprintf(format, args...)
+	s.invMu.Unlock()
+}
+
+// publishTime folds a batch's highest accepted epoch into global stream
+// time and wakes the scheduler when a checkpoint became due. Stream time
+// is published only after the batch is fully bucketed, so the scheduler
+// can never seal an interval ahead of readings that moved the clock.
+func (s *Server) publishTime(t model.Epoch) {
+	if t < 0 {
+		return
+	}
+	for {
+		cur := s.maxT.Load()
+		if int64(t) <= cur {
+			break
+		}
+		if s.maxT.CompareAndSwap(cur, int64(t)) {
+			break
+		}
+	}
+	if s.checkpointDue() {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// checkpointDue reports whether published stream time has crossed the next
+// checkpoint's watermark.
+func (s *Server) checkpointDue() bool {
+	return s.maxT.Load() >= s.dueAt.Load()
+}
+
+// Drain blocks until every event ingested before it has been applied and
 // every checkpoint at or before through — clamped to the horizon
 // (Config.Horizon, else the interval containing the last streamed
-// reading) — has run. Past the horizon there is no data to checkpoint,
-// so an oversized through cannot spin the scheduler; through == 0 drains
-// to the horizon itself.
+// reading) — has run, including any checkpoint the watermark rule already
+// owes. Past the horizon there is no data to checkpoint, so an oversized
+// through cannot spin the scheduler; through == 0 drains to the horizon
+// itself.
 func (s *Server) Drain(through model.Epoch) error {
 	s.closeMu.RLock()
 	if s.closed {
@@ -254,16 +501,17 @@ func (s *Server) Drain(through model.Epoch) error {
 	s.closeMu.RUnlock()
 	defer s.ingestWG.Done()
 	ctl := &drainCtl{through: through, done: make(chan error, 1)}
-	s.in <- ingestMsg{ctl: ctl}
+	s.ctl <- ctl
 	return <-ctl.done
 }
 
-// Shutdown stops ingestion, drains every queued batch, runs the remaining
-// checkpoints through the horizon, finalizes the Result, and closes all
-// alert subscriptions. It is the SIGINT/SIGTERM path of rfidtrackd: after
-// it returns no accepted reading is unaccounted for. ctx bounds the final
-// drain; on expiry the remaining checkpoints are abandoned and ctx.Err()
-// returned (the Result still reflects every completed checkpoint).
+// Shutdown stops ingestion, waits out in-flight producers, runs the
+// remaining checkpoints through the horizon, finalizes the Result, and
+// closes all alert subscriptions. It is the SIGINT/SIGTERM path of
+// rfidtrackd: after it returns no accepted reading is unaccounted for.
+// ctx bounds the final drain; on expiry the remaining checkpoints are
+// abandoned and ctx.Err() returned (the Result still reflects every
+// completed checkpoint).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeMu.Lock()
 	if s.closed {
@@ -273,18 +521,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	s.closeMu.Unlock()
 
-	s.ingestWG.Wait() // every accepted producer has enqueued
-	close(s.in)
-	<-s.schedDone // scheduler applied every queued batch
+	s.ingestWG.Wait() // every accepted producer has bucketed its events
+	close(s.quit)
+	<-s.schedDone
 
 	s.mu.Lock()
 	var err error
-	for s.feed.Next() <= s.horizonLocked() && s.runErr == nil {
+	for s.feed.Next() <= s.horizon() && s.runErr == nil {
 		select {
 		case <-ctx.Done():
 			err = ctx.Err()
 		default:
-			s.timedAdvance()
+			s.runCheckpointLocked()
 		}
 		if err != nil {
 			break
@@ -303,103 +551,73 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// scheduler is the single goroutine that mutates the cluster: it applies
-// queued batches in arrival order and advances the feed whenever stream
-// time crosses a checkpoint boundary.
+// scheduler is the goroutine that owns the feed: it runs checkpoints when
+// producers report stream time crossing a Δ boundary, and serves Drain
+// barriers. It holds s.mu during a checkpoint — but never any shard lock
+// beyond the O(1) seal/recycle steps, which is what keeps ingestion
+// running while inference does.
 func (s *Server) scheduler() {
 	defer close(s.schedDone)
-	for msg := range s.in {
-		s.mu.Lock()
-		if msg.ctl != nil {
-			// Drains are clamped to the horizon: past the configured (or
-			// streamed) coverage there is no data to checkpoint, and an
-			// unbounded ?through= must not spin the scheduler.
-			through := msg.ctl.through
-			if h := s.horizonLocked(); through == 0 || through > h {
+	for {
+		select {
+		case <-s.notify:
+			s.mu.Lock()
+			s.runDueLocked()
+			s.mu.Unlock()
+		case ctl := <-s.ctl:
+			s.mu.Lock()
+			s.runDueLocked()
+			through := ctl.through
+			if h := s.horizon(); through == 0 || through > h {
 				through = h
 			}
 			for s.feed.Next() <= through && s.runErr == nil {
-				s.timedAdvance()
+				s.runCheckpointLocked()
 			}
 			err := s.runErr
 			s.mu.Unlock()
-			msg.ctl.done <- err
-			continue
+			ctl.done <- err
+		case <-s.quit:
+			return
 		}
-		for _, ev := range msg.events {
-			s.apply(ev)
-		}
-		for s.feed.Next()+s.cfg.Watermark <= s.maxT && s.runErr == nil {
-			s.timedAdvance()
-		}
-		s.mu.Unlock()
 	}
 }
 
-// apply validates one event against the deployment layout and buffers it
-// into the feed. Invalid events are counted, never fatal. Caller holds mu.
-func (s *Server) apply(ev Event) {
-	s.received++
-	reject := func(format string, args ...any) {
-		s.invalid++
-		s.lastInv = fmt.Sprintf(format, args...)
-	}
-	w := s.cluster.World
-	switch ev.Type {
-	case TypeReading:
-		if ev.Site < 0 || ev.Site >= len(w.Sites) {
-			reject("reading for unknown site %d", ev.Site)
-			return
-		}
-		if int(ev.Tag) < 0 || int(ev.Tag) >= w.NumTags() {
-			reject("reading for unknown tag %d", ev.Tag)
-			return
-		}
-		if k := w.Sites[ev.Site].Tags[ev.Tag].Kind; k != model.KindItem && k != model.KindCase {
-			reject("reading for non-trackable tag %d (kind %d)", ev.Tag, k)
-			return
-		}
-		if ev.Mask == 0 || ev.Mask>>len(w.Sites[ev.Site].Readers) != 0 {
-			reject("reading mask %#x outside site %d's %d readers", ev.Mask, ev.Site, len(w.Sites[ev.Site].Readers))
-			return
-		}
-		// Past the horizon a reading could never be observed by any
-		// checkpoint; refusing it also keeps stream time bounded.
-		if bound, kind := s.epochBoundLocked(); ev.T >= bound {
-			reject("reading at epoch %d beyond %s %d", ev.T, kind, bound)
-			return
-		}
-		if err := s.feed.Observe(ev.Site, ev.T, ev.Tag, ev.Mask); err != nil {
-			reject("%v", err)
-			return
-		}
-		if ev.T > s.maxT {
-			s.maxT = ev.T
-		}
-	case TypeDepart:
-		if int(ev.Object) < 0 || int(ev.Object) >= w.NumTags() ||
-			w.Sites[0].Tags[ev.Object].Kind != model.KindItem {
-			reject("departure of non-item tag %d", ev.Object)
-			return
-		}
-		if bound, kind := s.epochBoundLocked(); ev.At >= bound {
-			reject("departure at epoch %d beyond %s %d", ev.At, kind, bound)
-			return
-		}
-		if err := s.feed.Depart(dist.Departure{Object: ev.Object, From: ev.From, To: ev.To, At: ev.At}); err != nil {
-			reject("%v", err)
-		}
-	default:
-		reject("unknown event type %q", ev.Type)
+// runDueLocked runs every checkpoint the watermark rule owes at the
+// current stream time. Caller holds mu.
+func (s *Server) runDueLocked() {
+	for s.runErr == nil && model.Epoch(s.maxT.Load()) >= s.feed.Next()+s.cfg.Watermark {
+		s.runCheckpointLocked()
 	}
 }
 
-// timedAdvance runs one checkpoint and records its latency. Caller holds
-// mu. A feed error is latched into runErr; the server stops advancing but
-// keeps serving stats and snapshots so the failure is observable.
-func (s *Server) timedAdvance() {
+// runCheckpointLocked runs one checkpoint: seal the current interval's
+// bucket on every stripe (from this instant producers bucket only future
+// intervals, concurrently), flush buffered departures into the feed, run
+// AdvanceWith over the sealed buckets, then recycle them and wake any
+// backpressured producers. Caller holds mu. A feed error is latched into
+// runErr; the server stops advancing but keeps serving stats and
+// snapshots so the failure is observable.
+func (s *Server) runCheckpointLocked() {
+	ckpt := s.feed.Next()
+	for i, sh := range s.shards {
+		s.due[i] = sh.seal(ckpt, s.cfg.Interval)
+	}
+
+	s.depMu.Lock()
+	deps := s.deps
+	s.deps = s.depsSpare[:0]
+	s.depMu.Unlock()
+	var depErr error
+	for _, d := range deps {
+		if err := s.feed.Depart(d); err != nil && depErr == nil {
+			depErr = err // unreachable: departures are pre-validated
+		}
+	}
+	s.depsSpare = deps[:0]
+
 	start := time.Now()
-	err := s.feed.Advance()
+	err := s.feed.AdvanceWith(s.due)
 	d := time.Since(start)
 	s.sched.Advances++
 	s.sched.Total += d
@@ -407,36 +625,54 @@ func (s *Server) timedAdvance() {
 	if d > s.sched.Max {
 		s.sched.Max = d
 	}
+	if err == nil {
+		err = depErr
+	}
 	if err != nil && s.runErr == nil {
 		s.runErr = err
+		s.failed.Store(true)
+	}
+
+	next := s.feed.Next()
+	s.nextCkpt.Store(int64(next))
+	s.dueAt.Store(int64(next + s.cfg.Watermark))
+	for i, sh := range s.shards {
+		sh.recycle(s.due[i])
+		s.due[i] = nil
 	}
 }
 
-// epochBoundLocked returns the highest epoch (exclusive) an event may
-// carry and what the bound is ("horizon" or "stream-time skip bound").
-// With a Horizon, later events could never be observed; without one, the
-// MaxSkip bound stops a single far-future epoch from dragging the
-// scheduler through millions of empty checkpoints. Caller holds mu.
-func (s *Server) epochBoundLocked() (model.Epoch, string) {
+// epochBound returns the highest epoch (exclusive) an event may carry and
+// what the bound is ("horizon" or "stream-time skip bound"). With a
+// Horizon, later events could never be observed; without one, the MaxSkip
+// bound stops a single far-future epoch from dragging the scheduler
+// through millions of empty checkpoints.
+func (s *Server) epochBound() (model.Epoch, string) {
 	if s.cfg.Horizon > 0 {
 		return s.cfg.Horizon, "horizon"
 	}
-	bound := int64(s.feed.Next()) + int64(s.cfg.MaxSkip)*int64(s.cfg.Interval)
+	bound := s.nextCkpt.Load() + int64(s.cfg.MaxSkip)*int64(s.cfg.Interval)
 	if bound > int64(dist.MaxEpoch) {
 		return dist.MaxEpoch, "stream-time skip bound"
 	}
 	return model.Epoch(bound), "stream-time skip bound"
 }
 
-// horizonLocked resolves the final-drain horizon. Caller holds mu.
-func (s *Server) horizonLocked() model.Epoch {
-	if s.cfg.Horizon > 0 {
-		return s.cfg.Horizon
-	}
-	if s.maxT == 0 {
+// horizon resolves the final-drain horizon: the interval containing the
+// last streamed reading, additionally capped by Config.Horizon. Trailing
+// intervals past the data observe nothing, so draining through a distant
+// Horizon would only spin empty checkpoints (with a Horizon near
+// MaxEpoch, millions of them on Shutdown).
+func (s *Server) horizon() model.Epoch {
+	maxT := s.maxT.Load()
+	if maxT < 0 {
 		return 0
 	}
-	return (s.maxT/s.cfg.Interval + 1) * s.cfg.Interval
+	data := (model.Epoch(maxT)/s.cfg.Interval + 1) * s.cfg.Interval
+	if s.cfg.Horizon > 0 && s.cfg.Horizon < data {
+		return s.cfg.Horizon
+	}
+	return data
 }
 
 // Result snapshots the accumulated replay result, in the exact shape
@@ -451,18 +687,12 @@ func (s *Server) Result() dist.Result {
 	return s.feed.Result()
 }
 
-// Stats reports the server's ingestion, cluster, memo and scheduler
+// Stats reports the server's ingestion, shard, cluster, memo and scheduler
 // counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := Stats{
-		Received:       s.received,
-		Invalid:        s.invalid,
-		LastInvalid:    s.lastInv,
-		StreamTime:     s.maxT,
 		NextCheckpoint: s.feed.Next(),
-		Alerts:         s.alerts.len(),
 		Feed:           s.feed.Stats(),
 		Cluster:        s.cluster.Stats(),
 		Sched:          s.sched,
@@ -473,14 +703,34 @@ func (s *Server) Stats() Stats {
 	if s.runErr != nil {
 		st.Err = s.runErr.Error()
 	}
+	s.mu.Unlock()
+
+	st.Shards = make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		ss := sh.stats()
+		st.Shards[i] = ss
+		st.Received += ss.Received
+		st.Feed.Late += ss.Late
+		st.Feed.Buffered += ss.Buffered
+	}
+	s.invMu.Lock()
+	st.Received += s.miscReceived
+	st.Invalid = s.invalid
+	st.LastInvalid = s.lastInv
+	s.invMu.Unlock()
+	s.depMu.Lock()
+	st.Feed.PendingDepartures += len(s.deps)
+	s.depMu.Unlock()
+	if maxT := s.maxT.Load(); maxT > 0 {
+		st.StreamTime = model.Epoch(maxT)
+	}
+	st.Alerts = s.alerts.len()
 	return st
 }
 
 // Healthy reports whether the pipeline is running without a feed error.
 func (s *Server) Healthy() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.runErr == nil
+	return !s.failed.Load()
 }
 
 // Snapshot returns site s's current containment and location estimates.

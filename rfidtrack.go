@@ -211,6 +211,10 @@ type (
 	// Feed is the incremental ingestion interface of a Cluster, the layer
 	// Server builds on.
 	Feed = dist.Feed
+	// FeedReading is one site-local reading in flight through the feed: the
+	// element type of Server.IngestBatch batches and of the sharded ingest
+	// buckets.
+	FeedReading = dist.Reading
 )
 
 // NewServer starts an online server over a cluster; see serve.New.
