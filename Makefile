@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve bench-json bench-smoke docs-lint ci
+.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve bench-json bench-smoke recover-smoke docs-lint ci
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,12 @@ race:
 	$(GO) test -race ./internal/rfinfer/... ./internal/dist/... ./internal/query/... ./internal/serve/...
 
 # Short fuzz sessions over the wire decoders (30 s total budget): migrated
-# state bytes must never panic a receiving site.
+# state bytes and write-ahead-log frames must never panic a receiver, and
+# a corrupt WAL tail must truncate cleanly instead of decoding garbage.
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz 'FuzzDecode$$' -fuzztime 10s ./internal/trace/
 	$(GO) test -run XXX -fuzz 'FuzzDecodeCR' -fuzztime 10s ./internal/rfinfer/
+	$(GO) test -run XXX -fuzz 'FuzzDecodeWALRecord' -fuzztime 10s ./internal/stream/
 
 # Whole-artifact benchmarks: regenerate every paper table/figure.
 bench:
@@ -51,6 +53,7 @@ bench-json:
 	$(GO) test -bench 'BenchmarkIngest|BenchmarkCheckpoint' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -o BENCH_serve.json
 	$(GO) test -bench 'BenchmarkEngineRun|BenchmarkEStep' -benchmem -run XXX ./internal/rfinfer/ | $(GO) run ./cmd/benchjson -o BENCH_rfinfer.json
 	$(GO) test -bench 'BenchmarkMigration|BenchmarkFeedAdvance' -benchmem -run XXX ./internal/dist/ | $(GO) run ./cmd/benchjson -o BENCH_dist.json
+	$(GO) test -bench 'BenchmarkIngestWAL|BenchmarkRecovery|BenchmarkWAL' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -o BENCH_wal.json
 
 # Benchmark smoke: a 100ms pass over the online-runtime benchmarks that
 # fails on build error or panic, so a checkpoint/ingest regression that
@@ -58,12 +61,20 @@ bench-json:
 bench-smoke:
 	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkCheckpoint$$' -benchtime 100ms -run XXX ./internal/serve/
 
-# Documentation gate: formatting, vet, and no undocumented exported
-# identifiers in the public-facing packages.
+# Recovery smoke: build the real daemon, kill -9 it mid-stream, restart
+# over the same data directory, and require the drained result to match
+# the uninterrupted reference exactly. Bounded to a few seconds.
+recover-smoke:
+	$(GO) test -run 'TestRecoverSmoke' -count=1 -v .
+
+# Documentation gate: formatting, vet, no undocumented exported
+# identifiers in the public-facing packages, and no dead cross-links in
+# the markdown docs.
 docs-lint:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/docslint . ./internal/serve ./internal/dist ./internal/query ./internal/stream
+	$(GO) run ./cmd/docslint . ./internal/serve ./internal/dist ./internal/query ./internal/stream ./internal/wal
+	$(GO) run ./cmd/docslint -md README.md -md ARCHITECTURE.md -md PERFORMANCE.md -md OPERATIONS.md
 
 # Tier-1 verify: everything the CI gate runs, in one command.
-ci: build vet test race fuzz-smoke bench-smoke docs-lint
+ci: build vet test race fuzz-smoke bench-smoke recover-smoke docs-lint

@@ -1,36 +1,54 @@
-// Command docslint fails when a package contains exported identifiers
-// without doc comments. It is the documentation gate of `make docs-lint`:
-// every exported type, function, method, constant and variable in the
-// listed package directories must carry a godoc comment (a doc comment on
-// a grouped const/var/type declaration covers the whole group).
+// Command docslint is the documentation gate of `make docs-lint`. It has
+// two modes, combinable in one invocation:
+//
+// Package directories: every exported type, function, method, constant
+// and variable in the listed directories must carry a godoc comment (a
+// doc comment on a grouped const/var/type declaration covers the group).
+//
+// Markdown files (-md): every relative cross-link in the listed files
+// must resolve — the target file must exist (relative to the linking
+// file), and a #fragment must name a heading in the target. External
+// links (http, https, mailto) are not checked.
 //
 // Usage:
 //
 //	docslint DIR [DIR...]
+//	docslint -md README.md -md OPERATIONS.md DIR [DIR...]
 //	docslint .  internal/serve internal/dist internal/query internal/stream
 //
-// Exit status is 1 when any undocumented exported identifier is found,
-// with one "file:line: identifier" diagnostic per finding.
+// Exit status is 1 when any undocumented exported identifier or dead
+// link is found, with one "file:line: finding" diagnostic per issue.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
 
+// mdFiles collects repeated -md flags.
+type mdFiles []string
+
+func (m *mdFiles) String() string     { return strings.Join(*m, ",") }
+func (m *mdFiles) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
+	var md mdFiles
+	flag.Var(&md, "md", "markdown file to dead-link lint (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: docslint DIR [DIR...]\n")
+		fmt.Fprintf(os.Stderr, "usage: docslint [-md FILE]... [DIR...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && len(md) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -43,10 +61,119 @@ func main() {
 		}
 		findings += n
 	}
+	for _, file := range md {
+		n, err := lintMarkdown(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+			os.Exit(2)
+		}
+		findings += n
+	}
 	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "docslint: %d undocumented exported identifiers\n", findings)
+		fmt.Fprintf(os.Stderr, "docslint: %d findings\n", findings)
 		os.Exit(1)
 	}
+}
+
+// mdLink matches inline markdown links [text](target); images and
+// reference-style links are out of scope for the repo's docs.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// lintMarkdown reports every relative link in file whose target file or
+// heading fragment does not resolve.
+func lintMarkdown(file string) (int, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	findings := 0
+	report := func(line int, msg string) {
+		fmt.Printf("%s:%d: %s\n", file, line, msg)
+		findings++
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inFence := false
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		// Fenced code blocks hold example syntax, not navigable links.
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					report(line, fmt.Sprintf("dead link %q: %s does not exist", target, resolved))
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(strings.ToLower(resolved), ".md") {
+				ok, err := hasAnchor(resolved, frag)
+				if err != nil {
+					return findings, err
+				}
+				if !ok {
+					report(line, fmt.Sprintf("dead link %q: no heading #%s in %s", target, frag, resolved))
+				}
+			}
+		}
+	}
+	return findings, sc.Err()
+}
+
+// hasAnchor reports whether a markdown file contains a heading whose
+// GitHub-style slug equals frag. Fenced code blocks are skipped — a
+// `#`-prefixed shell comment inside a console example is not a heading
+// and renders no anchor.
+func hasAnchor(file, frag string) (bool, error) {
+	b, err := os.ReadFile(file)
+	if err != nil {
+		return false, err
+	}
+	inFence := false
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		if headingSlug(heading) == strings.ToLower(frag) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// headingSlug lowercases a heading and maps it to its anchor: spaces
+// become dashes, and everything but letters, digits, dashes and
+// underscores is dropped (the GitHub slug rule, minus the dedup suffix).
+func headingSlug(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // lintDir parses one package directory (tests excluded) and reports every

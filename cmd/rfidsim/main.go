@@ -11,12 +11,21 @@
 // /ingest/batch fast path, departures in-band over /ingest — start the
 // daemon with -watermark to absorb the cross-producer skew this creates.
 //
+// -retry turns either streaming mode into the kill/restart chaos client:
+// a failed post (daemon killed, restarting, or briefly unreachable) is
+// re-sent with backoff until the window closes, like a real edge relay
+// that buffers while its collector is down. Re-sent batches are safe:
+// ingest is idempotent (readings merge, duplicate departures dedup), so
+// `kill -9` the daemon mid-stream, restart it with the same -data-dir,
+// and the stream completes with a bit-identical result.
+//
 // Usage:
 //
 //	rfidsim -epochs 3600 -rr 0.8 -anomaly 60 -o trace.bin
 //	rfidsim -lab T5 -o lab.bin
 //	rfidsim -sites 2 -path 2 -serve http://localhost:8080 -rate 50000
 //	rfidsim -sites 4 -path 2 -serve http://localhost:8080 -per-site
+//	rfidsim -sites 2 -serve http://localhost:8080 -retry 30s   # chaos client
 package main
 
 import (
@@ -57,6 +66,7 @@ func main() {
 		perSite  = flag.Bool("per-site", false, "stream each site concurrently over /ingest/batch (set -watermark on the daemon to absorb producer skew)")
 		skew     = flag.Int("skew", 300, "per-site mode: max stream-time lead (epochs) of any producer over the slowest; keep at or below the daemon's -watermark")
 		drain    = flag.Bool("drain", true, "POST /drain after streaming so the daemon finishes the trailing interval")
+		retry    = flag.Duration("retry", 0, "chaos mode: re-send failed posts with backoff for this long (covers a daemon kill -9 + restart); 0 fails fast")
 	)
 	flag.Parse()
 
@@ -102,9 +112,9 @@ func main() {
 	if *serveURL != "" {
 		var err error
 		if *perSite {
-			err = streamWorldPerSite(*serveURL, w, *rate, *batch, model.Epoch(*skew), *drain)
+			err = streamWorldPerSite(*serveURL, w, *rate, *batch, model.Epoch(*skew), *drain, *retry)
 		} else {
-			err = streamWorld(*serveURL, w, *rate, *batch, *drain)
+			err = streamWorld(*serveURL, w, *rate, *batch, *drain, *retry)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -139,7 +149,7 @@ func main() {
 // so producers self-pace: none runs more than skew epochs of stream time
 // ahead of the slowest, keeping the skew inside what the daemon's
 // watermark absorbs.
-func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize int, skew model.Epoch, drain bool) error {
+func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize int, skew model.Epoch, drain bool, retry time.Duration) error {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -219,7 +229,10 @@ func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize in
 				for skew > 0 && frontier-int64(skew) > minOthers(s) {
 					time.Sleep(time.Millisecond)
 				}
-				if _, err := client.IngestBatch(s, stream[i:end]); err != nil {
+				if err := postRetry(retry, func() error {
+					_, err := client.IngestBatch(s, stream[i:end])
+					return err
+				}); err != nil {
 					errs[s] = err
 					return
 				}
@@ -259,7 +272,10 @@ func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize in
 			for skew > 0 && frontier-int64(skew) > minOthers(depIdx) {
 				time.Sleep(time.Millisecond)
 			}
-			if _, err := client.Ingest(depEvents[i:end]); err != nil {
+			if err := postRetry(retry, func() error {
+				_, err := client.Ingest(depEvents[i:end])
+				return err
+			}); err != nil {
 				return err
 			}
 			pos[depIdx].Store(frontier)
@@ -279,18 +295,45 @@ func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize in
 	elapsed := time.Since(start)
 	fmt.Printf("streamed %d readings in %s (%.0f readings/s across %d producers)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), len(streams))
-	return reportDaemon(&serve.Client{BaseURL: baseURL}, drain)
+	return reportDaemon(&serve.Client{BaseURL: baseURL}, drain, retry)
+}
+
+// postRetry runs send, re-trying with exponential backoff until the chaos
+// window closes. Re-sending a batch whose acknowledgement was lost is safe:
+// the daemon's ingest is idempotent. A zero window fails fast.
+func postRetry(window time.Duration, send func() error) error {
+	err := send()
+	if err == nil || window <= 0 {
+		return err
+	}
+	deadline := time.Now().Add(window)
+	backoff := 50 * time.Millisecond
+	for {
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		if err = send(); err == nil {
+			return nil
+		}
+	}
 }
 
 // reportDaemon drains (or polls) the daemon and prints its counters.
-func reportDaemon(client *serve.Client, drain bool) error {
+func reportDaemon(client *serve.Client, drain bool, retry time.Duration) error {
 	var st serve.Stats
-	var err error
-	if drain {
-		st, err = client.Drain(0)
-	} else {
-		st, err = client.Stats()
-	}
+	err := postRetry(retry, func() error {
+		var derr error
+		if drain {
+			st, derr = client.Drain(0)
+		} else {
+			st, derr = client.Stats()
+		}
+		return derr
+	})
 	if err != nil {
 		return err
 	}
@@ -301,7 +344,7 @@ func reportDaemon(client *serve.Client, drain bool) error {
 
 // streamWorld is the load-generator mode: ship the world's readings and
 // ground-truth departures to a live rfidtrackd in stream-time order.
-func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drain bool) error {
+func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drain bool, retry time.Duration) error {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -317,7 +360,10 @@ func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drai
 	sent := 0
 	for i := 0; i < len(events); i += batchSize {
 		end := min(i+batchSize, len(events))
-		if _, err := client.Ingest(events[i:end]); err != nil {
+		if err := postRetry(retry, func() error {
+			_, err := client.Ingest(events[i:end])
+			return err
+		}); err != nil {
 			return err
 		}
 		sent = end
@@ -332,5 +378,5 @@ func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drai
 	elapsed := time.Since(start)
 	fmt.Printf("streamed %d events in %s (%.0f events/s)\n",
 		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
-	return reportDaemon(client, drain)
+	return reportDaemon(client, drain, retry)
 }

@@ -2,6 +2,13 @@
 // continuously-running deployment (Section 5.3) as a long-lived service
 // instead of a batch replay.
 //
+// With -data-dir the daemon is durable: accepted events append to a
+// CRC-framed write-ahead log and full-state snapshots commit at
+// Δ-checkpoint boundaries; on SIGINT/SIGTERM the final drain ends with a
+// snapshot, and a restart over the same directory recovers the exact
+// pre-stop state — after a kill -9, the snapshot plus the WAL tail
+// reconstruct it bit-identically (see OPERATIONS.md for the runbook).
+//
 // The daemon is parameterized by a deployment layout — the same simulator
 // flags rfidsim takes, so `rfidsim -serve` against the same flags streams
 // a matching world. Edge readers POST readings and departure events as
@@ -50,6 +57,11 @@ func main() {
 		noQuery  = flag.Bool("no-query", false, "do not attach the per-site exposure query")
 		demo     = flag.Bool("demo", false, "self-drive: stream the deployment's own world over HTTP, print a summary, exit")
 
+		dataDir  = flag.String("data-dir", "", "durable-state directory: WAL + snapshots; restart with the same directory to recover (empty = memory-only)")
+		fsync    = flag.Duration("fsync", 100*time.Millisecond, "WAL group-fsync cadence (<0 disables the timer; checkpoints and shutdown still sync)")
+		strict   = flag.Bool("strict", false, "fsync before acknowledging every ingest request: no acknowledged event can be lost to a crash")
+		snapEach = flag.Int("snapshot-every", 16, "checkpoints between automatic durable snapshots (<0 = only POST /snapshot and shutdown)")
+
 		epochs  = flag.Int("epochs", 2400, "deployment horizon in seconds")
 		sites   = flag.Int("sites", 2, "number of warehouses")
 		path    = flag.Int("path", 2, "warehouses each pallet visits")
@@ -86,11 +98,15 @@ func main() {
 
 	cluster := dist.NewCluster(world, strat, rfinfer.DefaultConfig())
 	scfg := serve.Config{
-		Interval:  model.Epoch(*interval),
-		Horizon:   world.Epochs,
-		QueueSize: *queue,
-		Workers:   *workers,
-		Watermark: model.Epoch(*wmark),
+		Interval:      model.Epoch(*interval),
+		Horizon:       world.Epochs,
+		QueueSize:     *queue,
+		Workers:       *workers,
+		Watermark:     model.Epoch(*wmark),
+		DataDir:       *dataDir,
+		SyncEvery:     *fsync,
+		Strict:        *strict,
+		SnapshotEvery: *snapEach,
 	}
 	if !*noQuery {
 		scfg.Query = dist.ColdChainQuery(world, scfg.Interval)
@@ -98,6 +114,15 @@ func main() {
 	srv, err := serve.New(cluster, scfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		st := srv.Stats()
+		if st.WAL != nil && (st.WAL.Replayed > 0 || st.WAL.LastSnapshot >= 0) {
+			fmt.Printf("recovered from %s: snapshot boundary %d, %d WAL records replayed, resuming %d checkpoints in\n",
+				*dataDir, st.WAL.LastSnapshot, st.WAL.Replayed, st.Feed.Checkpoints)
+		} else {
+			fmt.Printf("durable state in %s (fsync %s, snapshot every %d checkpoints)\n", *dataDir, *fsync, *snapEach)
+		}
 	}
 
 	// Print alerts as the continuous queries raise them.
@@ -166,6 +191,10 @@ func main() {
 	fmt.Printf("errors: containment %.2f%%, location %.2f%%; migrated %d bytes in %d messages (centralized would ship %d)\n",
 		res.ContErr.Rate(), res.LocErr.Rate(), res.Costs.Bytes, res.Costs.Messages, res.CentralizedBytes)
 	fmt.Printf("alerts: %d; mean checkpoint latency %s\n", st.Alerts, meanLatency(st.Sched))
+	if st.WAL != nil {
+		fmt.Printf("durable: %d WAL records (%d bytes), %d snapshots, final snapshot at boundary %d\n",
+			st.WAL.Appended, st.WAL.AppendedBytes, st.WAL.Snapshots, st.WAL.LastSnapshot)
+	}
 }
 
 // runDemo streams the deployment's own simulated world into the daemon

@@ -128,6 +128,10 @@ type FeedStats struct {
 	Late int
 	// LateDepartures counts departure events dropped for the same reason.
 	LateDepartures int
+	// DupDepartures counts exact duplicate departures dropped at a
+	// checkpoint — the idempotence an at-least-once producer (a retrying
+	// edge relay, a recovery replay) relies on.
+	DupDepartures int
 	// PendingDepartures is the number of buffered future departures.
 	PendingDepartures int
 	// Checkpoints is the number of completed Advance calls.
@@ -328,14 +332,37 @@ func (f *Feed) AdvanceWith(due [][]Reading) error {
 	phaseStart = time.Now()
 
 	// Departures observed by this checkpoint migrate before any site runs,
-	// so the destination's run already sees the imported state.
+	// so the destination's run already sees the imported state. The sort
+	// totally orders the buffer (the trailing fields never differ between
+	// distinct real events), so exact duplicates — an at-least-once
+	// producer re-sending a batch whose ack was lost, or a recovery replay
+	// overlapping a snapshot — land adjacent and are dropped: departure
+	// ingest is idempotent, like reading ingest (mask merge) already is.
 	if f.depsDirty {
 		slices.SortFunc(f.deps, func(a, b Departure) int {
 			if c := cmp.Compare(a.At, b.At); c != 0 {
 				return c
 			}
-			return cmp.Compare(a.Object, b.Object)
+			if c := cmp.Compare(a.Object, b.Object); c != 0 {
+				return c
+			}
+			if c := cmp.Compare(a.From, b.From); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.To, b.To)
 		})
+		dups := 0
+		w := 0
+		for i, d := range f.deps {
+			if i > 0 && d == f.deps[w-1] {
+				dups++
+				continue
+			}
+			f.deps[w] = d
+			w++
+		}
+		f.deps = f.deps[:w]
+		f.stats.DupDepartures += dups
 		f.depsDirty = false
 	}
 	nDue := 0

@@ -152,6 +152,14 @@ func (e *Engine) AlertedTags() map[model.TagID]bool {
 	return out
 }
 
+// ImportMatches restores the alert history of a recovered engine (the
+// durable-state path of internal/wal): Matches and AlertedTags reflect the
+// restored alerts, but the OnMatch hook does not fire — they were already
+// delivered before the snapshot was taken.
+func (e *Engine) ImportMatches(ms []stream.Match) {
+	e.matches = append(e.matches[:0], ms...)
+}
+
 // Pattern exposes the pattern operator for state migration.
 func (e *Engine) Pattern() *stream.SeqPattern { return e.pattern }
 

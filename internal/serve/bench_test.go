@@ -113,6 +113,112 @@ func BenchmarkIngestBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "readings/s")
 }
 
+// BenchmarkIngestWAL is BenchmarkIngest with durability on: every
+// accepted reading is framed, CRC'd and buffered into its site's
+// write-ahead segment inside the stripe critical section, with the group
+// fsync on its default 100ms cadence. The acceptance floor is 500k
+// readings/s — durable ingest must stay within ~2x of the memory-only
+// path.
+func BenchmarkIngestWAL(b *testing.B) {
+	w := benchWorld(b)
+	events := WorldEvents(w, nil)
+	c := dist.NewCluster(w, dist.MigrateNone, rfinfer.DefaultConfig())
+	srv, err := New(c, Config{Interval: w.Epochs, QueueSize: 1 << 17, DataDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	const batchSize = 512
+	batch := make([]Event, 0, batchSize)
+	var offset model.Epoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		if i%len(events) == 0 && i > 0 {
+			offset += w.Epochs
+		}
+		ev.T += offset
+		batch = append(batch, ev)
+		if len(batch) == batchSize {
+			if err := srv.Ingest(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := srv.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := srv.Drain(1); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "readings/s")
+	if st := srv.Stats(); st.Invalid != 0 {
+		b.Fatalf("bench stream counted %d invalid (last: %s)", st.Invalid, st.LastInvalid)
+	}
+}
+
+// BenchmarkRecovery measures end-to-end recovery of the 4-site world: one
+// New over a data directory holding a snapshot plus a realistic WAL tail
+// (everything streamed after the last periodic snapshot), through state
+// restore, tail re-ingest and scheduler catch-up. Reported as recover-ms.
+func BenchmarkRecovery(b *testing.B) {
+	w := benchWorld(b)
+	const interval = model.Epoch(300)
+	dir := b.TempDir()
+	cfg := Config{Interval: interval, Horizon: w.Epochs, DataDir: dir, SyncEvery: -1, SnapshotEvery: 2}
+
+	c := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+	srv, err := New(c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := WorldEvents(w, c.Departures())
+	for i := 0; i < len(events); i += 512 {
+		end := min(i+512, len(events))
+		if err := srv.Ingest(events[i:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := srv.Abort(); err != nil { // crash-stop: snapshot + WAL tail on disk
+		b.Fatal(err)
+	}
+
+	// Each iteration must recover the SAME crash state: disable periodic
+	// snapshots in the recovering servers (otherwise the first recovery's
+	// checkpoint catch-up would commit fresh snapshots into the shared
+	// directory and later iterations would recover an almost-drained
+	// state), and include the catch-up itself via the Drain barrier.
+	recovCfg := cfg
+	recovCfg.SnapshotEvery = -1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+		srv, err := New(c, recovCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Drain(1); err != nil { // owed-checkpoint catch-up barrier
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		// Abort (not Shutdown) so the directory still holds the original
+		// crash state for the next iteration.
+		if err := srv.Abort(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "recover-ms")
+}
+
 // BenchmarkCheckpoint measures scheduler latency: one Δ-interval
 // checkpoint — seal, interval ingest, migrations, inference at all 4
 // sites, scoring — driven through the public Ingest+Drain path.

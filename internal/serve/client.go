@@ -11,6 +11,7 @@ import (
 
 	"rfidtrack/internal/dist"
 	"rfidtrack/internal/model"
+	"rfidtrack/internal/wal"
 )
 
 // Client talks to a running rfidtrackd over HTTP.
@@ -96,6 +97,29 @@ func (c *Client) Stats() (Stats, error) {
 	var st Stats
 	err = checkStatus(resp, &st)
 	return st, err
+}
+
+// Result fetches the daemon's accumulated replay result.
+func (c *Client) Result() (dist.Result, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/result")
+	if err != nil {
+		return dist.Result{}, err
+	}
+	var res dist.Result
+	err = checkStatus(resp, &res)
+	return res, err
+}
+
+// SnapshotNow asks the daemon to commit a durable full-state snapshot
+// (POST /snapshot), returning the committed manifest.
+func (c *Client) SnapshotNow() (wal.Manifest, error) {
+	resp, err := c.httpClient().Post(c.BaseURL+"/snapshot", "", nil)
+	if err != nil {
+		return wal.Manifest{}, err
+	}
+	var m wal.Manifest
+	err = checkStatus(resp, &m)
+	return m, err
 }
 
 // Alerts long-polls the alert log from seq since, waiting up to waitMS

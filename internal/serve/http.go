@@ -27,8 +27,9 @@ const ingestBatch = 512
 //	POST /ingest/batch          one site's readings as a single JSON batch
 //	POST /drain?through=N       run checkpoints through epoch N (0 = horizon)
 //	GET  /healthz               liveness + pipeline health
-//	GET  /stats                 Stats (ingest, shards, cluster, memo, scheduler)
+//	GET  /stats                 Stats (ingest, shards, cluster, memo, scheduler, WAL)
 //	GET  /snapshot?site=N       SiteSnapshot of one site's estimates
+//	POST /snapshot              force a durable full-state snapshot (needs DataDir)
 //	GET  /result                the accumulated dist.Result
 //	GET  /alerts?since=N&wait_ms=M   long-poll the alert log
 //	GET  /alerts/stream?since=N      server-sent events alert feed
@@ -42,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshotNow)
 	mux.HandleFunc("GET /result", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Result())
 	})
@@ -180,6 +182,23 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleSnapshotNow is the durable-snapshot trigger: commit full state at
+// the current checkpoint boundary and retire the WAL behind it, returning
+// the committed manifest. Operators use it before a planned migration or
+// backup (see OPERATIONS.md).
+func (s *Server) handleSnapshotNow(w http.ResponseWriter, r *http.Request) {
+	m, err := s.SnapshotNow()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
 }
 
 // handleAlerts long-polls the alert log: returns alerts with seq >= since,

@@ -13,6 +13,7 @@ import (
 	"rfidtrack/internal/query"
 	"rfidtrack/internal/rfinfer"
 	"rfidtrack/internal/stream"
+	"rfidtrack/internal/wal"
 )
 
 // ErrClosed is returned by Ingest and Drain after Shutdown has begun.
@@ -62,6 +63,26 @@ type Config struct {
 	// Query optionally attaches per-site continuous queries; their matches
 	// flow to Subscribe channels and the HTTP alert feeds.
 	Query *dist.ClusterQuery
+
+	// DataDir enables durable state: accepted events append to a per-site
+	// write-ahead log and full-state snapshots commit at Δ-checkpoint
+	// boundaries, so New over a non-empty directory recovers the exact
+	// pre-crash state (see internal/wal and OPERATIONS.md). Empty keeps
+	// the runtime memory-only.
+	DataDir string
+	// SyncEvery is the WAL group-fsync cadence (default 100ms; <0
+	// disables the timer — checkpoints and shutdown still sync).
+	SyncEvery time.Duration
+	// Strict gates every ingest acknowledgement on an fsync: an
+	// acknowledged event can never be lost to a crash. Group commit
+	// amortizes the cost across concurrent producers.
+	Strict bool
+	// SnapshotEvery is how many checkpoints run between automatic durable
+	// snapshots (default 16; <0 disables periodic snapshots — manual
+	// POST /snapshot and the shutdown snapshot still work). Snapshots
+	// bound both recovery time and disk usage: committing one retires all
+	// older WAL segments.
+	SnapshotEvery int
 }
 
 // withDefaults fills unset fields.
@@ -74,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSkip <= 0 {
 		c.MaxSkip = 1024
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 16
 	}
 	return c
 }
@@ -121,6 +145,8 @@ type Stats struct {
 	Sched SchedStats `json:"sched"`
 	// Err is the first pipeline error, if the feed has failed.
 	Err string `json:"err,omitempty"`
+	// WAL is the durable-state accounting (nil when DataDir is unset).
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // SiteSnapshot is one site's current inference estimates: the /snapshot
@@ -185,12 +211,19 @@ type Server struct {
 	deps      []dist.Departure
 	depsSpare []dist.Departure // double buffer recycled by the scheduler
 
-	mu     sync.Mutex // guards the feed and everything below
-	feed   *dist.Feed
-	due    [][]dist.Reading // sealed per-site buckets, reused per checkpoint
-	sched  SchedStats
-	runErr error
-	final  *dist.Result
+	wal       *wal.Log    // nil when DataDir is unset
+	walOn     atomic.Bool // false while recovery replays the log
+	replaying atomic.Bool // relaxes epoch bounds for already-accepted events
+	walErrMu  sync.Mutex  // guards walErr
+	walErr    error       // first WAL append/sync failure, latched
+
+	mu        sync.Mutex // guards the feed and everything below
+	feed      *dist.Feed
+	due       [][]dist.Reading // sealed per-site buckets, reused per checkpoint
+	sched     SchedStats
+	runErr    error
+	final     *dist.Result
+	sinceSnap int // checkpoints since the last durable snapshot
 }
 
 // New builds and starts a server over the cluster: it opens the cluster's
@@ -234,7 +267,27 @@ func New(c *dist.Cluster, cfg Config) (*Server, error) {
 	s.maxT.Store(-1)
 	s.nextCkpt.Store(int64(cfg.Interval))
 	s.dueAt.Store(int64(cfg.Interval + cfg.Watermark))
+	if cfg.DataDir != "" {
+		// Recover before the scheduler starts: the snapshot restores the
+		// checkpointed prefix, the WAL tail re-ingests through the normal
+		// path with checkpoints suppressed, and the scheduler then catches
+		// up every owed checkpoint — in the same stream-time order an
+		// uninterrupted run would have used.
+		if err := s.recover(); err != nil {
+			if s.wal != nil {
+				s.wal.Close()
+			}
+			c.Query, c.Workers = prevQuery, prevWorkers
+			return nil, err
+		}
+	}
 	go s.scheduler()
+	if s.checkpointDue() {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
 	return s, nil
 }
 
@@ -308,7 +361,7 @@ func (s *Server) Ingest(events []Event) error {
 		cur.mu.Unlock()
 	}
 	s.publishTime(batchMax)
-	return nil
+	return s.walCommit()
 }
 
 // IngestBatch is the single-site fast path: validate and bucket a batch of
@@ -342,7 +395,7 @@ func (s *Server) IngestBatch(site int, readings []dist.Reading) error {
 	}
 	sh.mu.Unlock()
 	s.publishTime(batchMax)
-	return nil
+	return s.walCommit()
 }
 
 // IngestReading is a convenience wrapper ingesting one reading.
@@ -406,7 +459,39 @@ func (s *Server) applyReadingLocked(sh *shard, t model.Epoch, tag model.TagID, m
 	if t > sh.maxT {
 		sh.maxT = t
 	}
+	// The append shares the stripe's critical section with the bucketing,
+	// so the log order is the bucket order and a snapshot's segment
+	// rotation (which also takes this lock) cleanly partitions the two.
+	if s.walOn.Load() {
+		if err := s.wal.AppendReading(sh.site, t, tag, mask); err != nil {
+			s.walFail(err)
+		}
+	}
 	return t
+}
+
+// walFail latches the first durability failure: the pipeline keeps
+// serving reads but reports unhealthy, since an accepted event may no
+// longer survive a crash.
+func (s *Server) walFail(err error) {
+	s.walErrMu.Lock()
+	if s.walErr == nil {
+		s.walErr = err
+	}
+	s.walErrMu.Unlock()
+	s.failed.Store(true)
+}
+
+// walCommit gates an ingest acknowledgement on durability in strict mode.
+func (s *Server) walCommit() error {
+	if s.wal == nil || !s.cfg.Strict || !s.walOn.Load() {
+		return nil
+	}
+	if err := s.wal.Commit(); err != nil {
+		s.walFail(err)
+		return fmt.Errorf("serve: WAL commit: %w", err)
+	}
+	return nil
 }
 
 // applyDeparture validates one departure and buffers it for the scheduler,
@@ -432,6 +517,14 @@ func (s *Server) applyDeparture(d dist.Departure) {
 	}
 	s.depMu.Lock()
 	s.deps = append(s.deps, d)
+	// Logged under depMu for the same reason readings log under the
+	// stripe lock: the snapshot copies this buffer and rotates the
+	// departure segment in one critical section.
+	if s.walOn.Load() {
+		if err := s.wal.AppendDeparture(d); err != nil {
+			s.walFail(err)
+		}
+	}
 	s.depMu.Unlock()
 }
 
@@ -538,6 +631,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			break
 		}
 	}
+	// Final durable snapshot: a drained daemon restarts by loading state
+	// only, with an empty WAL tail to replay.
+	if s.wal != nil && err == nil && s.runErr == nil {
+		if serr := s.snapshotLocked(); serr != nil {
+			err = serr
+		}
+	}
 	res, closeErr := s.feed.Close()
 	if err == nil {
 		err = closeErr
@@ -548,7 +648,48 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.final = &res
 	s.mu.Unlock()
 	s.alerts.close()
+	if s.wal != nil {
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// Abort is the crash-consistent stop: it halts ingestion and the
+// scheduler without draining pending checkpoints and without a final
+// snapshot, flushes the WAL, and closes the data directory. The state a
+// subsequent New over the same DataDir recovers is exactly what a power
+// loss at this instant would have left (modulo the flush, which a real
+// crash gets only from Strict mode or the group-fsync timer). It exists
+// for recovery tests and the examples/recovery walkthrough; production
+// shutdown is Shutdown.
+func (s *Server) Abort() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+
+	s.ingestWG.Wait()
+	close(s.quit)
+	<-s.schedDone
+
+	s.mu.Lock()
+	res := s.feed.Result()
+	s.final = &res
+	s.mu.Unlock()
+	s.alerts.close()
+	if s.wal != nil {
+		err := s.wal.Commit()
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return nil
 }
 
 // scheduler is the goroutine that owns the feed: it runs checkpoints when
@@ -640,6 +781,18 @@ func (s *Server) runCheckpointLocked() {
 		sh.recycle(s.due[i])
 		s.due[i] = nil
 	}
+
+	// Periodic durable snapshot: every SnapshotEvery-th checkpoint
+	// boundary commits full state and retires the WAL written before it,
+	// bounding both recovery time and disk usage.
+	if s.wal != nil && s.runErr == nil {
+		s.sinceSnap++
+		if s.cfg.SnapshotEvery > 0 && s.sinceSnap >= s.cfg.SnapshotEvery {
+			if err := s.snapshotLocked(); err != nil {
+				s.walFail(err)
+			}
+		}
+	}
 }
 
 // epochBound returns the highest epoch (exclusive) an event may carry and
@@ -648,6 +801,12 @@ func (s *Server) runCheckpointLocked() {
 // bound stops a single far-future epoch from dragging the scheduler
 // through millions of empty checkpoints.
 func (s *Server) epochBound() (model.Epoch, string) {
+	if s.replaying.Load() {
+		// Recovery replays only events this server already accepted; the
+		// live bound was enforced then, and re-checking it against the
+		// suppressed checkpoint clock would reject valid history.
+		return dist.MaxEpoch, "recovery replay bound"
+	}
 	if s.cfg.Horizon > 0 {
 		return s.cfg.Horizon, "horizon"
 	}
@@ -704,6 +863,17 @@ func (s *Server) Stats() Stats {
 		st.Err = s.runErr.Error()
 	}
 	s.mu.Unlock()
+	if st.Err == "" {
+		s.walErrMu.Lock()
+		if s.walErr != nil {
+			st.Err = s.walErr.Error()
+		}
+		s.walErrMu.Unlock()
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WAL = &ws
+	}
 
 	st.Shards = make([]ShardStats, len(s.shards))
 	for i, sh := range s.shards {

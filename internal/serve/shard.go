@@ -136,6 +136,48 @@ func (sh *shard) growTo(k int) {
 	}
 }
 
+// exportBufferedLocked flattens the stripe's future-interval buckets into
+// one slice for a durable snapshot. Caller holds mu (the snapshot takes it
+// together with the segment rotation, so the export and the WAL cut are
+// one instant).
+func (sh *shard) exportBufferedLocked() []dist.Reading {
+	var out []dist.Reading
+	for _, b := range sh.buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// inject re-buckets recovered readings without touching the received/late
+// counters — the snapshot's restored counters already account for them.
+// Epoch-to-bucket routing re-derives from each reading's epoch, so the
+// export order never needs to survive.
+func (sh *shard) inject(rs []dist.Reading, interval model.Epoch) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, rd := range rs {
+		k := int(rd.T/interval) - sh.base
+		if k < 0 {
+			continue // older than the sealed boundary: already consumed
+		}
+		sh.growTo(k)
+		sh.buckets[k] = append(sh.buckets[k], rd)
+		sh.backlog++
+		if rd.T > sh.maxT {
+			sh.maxT = rd.T
+		}
+	}
+}
+
+// restoreCounters seeds the stripe's lifetime counters from a snapshot so
+// /stats stays continuous across a restart.
+func (sh *shard) restoreCounters(received, late int) {
+	sh.mu.Lock()
+	sh.received = received
+	sh.late = late
+	sh.mu.Unlock()
+}
+
 // stats snapshots the stripe's counters.
 func (sh *shard) stats() ShardStats {
 	sh.mu.Lock()

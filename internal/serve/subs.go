@@ -64,6 +64,27 @@ func (l *alertLog) publish(site int, m stream.Match) {
 	l.cond.Broadcast()
 }
 
+// export copies the log for a durable snapshot.
+func (l *alertLog) export() []Alert {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Alert(nil), l.entries...)
+}
+
+// restore seeds the log from a snapshot, reassigning Seq by position; the
+// recovery replay then appends post-snapshot alerts with continuing Seqs,
+// exactly as the uninterrupted run numbered them.
+func (l *alertLog) restore(entries []Alert) {
+	l.mu.Lock()
+	l.entries = l.entries[:0]
+	for i, a := range entries {
+		a.Seq = i
+		l.entries = append(l.entries, a)
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
 // len returns the number of published alerts.
 func (l *alertLog) len() int {
 	l.mu.Lock()

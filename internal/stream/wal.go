@@ -1,0 +1,176 @@
+// The write-ahead-log record codec: the durable wire format of the online
+// runtime's accepted-event log (internal/wal). Each record is one accepted
+// reading or departure, framed as
+//
+//	[4 bytes little-endian payload length]
+//	[4 bytes IEEE CRC32 of the payload]
+//	[payload: kind byte + uvarint fields]
+//
+// so a reader can walk a log byte-exactly, detect a torn tail (a frame cut
+// short by a crash mid-write) and stop cleanly at the last valid record,
+// and detect corruption (a frame whose bytes no longer match their CRC)
+// without ever trusting a length or count from disk. The codec follows the
+// same hardening stance as the migration codecs in this package and
+// internal/rfinfer: implausible lengths are rejected before any allocation.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"rfidtrack/internal/model"
+)
+
+// WAL record kinds.
+const (
+	// WALReading is one accepted reader observation: Site, T, Tag, Mask.
+	WALReading byte = 1
+	// WALDepart is one accepted departure event: Object, From, To, At.
+	WALDepart byte = 2
+)
+
+// walFrameHeader is the fixed frame prefix: payload length + CRC32.
+const walFrameHeader = 8
+
+// MaxWALPayload bounds one record's payload. Real records are under 30
+// bytes; a length beyond this is a corrupt frame, not a bigger buffer.
+const MaxWALPayload = 1 << 12
+
+// ErrWALPartial reports a frame cut short at the end of a log: the clean
+// torn-tail signature of a crash mid-append. Everything before it is valid;
+// recovery truncates here and continues.
+var ErrWALPartial = errors.New("stream: partial WAL frame")
+
+// ErrWALCorrupt reports a complete frame whose bytes are not a valid
+// record: CRC mismatch, implausible length, unknown kind, or malformed
+// varints. Recovery treats it like a torn tail — the log is valid up to the
+// previous record — but callers may want to surface it louder, since it
+// means bytes rotted in place rather than a write being interrupted.
+var ErrWALCorrupt = errors.New("stream: corrupt WAL frame")
+
+// WALRecord is one accepted event in the durable log. Kind selects which
+// field group is meaningful.
+type WALRecord struct {
+	// Kind is WALReading or WALDepart.
+	Kind byte
+
+	// Reading fields: the observing site, epoch, tag and reader mask.
+	Site int
+	T    model.Epoch
+	Tag  model.TagID
+	Mask model.Mask
+
+	// Departure fields: the object and its (from, to, at) transfer.
+	Object   model.TagID
+	From, To int
+	At       model.Epoch
+}
+
+// AppendWALRecord appends the framed encoding of rec to dst and returns
+// the extended slice. It never fails: every WALRecord value encodes.
+func AppendWALRecord(dst []byte, rec WALRecord) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	dst = append(dst, rec.Kind)
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		dst = append(dst, buf[:n]...)
+	}
+	switch rec.Kind {
+	case WALDepart:
+		put(uint64(uint32(rec.Object)))
+		put(uint64(uint32(rec.From)))
+		put(uint64(uint32(rec.To)))
+		put(uint64(uint32(rec.At)))
+	default: // WALReading, and the encoder's fallback for unknown kinds
+		put(uint64(uint32(rec.Site)))
+		put(uint64(uint32(rec.T)))
+		put(uint64(uint32(rec.Tag)))
+		put(uint64(rec.Mask))
+	}
+	payload := dst[start+walFrameHeader:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// DecodeWALRecord decodes the first framed record in b, returning the
+// record and the number of bytes consumed. A frame extending past the end
+// of b yields ErrWALPartial (the torn-tail case); a complete frame that
+// fails validation yields ErrWALCorrupt. On error n is 0.
+func DecodeWALRecord(b []byte) (rec WALRecord, n int, err error) {
+	if len(b) < walFrameHeader {
+		return rec, 0, ErrWALPartial
+	}
+	length := binary.LittleEndian.Uint32(b)
+	if length == 0 || length > MaxWALPayload {
+		return rec, 0, fmt.Errorf("%w: payload length %d", ErrWALCorrupt, length)
+	}
+	if len(b) < walFrameHeader+int(length) {
+		return rec, 0, ErrWALPartial
+	}
+	payload := b[walFrameHeader : walFrameHeader+int(length)]
+	if crc := binary.LittleEndian.Uint32(b[4:]); crc != crc32.ChecksumIEEE(payload) {
+		return rec, 0, fmt.Errorf("%w: CRC mismatch", ErrWALCorrupt)
+	}
+	rec.Kind = payload[0]
+	rest := payload[1:]
+	take := func() (uint64, bool) {
+		v, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return 0, false
+		}
+		rest = rest[k:]
+		return v, true
+	}
+	var fields [4]uint64
+	for i := range fields {
+		v, ok := take()
+		if !ok {
+			return WALRecord{}, 0, fmt.Errorf("%w: truncated field %d", ErrWALCorrupt, i)
+		}
+		fields[i] = v
+	}
+	if len(rest) != 0 {
+		return WALRecord{}, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrWALCorrupt, len(rest))
+	}
+	switch rec.Kind {
+	case WALReading:
+		rec.Site = int(int32(fields[0]))
+		rec.T = model.Epoch(int32(fields[1]))
+		rec.Tag = model.TagID(int32(fields[2]))
+		rec.Mask = model.Mask(fields[3])
+	case WALDepart:
+		rec.Object = model.TagID(int32(fields[0]))
+		rec.From = int(int32(fields[1]))
+		rec.To = int(int32(fields[2]))
+		rec.At = model.Epoch(int32(fields[3]))
+	default:
+		return WALRecord{}, 0, fmt.Errorf("%w: unknown record kind %d", ErrWALCorrupt, rec.Kind)
+	}
+	return rec, walFrameHeader + int(length), nil
+}
+
+// ScanWAL walks a log buffer record by record, calling emit for each valid
+// record, and returns the byte offset of the first invalid frame (the
+// clean-truncation point) plus the error that stopped the scan (nil when
+// the buffer ends exactly on a record boundary). A non-nil error is always
+// ErrWALPartial or ErrWALCorrupt (possibly wrapped); emit's own error
+// aborts the scan and is returned verbatim with the current offset.
+func ScanWAL(b []byte, emit func(WALRecord) error) (valid int, err error) {
+	off := 0
+	for off < len(b) {
+		rec, n, err := DecodeWALRecord(b[off:])
+		if err != nil {
+			return off, err
+		}
+		if err := emit(rec); err != nil {
+			return off, err
+		}
+		off += n
+	}
+	return off, nil
+}

@@ -1,0 +1,44 @@
+// Package wal is the durable-state subsystem of the online runtime: a
+// per-site write-ahead log of accepted events plus full-state snapshots,
+// managed together in one data directory so a crashed rfidtrackd restarts
+// into exactly the state it held.
+//
+// # Layout
+//
+// A data directory contains:
+//
+//	MANIFEST              the commit point: current segment generation,
+//	                      active snapshot file, snapshot boundary epoch
+//	site-<s>.<gen>.wal    per-site reading segments (stream.WALRecord frames)
+//	departures.<gen>.wal  the departure segment
+//	snap-<epoch>.snap     full-state snapshots (State, CRC-protected)
+//
+// Accepted readings append to their site's segment (under the ingest
+// stripe's lock, so the log order is the bucket order), departures to the
+// shared departure segment. Appends are buffered; a group fsync makes them
+// durable either on a timer (Options.SyncEvery) or before every ingest
+// acknowledgement (Options.Strict).
+//
+// # Snapshots and retirement
+//
+// A snapshot captures the complete semantic state at a Δ-checkpoint
+// boundary: per-site inference state (rfinfer.EngineState), cluster
+// runtime state (dist.FeedState), query pattern partitions and matches,
+// the alert log, and every buffered-but-unobserved event. Because buffered
+// events are inside the snapshot, all segments of older generations are
+// garbage the moment the MANIFEST commits the new snapshot — writing a
+// snapshot rotates every segment to a new generation, then retires the old
+// files. Disk usage is therefore bounded by one snapshot plus the WAL
+// written since.
+//
+// # Recovery
+//
+// Recover loads the MANIFEST's snapshot (if any) and replays the segments
+// of the current generation. A segment's torn tail — a frame cut short by
+// the crash — is detected by the CRC framing and truncated at the last
+// valid record; corruption in the middle of a segment stops replay with
+// the same clean truncation (see stream.DecodeWALRecord). The caller
+// (internal/serve) re-ingests the replayed tail through its normal ingest
+// path, which together with the exactness of the state codecs makes a
+// recovered run bit-identical to one that never crashed.
+package wal

@@ -1,0 +1,674 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
+)
+
+// manifestName is the commit-point file inside a data directory.
+const manifestName = "MANIFEST"
+
+// manifestVersion is the on-disk MANIFEST format version.
+const manifestVersion = 1
+
+// Manifest is the data directory's commit point, written atomically
+// (tmp + rename) so a crash can never leave it half-updated. The segment
+// generation and the snapshot commit together: recovery reads the
+// snapshot named here and replays only segments of generation Gen.
+type Manifest struct {
+	// Version is the on-disk format version.
+	Version int `json:"version"`
+	// Gen is the current segment generation; older generations are
+	// garbage (their events live inside the snapshot) pending deletion.
+	Gen int `json:"gen"`
+	// Snapshot is the active snapshot file name ("" before the first).
+	Snapshot string `json:"snapshot"`
+	// Boundary is the snapshot's checkpoint boundary epoch.
+	Boundary model.Epoch `json:"boundary"`
+}
+
+// Options tunes a Log. The zero value is a usable default: group fsync
+// every 100ms, acknowledgements not gated on durability.
+type Options struct {
+	// SyncEvery is the group-fsync cadence of the background syncer
+	// (default 100ms; <0 disables the timer entirely).
+	SyncEvery time.Duration
+	// Strict gates every ingest acknowledgement on an fsync: Commit must
+	// be called (and waited for) before acking, so an acknowledged event
+	// can never be lost to a crash. Throughput amortizes through group
+	// commit; see OPERATIONS.md for the tuning trade-off.
+	Strict bool
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Stats counts the log's durability work.
+type Stats struct {
+	// Appended is the number of records appended; AppendedBytes their
+	// framed size.
+	Appended      int   `json:"appended"`
+	AppendedBytes int64 `json:"appended_bytes"`
+	// Syncs counts group fsyncs; Snapshots completed snapshot commits.
+	Syncs     int `json:"syncs"`
+	Snapshots int `json:"snapshots"`
+	// LastSnapshot is the boundary epoch of the most recent snapshot
+	// (-1 before the first).
+	LastSnapshot model.Epoch `json:"last_snapshot"`
+	// Replayed counts records re-ingested during recovery; Truncated the
+	// segments whose torn or corrupt tails were cut back.
+	Replayed  int `json:"replayed"`
+	Truncated int `json:"truncated"`
+}
+
+// segment is one append-only WAL file with a buffered writer.
+type segment struct {
+	mu  sync.Mutex
+	f   *os.File
+	bw  *bufio.Writer
+	buf []byte // frame scratch, reused per append
+}
+
+// append frames rec into the segment's buffer.
+func (s *segment) append(rec stream.WALRecord) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return 0, errors.New("wal: segment is closed")
+	}
+	s.buf = stream.AppendWALRecord(s.buf[:0], rec)
+	n, err := s.bw.Write(s.buf)
+	return n, err
+}
+
+// sync flushes the buffer and fsyncs the file.
+func (s *segment) sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// swap atomically replaces the segment's file with a freshly opened one,
+// returning the old file flushed, synced and closed.
+func (s *segment) swap(newFile *os.File) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		if err := s.bw.Flush(); err != nil {
+			newFile.Close()
+			return err
+		}
+		if err := s.f.Sync(); err != nil {
+			newFile.Close()
+			return err
+		}
+		s.f.Close()
+	}
+	s.f = newFile
+	s.bw = bufio.NewWriterSize(newFile, 1<<16)
+	return nil
+}
+
+// close flushes, syncs and closes the segment.
+func (s *segment) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.bw.Flush()
+	if serr := s.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	s.bw = nil
+	return err
+}
+
+// Log manages one data directory: per-site reading segments, the departure
+// segment, the manifest and the snapshot files. Appends are safe for
+// concurrent use (each segment has its own lock); Snapshot, Commit and
+// Close may run concurrently with appends.
+type Log struct {
+	dir  string
+	opts Options
+
+	manifest Manifest
+	readings []*segment // one per site
+	deps     *segment
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	appendSeq  atomic.Int64 // bumped after every buffered append
+	syncMu     sync.Mutex   // serializes group commits
+	syncedSeq  int64        // guarded by syncMu: highest seq a commit covered
+	quit       chan struct{}
+	syncerDone chan struct{}
+	closeOnce  sync.Once
+}
+
+// Open opens (creating if needed) a data directory for a deployment with
+// the given number of sites. It reads the manifest but does not replay or
+// open segments for appending — call Replay to walk the tail, then
+// StartAppending to begin logging new events. This split lets the caller
+// re-ingest the tail without the replayed records being re-appended.
+func Open(dir string, sites int, opts Options) (*Log, error) {
+	if sites <= 0 {
+		return nil, fmt.Errorf("wal: need at least one site, got %d", sites)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:      dir,
+		opts:     opts.withDefaults(),
+		readings: make([]*segment, sites),
+		deps:     &segment{},
+		quit:     make(chan struct{}),
+	}
+	for s := range l.readings {
+		l.readings[s] = &segment{}
+	}
+	l.stats.LastSnapshot = -1
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		l.manifest = Manifest{Version: manifestVersion, Gen: 1}
+		if err := l.writeManifest(l.manifest); err != nil {
+			return nil, err
+		}
+	} else {
+		if m.Version != manifestVersion {
+			return nil, fmt.Errorf("wal: unsupported manifest version %d", m.Version)
+		}
+		l.manifest = *m
+		if m.Snapshot != "" {
+			l.stats.LastSnapshot = m.Boundary
+		}
+	}
+	return l, nil
+}
+
+// Manifest returns the current commit point.
+func (l *Log) Manifest() Manifest { return l.manifest }
+
+// Dir returns the data directory path.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats returns a snapshot of the durability counters.
+func (l *Log) Stats() Stats {
+	l.statsMu.Lock()
+	defer l.statsMu.Unlock()
+	return l.stats
+}
+
+// readManifest loads the manifest, returning nil when none exists yet.
+func readManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("wal: corrupt manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// writeManifest commits a manifest atomically: write tmp, fsync, rename,
+// fsync the directory.
+func (l *Log) writeManifest(m Manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(l.dir, manifestName+".tmp")
+	if err := writeFileSync(tmp, b); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, manifestName)); err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.manifest = m
+	return nil
+}
+
+// writeFileSync writes a file and fsyncs it before closing.
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse fsync on directories (EINVAL/ENOTSUP);
+	// tolerating that loses only the rename's durability window, not
+	// correctness of what was synced.
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
+
+// segmentName returns a segment file name for the given site (-1 for the
+// departure segment) and generation.
+func segmentName(site, gen int) string {
+	if site < 0 {
+		return fmt.Sprintf("departures.%06d.wal", gen)
+	}
+	return fmt.Sprintf("site-%d.%06d.wal", site, gen)
+}
+
+// parseSegmentName reverses segmentName; ok is false for non-segment files.
+func parseSegmentName(name string) (site, gen int, ok bool) {
+	if !strings.HasSuffix(name, ".wal") {
+		return 0, 0, false
+	}
+	base := strings.TrimSuffix(name, ".wal")
+	dot := strings.LastIndexByte(base, '.')
+	if dot < 0 {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(base[dot+1:], "%d", &gen); err != nil {
+		return 0, 0, false
+	}
+	stem := base[:dot]
+	if stem == "departures" {
+		return -1, gen, true
+	}
+	if _, err := fmt.Sscanf(stem, "site-%d", &site); err != nil || site < 0 {
+		return 0, 0, false
+	}
+	return site, gen, true
+}
+
+// Replay walks every segment of the current generation — and of any
+// later generation, which exists only when a crash landed between a
+// snapshot's segment rotation and its manifest commit: records accepted
+// into the new generation during that window live nowhere else, so
+// skipping them would lose acknowledged events. Each valid record is
+// emitted; a torn or corrupt tail is truncated on disk at the last valid
+// record, so appending can safely resume on the same file. Segment order
+// is deterministic: the departure segment, then sites ascending, then
+// generation; a replay consumer must not depend on cross-segment record
+// order beyond that (the serve layer re-buckets by epoch anyway).
+func (l *Log) Replay(emit func(stream.WALRecord) error) error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	type seg struct {
+		name      string
+		site, gen int
+	}
+	var segs []seg
+	for _, e := range entries {
+		site, gen, ok := parseSegmentName(e.Name())
+		if !ok || gen < l.manifest.Gen {
+			continue
+		}
+		segs = append(segs, seg{name: e.Name(), site: site, gen: gen})
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].site != segs[j].site {
+			return segs[i].site < segs[j].site
+		}
+		return segs[i].gen < segs[j].gen
+	})
+	for _, sg := range segs {
+		path := filepath.Join(l.dir, sg.name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		count := 0
+		valid, scanErr := stream.ScanWAL(b, func(rec stream.WALRecord) error {
+			count++
+			return emit(rec)
+		})
+		l.statsMu.Lock()
+		l.stats.Replayed += count
+		l.statsMu.Unlock()
+		if scanErr != nil {
+			if !errors.Is(scanErr, stream.ErrWALPartial) && !errors.Is(scanErr, stream.ErrWALCorrupt) {
+				return scanErr // the emit callback failed
+			}
+			// Torn or rotted tail: cut the segment back to its last valid
+			// record so the next generation of appends (or a re-replay)
+			// starts from a clean boundary.
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return fmt.Errorf("wal: truncating %s at %d: %w", sg.name, valid, err)
+			}
+			l.statsMu.Lock()
+			l.stats.Truncated++
+			l.statsMu.Unlock()
+		}
+	}
+	return nil
+}
+
+// StartAppending opens the current generation's segment files for
+// appending (creating them if missing) and starts the group-fsync timer.
+// Call it after Replay; records appended from here on extend the same
+// generation the manifest names.
+func (l *Log) StartAppending() error {
+	open := func(site int) (*os.File, error) {
+		return os.OpenFile(filepath.Join(l.dir, segmentName(site, l.manifest.Gen)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	}
+	for s, sg := range l.readings {
+		f, err := open(s)
+		if err != nil {
+			return err
+		}
+		if err := sg.swap(f); err != nil {
+			return err
+		}
+	}
+	f, err := open(-1)
+	if err != nil {
+		return err
+	}
+	if err := l.deps.swap(f); err != nil {
+		return err
+	}
+	if l.opts.SyncEvery > 0 {
+		l.syncerDone = make(chan struct{})
+		go l.syncer()
+	}
+	return nil
+}
+
+// syncer is the background group-fsync loop.
+func (l *Log) syncer() {
+	defer close(l.syncerDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Commit()
+		case <-l.quit:
+			return
+		}
+	}
+}
+
+// AppendReading logs one accepted reading for a site. The caller already
+// serializes per-site appends (the ingest stripe lock), so contention on
+// the segment lock is limited to the group-fsync flush.
+func (l *Log) AppendReading(site int, t model.Epoch, tag model.TagID, mask model.Mask) error {
+	if site < 0 || site >= len(l.readings) {
+		return fmt.Errorf("wal: site %d out of range [0,%d)", site, len(l.readings))
+	}
+	n, err := l.readings[site].append(stream.WALRecord{
+		Kind: stream.WALReading, Site: site, T: t, Tag: tag, Mask: mask,
+	})
+	if err != nil {
+		return err
+	}
+	l.appendSeq.Add(1)
+	l.statsMu.Lock()
+	l.stats.Appended++
+	l.stats.AppendedBytes += int64(n)
+	l.statsMu.Unlock()
+	return nil
+}
+
+// AppendDeparture logs one accepted departure event.
+func (l *Log) AppendDeparture(d dist.Departure) error {
+	n, err := l.deps.append(stream.WALRecord{
+		Kind: stream.WALDepart, Object: d.Object, From: d.From, To: d.To, At: d.At,
+	})
+	if err != nil {
+		return err
+	}
+	l.appendSeq.Add(1)
+	l.statsMu.Lock()
+	l.stats.Appended++
+	l.stats.AppendedBytes += int64(n)
+	l.statsMu.Unlock()
+	return nil
+}
+
+// Strict reports whether acknowledgements must wait for Commit.
+func (l *Log) Strict() bool { return l.opts.Strict }
+
+// Commit is the group fsync: flush every segment buffer and fsync the
+// files, covering every append that completed before the call. The
+// amortization is real, not just serialized: a caller that was queued on
+// the commit lock while a covering commit ran returns without issuing
+// its own fsync pass, so K concurrent strict-mode acks share O(1) fsync
+// rounds instead of performing K.
+func (l *Log) Commit() error {
+	need := l.appendSeq.Load()
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.syncedSeq >= need {
+		return nil // a commit that started after our appends already ran
+	}
+	covered := l.appendSeq.Load()
+	var err error
+	for _, sg := range l.readings {
+		if serr := sg.sync(); err == nil {
+			err = serr
+		}
+	}
+	if serr := l.deps.sync(); err == nil {
+		err = serr
+	}
+	if err == nil && covered > l.syncedSeq {
+		l.syncedSeq = covered
+	}
+	l.statsMu.Lock()
+	l.stats.Syncs++
+	l.statsMu.Unlock()
+	return err
+}
+
+// NextGen returns the generation a snapshot in progress should rotate
+// into: one past both the manifest's generation and any segment file on
+// disk. Scanning the directory matters after a crash that rotated
+// segments but never committed their manifest: those orphaned
+// higher-generation files still hold the only durable copy of their
+// records (Replay reads them, the next committed snapshot retires them),
+// and reusing their names with O_APPEND would splice stale records into
+// a fresh generation.
+func (l *Log) NextGen() int {
+	gen := l.manifest.Gen
+	if entries, err := os.ReadDir(l.dir); err == nil {
+		for _, e := range entries {
+			if _, g, ok := parseSegmentName(e.Name()); ok && g > gen {
+				gen = g
+			}
+		}
+	}
+	return gen + 1
+}
+
+// RotateSite switches one site's segment to generation gen. The serve
+// scheduler calls it while holding that site's ingest stripe lock — the
+// same lock appends take — so the rotation point cleanly partitions the
+// site's records between the snapshot (which captures the stripe's buffer
+// at the same instant) and the new generation.
+func (l *Log) RotateSite(site, gen int) error {
+	if site < 0 || site >= len(l.readings) {
+		return fmt.Errorf("wal: site %d out of range [0,%d)", site, len(l.readings))
+	}
+	return l.rotateSegment(l.readings[site], site, gen)
+}
+
+// RotateDepartures switches the departure segment to generation gen; the
+// caller holds the departure-buffer lock, mirroring RotateSite.
+func (l *Log) RotateDepartures(gen int) error {
+	return l.rotateSegment(l.deps, -1, gen)
+}
+
+// rotateSegment opens the new generation's file and swaps it in, flushing
+// and closing the old one.
+func (l *Log) rotateSegment(sg *segment, site, gen int) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(site, gen)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	return sg.swap(f)
+}
+
+// Snapshot commits a full-state snapshot taken at a checkpoint boundary:
+// write the state file durably, commit the manifest naming it together
+// with the new segment generation (the caller must have called Rotate
+// after assembling st), then retire every older-generation segment and
+// older snapshot. After Snapshot returns, the directory holds one snapshot
+// plus the segments written since Rotate.
+func (l *Log) Snapshot(st *State, gen int) error {
+	name := fmt.Sprintf("snap-%010d.snap", st.Boundary)
+	tmp := filepath.Join(l.dir, name+".tmp")
+	b, err := EncodeState(st)
+	if err != nil {
+		return err
+	}
+	if err := writeFileSync(tmp, b); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, name)); err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	if err := l.writeManifest(Manifest{
+		Version:  manifestVersion,
+		Gen:      gen,
+		Snapshot: name,
+		Boundary: st.Boundary,
+	}); err != nil {
+		return err
+	}
+	l.retire(name, gen)
+	l.statsMu.Lock()
+	l.stats.Snapshots++
+	l.stats.LastSnapshot = st.Boundary
+	l.statsMu.Unlock()
+	return nil
+}
+
+// retire deletes segments of generations before keepGen and snapshots
+// other than keepSnap. Failures are ignored: stale files are re-retired by
+// the next snapshot and never consulted by recovery (the manifest is the
+// only source of truth).
+func (l *Log) retire(keepSnap string, keepGen int) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if _, gen, ok := parseSegmentName(name); ok && gen < keepGen {
+			os.Remove(filepath.Join(l.dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, ".snap") && name != keepSnap {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+	}
+}
+
+// LoadState decodes the manifest's snapshot. ok is false when no snapshot
+// has been committed yet (recovery then replays the log from scratch).
+func (l *Log) LoadState() (st *State, ok bool, err error) {
+	if l.manifest.Snapshot == "" {
+		return nil, false, nil
+	}
+	b, err := os.ReadFile(filepath.Join(l.dir, l.manifest.Snapshot))
+	if err != nil {
+		return nil, false, err
+	}
+	st, err = DecodeState(b)
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: snapshot %s: %w", l.manifest.Snapshot, err)
+	}
+	if st.Boundary != l.manifest.Boundary {
+		return nil, false, fmt.Errorf("wal: snapshot boundary %d disagrees with manifest %d",
+			st.Boundary, l.manifest.Boundary)
+	}
+	return st, true, nil
+}
+
+// Close stops the syncer and flushes + closes every segment. Safe to call
+// more than once.
+func (l *Log) Close() error {
+	var err error
+	l.closeOnce.Do(func() {
+		close(l.quit)
+		if l.syncerDone != nil {
+			<-l.syncerDone
+		}
+		for _, sg := range l.readings {
+			if cerr := sg.close(); err == nil {
+				err = cerr
+			}
+		}
+		if cerr := l.deps.close(); err == nil {
+			err = cerr
+		}
+	})
+	return err
+}

@@ -1,0 +1,347 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/stream"
+)
+
+// openFresh opens a log in a temp dir and starts appending.
+func openFresh(t *testing.T, sites int, opts Options) *Log {
+	t.Helper()
+	l, err := Open(t.TempDir(), sites, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replay(func(stream.WALRecord) error { t.Fatal("fresh log replayed records"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// reopenAndReplay closes nothing (simulating a crash), reopens the dir and
+// collects the replayed records.
+func reopenAndReplay(t *testing.T, dir string, sites int) (*Log, []stream.WALRecord) {
+	t.Helper()
+	l, err := Open(dir, sites, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []stream.WALRecord
+	if err := l.Replay(func(rec stream.WALRecord) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+// TestLogAppendReplay pins the basic durability loop: append readings and
+// departures, commit, "crash" (no Close), reopen, and every record comes
+// back.
+func TestLogAppendReplay(t *testing.T) {
+	l := openFresh(t, 2, Options{SyncEvery: -1})
+	want := 0
+	for i := 0; i < 100; i++ {
+		site := i % 2
+		if err := l.AppendReading(site, model.Epoch(i), model.TagID(i%7), model.Mask(1+i%3)); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	if err := l.AppendDeparture(dist.Departure{Object: 3, From: 0, To: 1, At: 42}); err != nil {
+		t.Fatal(err)
+	}
+	want++
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := reopenAndReplay(t, l.Dir(), 2)
+	if len(recs) != want {
+		t.Fatalf("replayed %d records, want %d", len(recs), want)
+	}
+	deps := 0
+	for _, rec := range recs {
+		if rec.Kind == stream.WALDepart {
+			deps++
+			if rec.Object != 3 || rec.From != 0 || rec.To != 1 || rec.At != 42 {
+				t.Fatalf("departure round trip diverged: %+v", rec)
+			}
+		}
+	}
+	if deps != 1 {
+		t.Fatalf("replayed %d departures, want 1", deps)
+	}
+}
+
+// TestLogTornTailTruncated pins crash recovery over a torn append: a
+// segment ending mid-frame replays every whole record, and the file is cut
+// back so appending can resume cleanly.
+func TestLogTornTailTruncated(t *testing.T) {
+	l := openFresh(t, 1, Options{SyncEvery: -1})
+	for i := 0; i < 10; i++ {
+		if err := l.AppendReading(0, model.Epoch(i), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: chop the last 5 bytes of the site segment.
+	path := filepath.Join(l.Dir(), segmentName(0, 1))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	l2, recs := reopenAndReplay(t, l.Dir(), 1)
+	if len(recs) != 9 {
+		t.Fatalf("torn log replayed %d records, want 9", len(recs))
+	}
+	if st := l2.Stats(); st.Truncated != 1 {
+		t.Fatalf("Truncated = %d, want 1", st.Truncated)
+	}
+	// The file was cut at the last valid record: appending resumes and a
+	// further replay sees 9 + new records, with no corruption in between.
+	if err := l2.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.AppendReading(0, 99, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs = reopenAndReplay(t, l.Dir(), 1)
+	if len(recs) != 10 || recs[9].T != 99 {
+		t.Fatalf("post-truncation append lost: %d records, tail %+v", len(recs), recs[len(recs)-1])
+	}
+}
+
+// TestLogCorruptMiddleStops pins the corruption stance: bit rot mid-file
+// truncates at the last valid record before it, never skips over it.
+func TestLogCorruptMiddleStops(t *testing.T) {
+	l := openFresh(t, 1, Options{SyncEvery: -1})
+	for i := 0; i < 10; i++ {
+		if err := l.AppendReading(0, model.Epoch(i), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(l.Dir(), segmentName(0, 1))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := reopenAndReplay(t, l.Dir(), 1)
+	if len(recs) >= 10 {
+		t.Fatalf("corrupt log replayed %d records", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.T != model.Epoch(i) {
+			t.Fatalf("record %d out of order after corruption: %+v", i, rec)
+		}
+	}
+}
+
+// TestSnapshotRotationRetires pins the disk-bound invariant: committing a
+// snapshot retires older generations and older snapshots, and recovery
+// reads only the manifest generation.
+func TestSnapshotRotationRetires(t *testing.T) {
+	l := openFresh(t, 1, Options{SyncEvery: -1})
+	for i := 0; i < 5; i++ {
+		if err := l.AppendReading(0, model.Epoch(i), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := l.NextGen()
+	if err := l.RotateSite(0, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RotateDepartures(gen); err != nil {
+		t.Fatal(err)
+	}
+	// Post-rotation appends land in the new generation and must survive.
+	if err := l.AppendReading(0, 300, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := &State{Boundary: 300, StreamTime: 299, Feed: dist.FeedState{Next: 300}}
+	if err := l.Snapshot(st, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(l.Dir(), segmentName(0, 1))); !os.IsNotExist(err) {
+		t.Errorf("old generation segment survived retirement: %v", err)
+	}
+
+	l2, recs := reopenAndReplay(t, l.Dir(), 1)
+	if len(recs) != 1 || recs[0].T != 300 {
+		t.Fatalf("recovery replayed %d records (want just the post-rotation one): %+v", len(recs), recs)
+	}
+	got, ok, err := l2.LoadState()
+	if err != nil || !ok {
+		t.Fatalf("LoadState: ok=%v err=%v", ok, err)
+	}
+	if got.Boundary != 300 || got.StreamTime != 299 {
+		t.Fatalf("snapshot state diverged: %+v", got)
+	}
+}
+
+// TestCrashBetweenRotateAndCommit pins the snapshot-window guarantee: a
+// crash after the segments rotated but before the manifest committed
+// must lose nothing — records appended to the not-yet-committed
+// generation live only there, so recovery replays generations at and
+// above the manifest's, and the next snapshot must not reuse (and
+// thereby splice stale records into) the orphaned generation's files.
+func TestCrashBetweenRotateAndCommit(t *testing.T) {
+	l := openFresh(t, 1, Options{SyncEvery: -1})
+	if err := l.AppendReading(0, 10, 1, 1); err != nil { // gen 1
+		t.Fatal(err)
+	}
+	gen := l.NextGen()
+	if err := l.RotateSite(0, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RotateDepartures(gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendReading(0, 20, 2, 1); err != nil { // gen 2, acked
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash here: no Snapshot call, manifest still names gen 1.
+
+	l2, recs := reopenAndReplay(t, l.Dir(), 1)
+	if len(recs) != 2 || recs[0].T != 10 || recs[1].T != 20 {
+		t.Fatalf("replay across the uncommitted rotation lost records: %+v", recs)
+	}
+	if g := l2.NextGen(); g != 3 {
+		t.Fatalf("NextGen = %d would reuse the orphaned generation 2", g)
+	}
+	if err := l2.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	st := &State{Boundary: 300, StreamTime: 299, Feed: dist.FeedState{Next: 300}}
+	gen = l2.NextGen()
+	if err := l2.RotateSite(0, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.RotateDepartures(gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Snapshot(st, gen); err != nil {
+		t.Fatal(err)
+	}
+	// The committed snapshot retires both gen 1 and the orphan gen 2.
+	_, recs = reopenAndReplay(t, l.Dir(), 1)
+	if len(recs) != 0 {
+		t.Fatalf("retired generations replayed %d records: %+v", len(recs), recs)
+	}
+}
+
+// TestCommitGroupSkip pins the group-commit fast path: a commit whose
+// appends were already covered by a completed commit performs no new
+// fsync pass.
+func TestCommitGroupSkip(t *testing.T) {
+	l := openFresh(t, 1, Options{SyncEvery: -1})
+	defer l.Close()
+	if err := l.AppendReading(0, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	syncs := l.Stats().Syncs
+	if err := l.Commit(); err != nil { // nothing new: must skip
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != syncs {
+		t.Fatalf("covered commit ran %d extra fsync passes", got-syncs)
+	}
+	if err := l.AppendReading(0, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil { // new append: must sync
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != syncs+1 {
+		t.Fatalf("post-append commit syncs = %d, want %d", got, syncs+1)
+	}
+}
+
+// TestStateRoundTrip pins the snapshot codec bit-exactly over a fully
+// populated State, including engine state from a live engine.
+func TestStateRoundTrip(t *testing.T) {
+	st := &State{
+		Boundary:   600,
+		StreamTime: 777,
+		Feed: dist.FeedState{
+			Next:            600,
+			Runs:            2,
+			QueryStateBytes: 17,
+			Links:           []dist.LinkCost{{From: 0, To: 1, Costs: dist.Costs{Bytes: 120, Messages: 3}}},
+			Owner:           []int32{0, 1, 1, 0},
+			Owned:           [][]model.TagID{{0, 3}, {1, 2}},
+			Sites:           []dist.SiteStats{{Epochs: 2}, {Epochs: 2, MigrationsIn: 1, BytesIn: 120, Stall: 5}},
+		},
+		Engines: []rfinfer.EngineState{},
+		Queries: []QueryState{
+			{
+				Parts:   []QueryPartition{{Tag: 3, State: stream.SeqState{Started: true, First: 10, Last: 400, Values: []float64{1.5, 2.5}}}},
+				Matches: []stream.Match{{Tag: 3, First: 10, Last: 400, Values: []float64{1.5}}},
+			},
+			{Parts: []QueryPartition{}, Matches: []stream.Match{}},
+		},
+		Alerts:      []Alert{{Site: 1, Tag: 3, First: 10, Last: 400, Values: []float64{1.5}}},
+		Buffered:    [][]dist.Reading{{{T: 601, ID: 2, Mask: 3}}, {}},
+		PendingDeps: []dist.Departure{{Object: 3, From: 1, To: 0, At: 650}},
+		Shards:      []ShardCounters{{Received: 100, Late: 2}, {Received: 50}},
+		Invalid:     4,
+		Misc:        1,
+	}
+	st.Feed.Stats.Observed = 99
+	st.Feed.Stats.Checkpoints = 2
+
+	b, err := EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeState(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("state round trip diverged:\n got %+v\nwant %+v", got, st)
+	}
+
+	// Corruption anywhere in the file must be detected, never decoded.
+	for i := 8; i < len(b); i += 7 {
+		dirty := append([]byte(nil), b...)
+		dirty[i] ^= 0x10
+		if _, err := DecodeState(dirty); err == nil {
+			t.Fatalf("flipped byte %d decoded silently", i)
+		}
+	}
+}

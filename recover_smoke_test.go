@@ -1,0 +1,218 @@
+package rfidtrack_test
+
+// The kill -9 recovery smoke (`make recover-smoke`): run the real
+// rfidtrackd binary with a data directory in strict-fsync mode, stream at
+// it like a retrying edge relay, SIGKILL it mid-stream, restart it over
+// the same directory, finish the stream, and require the drained Result
+// to be reflect.DeepEqual to the uninterrupted sequential reference. This
+// is the process-level twin of serve.TestRecoverMatchesUninterrupted: no
+// graceful path runs — the first process dies with buffered intervals,
+// un-snapshotted checkpoints and an HTTP request possibly in flight.
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/serve"
+	"rfidtrack/internal/sim"
+)
+
+// smokeWorldFlags is the deployment both the daemon and the in-test
+// reference build: small enough to finish in seconds, rich enough to
+// carry migrations and alerts.
+var smokeWorldFlags = []string{"-sites", "2", "-path", "2", "-epochs", "1200", "-items", "3", "-interval", "300", "-seed", "1"}
+
+func smokeWorld(t *testing.T) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Warehouses = 2
+	cfg.PathLength = 2
+	cfg.Epochs = 1200
+	cfg.ItemsPerCase = 3
+	cfg.Seed = 1
+	// Matching rfidtrackd's own defaults for the remaining flags.
+	cfg.Shelves = 8
+	cfg.RR = 0.8
+	cfg.AnomalyEvery = 120
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// startDaemon launches rfidtrackd on an ephemeral port and waits for its
+// listen line.
+func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-strict", "-snapshot-every", "1"}, smokeWorldFlags...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bufio.NewScanner(stdout)
+	addr := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			line := lines.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				fields := strings.Fields(line[i+len("listening on "):])
+				if len(fields) > 0 {
+					addr <- fields[0]
+				}
+			}
+		}
+		// Drain the rest so the daemon never blocks on a full pipe.
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case a := <-addr:
+		return cmd, "http://" + a
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon never printed its listen address")
+		return nil, ""
+	}
+}
+
+// ingestRetry posts one batch, retrying through daemon downtime like
+// rfidsim -retry; the daemon's idempotent ingest makes re-sends safe.
+func ingestRetry(t *testing.T, client *serve.Client, events []serve.Event) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := client.Ingest(events); err == nil {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("ingest never succeeded: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestRecoverSmoke is the end-to-end kill -9 drill.
+func TestRecoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the daemon")
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		goTool = "go"
+	}
+	moduleRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "rfidtrackd")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	build := exec.CommandContext(ctx, goTool, "build", "-o", bin, "./cmd/rfidtrackd")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Uninterrupted reference, with the same query the daemon attaches.
+	w := smokeWorld(t)
+	const interval = model.Epoch(300)
+	ref := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+	ref.Query = dist.ColdChainQuery(w, interval)
+	want, err := ref.ReplaySequential(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAlerts := 0
+	for s := range w.Sites {
+		wantAlerts += len(ref.SiteQuery(s).Matches())
+	}
+	events := serve.WorldEvents(w, ref.Departures())
+
+	dataDir := t.TempDir()
+	daemon, baseURL := startDaemon(t, bin, dataDir)
+	client := &serve.Client{BaseURL: baseURL}
+
+	// Stream the first half, then SIGKILL the daemon mid-interval — no
+	// drain, no graceful anything. Strict fsync means every acknowledged
+	// batch is durable; the unacknowledged one is re-sent after restart.
+	const batch = 256
+	cut := 0
+	for cut < len(events) && events[cut].Time() < 450 {
+		cut++
+	}
+	sent := 0
+	for sent < cut {
+		end := min(sent+batch, cut)
+		ingestRetry(t, client, events[sent:end])
+		sent = end
+	}
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+
+	// Restart over the same data directory; recovery replays the
+	// snapshot + WAL tail. Re-send the last acknowledged batch too
+	// (covering the ack-lost window), then the rest of the stream.
+	daemon2, baseURL := startDaemon(t, bin, dataDir)
+	defer func() {
+		daemon2.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { daemon2.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			daemon2.Process.Kill()
+		}
+	}()
+	client = &serve.Client{BaseURL: baseURL}
+	resend := max(sent-batch, 0)
+	for i := resend; i < len(events); i += batch {
+		end := min(i+batch, len(events))
+		ingestRetry(t, client, events[i:end])
+	}
+	if _, err := client.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := client.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered daemon's Result diverged from uninterrupted reference\n got: %+v\nwant: %+v", got, want)
+	}
+	alerts, err := client.Alerts(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != wantAlerts {
+		t.Errorf("recovered daemon raised %d alerts, reference raised %d", len(alerts), wantAlerts)
+	}
+	if wantAlerts == 0 {
+		t.Error("reference raised no alerts; the smoke scenario is too easy")
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WAL == nil || st.WAL.Snapshots == 0 {
+		t.Errorf("daemon reported no durable snapshots: %+v", st.WAL)
+	}
+}

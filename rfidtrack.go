@@ -50,6 +50,7 @@ import (
 	"rfidtrack/internal/smurf"
 	"rfidtrack/internal/stream"
 	"rfidtrack/internal/trace"
+	"rfidtrack/internal/wal"
 )
 
 // Core identifier and time types.
@@ -215,6 +216,11 @@ type (
 	// element type of Server.IngestBatch batches and of the sharded ingest
 	// buckets.
 	FeedReading = dist.Reading
+	// WALManifest is a durable data directory's commit point (generation,
+	// active snapshot, boundary), returned by Server.SnapshotNow.
+	WALManifest = wal.Manifest
+	// WALStats is the durable-state accounting exposed in ServeStats.WAL.
+	WALStats = wal.Stats
 )
 
 // NewServer starts an online server over a cluster; see serve.New.

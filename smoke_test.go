@@ -32,6 +32,9 @@ var smokeBinaries = []struct {
 	{"cmd/rfidtrackd", []string{"-demo", "-epochs", "900", "-items", "3", "-sites", "2"}},
 	{"examples/quickstart", nil},
 	{"examples/daemon", []string{"-epochs", "1200", "-items", "3"}},
+	// Crash + WAL/snapshot recovery in-process; fails loudly if the
+	// recovered result ever drifts from the uninterrupted run.
+	{"examples/recovery", []string{"-epochs", "1200", "-items", "3"}},
 	{"examples/tracking", nil},
 	{"examples/supplychain", []string{"-epochs", "900", "-items", "3"}},
 	{"examples/hospital", []string{"-epochs", "700", "-items", "4"}},
