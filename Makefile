@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve bench-json bench-smoke recover-smoke docs-lint ci
+.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve bench-json bench-check bench-smoke recover-smoke docs-lint ci
 
 build:
 	$(GO) build ./...
@@ -17,13 +17,15 @@ vet:
 race:
 	$(GO) test -race ./internal/rfinfer/... ./internal/dist/... ./internal/query/... ./internal/serve/...
 
-# Short fuzz sessions over the wire decoders (30 s total budget): migrated
-# state bytes and write-ahead-log frames must never panic a receiver, and
-# a corrupt WAL tail must truncate cleanly instead of decoding garbage.
+# Short fuzz sessions over the wire decoders (40 s total budget): migrated
+# state bytes, write-ahead-log frames and binary ingest frames must never
+# panic a receiver, and a corrupt WAL tail or batch frame must be refused
+# cleanly instead of decoding garbage.
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz 'FuzzDecode$$' -fuzztime 10s ./internal/trace/
 	$(GO) test -run XXX -fuzz 'FuzzDecodeCR' -fuzztime 10s ./internal/rfinfer/
 	$(GO) test -run XXX -fuzz 'FuzzDecodeWALRecord' -fuzztime 10s ./internal/stream/
+	$(GO) test -run XXX -fuzz 'FuzzDecodeBatchFrame' -fuzztime 10s ./internal/stream/
 
 # Whole-artifact benchmarks: regenerate every paper table/figure.
 bench:
@@ -43,23 +45,32 @@ bench-dist:
 # up directly in the log), the single-site batch fast path, per-checkpoint
 # scheduler latency, and ingest p99 while a checkpoint is running.
 bench-serve:
-	$(GO) test -bench 'BenchmarkIngest|BenchmarkCheckpoint' -benchmem -run XXX ./internal/serve/
+	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$' -benchmem -run XXX ./internal/serve/
 
 # Machine-readable benchmark tracking: run the serve, rfinfer and dist
 # suites and emit BENCH_<pkg>.json (name, ns/op, B/op, allocs/op, plus
 # custom metrics like readings/s) so the perf trajectory is comparable
 # across PRs.
 bench-json:
-	$(GO) test -bench 'BenchmarkIngest|BenchmarkCheckpoint' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -o BENCH_serve.json
+	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -o BENCH_serve.json
 	$(GO) test -bench 'BenchmarkEngineRun|BenchmarkEStep' -benchmem -run XXX ./internal/rfinfer/ | $(GO) run ./cmd/benchjson -o BENCH_rfinfer.json
 	$(GO) test -bench 'BenchmarkMigration|BenchmarkFeedAdvance' -benchmem -run XXX ./internal/dist/ | $(GO) run ./cmd/benchjson -o BENCH_dist.json
-	$(GO) test -bench 'BenchmarkIngestWAL|BenchmarkRecovery|BenchmarkWAL' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -o BENCH_wal.json
+	$(GO) test -bench 'BenchmarkIngestWAL$$|BenchmarkIngestBinWAL$$|BenchmarkRecovery$$|BenchmarkWAL' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -o BENCH_wal.json
+
+# Perf regression gate: re-run the online-runtime and durability
+# benchmarks and fail when a headline number (ns/op, allocs/op or
+# readings/s) regresses more than 20% against the committed baselines in
+# BENCH_serve.json / BENCH_wal.json. Regenerate the baselines with
+# `make bench-json` when a change legitimately moves them.
+bench-check:
+	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -check BENCH_serve.json
+	$(GO) test -bench 'BenchmarkIngestWAL$$|BenchmarkIngestBinWAL$$|BenchmarkRecovery$$|BenchmarkWAL' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -check BENCH_wal.json
 
 # Benchmark smoke: a 100ms pass over the online-runtime benchmarks that
 # fails on build error or panic, so a checkpoint/ingest regression that
 # crashes cannot land even when nobody ran the full bench suite.
 bench-smoke:
-	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkCheckpoint$$' -benchtime 100ms -run XXX ./internal/serve/
+	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$' -benchtime 100ms -run XXX ./internal/serve/
 
 # Recovery smoke: build the real daemon, kill -9 it mid-stream, restart
 # over the same data directory, and require the drained result to match
@@ -77,4 +88,4 @@ docs-lint:
 	$(GO) run ./cmd/docslint -md README.md -md ARCHITECTURE.md -md PERFORMANCE.md -md OPERATIONS.md
 
 # Tier-1 verify: everything the CI gate runs, in one command.
-ci: build vet test race fuzz-smoke bench-smoke recover-smoke docs-lint
+ci: build vet test race fuzz-smoke bench-smoke bench-check recover-smoke docs-lint

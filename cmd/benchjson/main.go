@@ -11,6 +11,14 @@
 // Each record carries the benchmark name (CPU suffix stripped), iteration
 // count, ns/op, B/op, allocs/op, and every custom metric the benchmark
 // reported (readings/s, ingest-p99-us, ...) under "metrics".
+//
+// With -check FILE the parsed results are additionally compared against
+// the committed baseline in FILE and the exit status becomes the CI perf
+// gate (`make bench-check`): a benchmark present in both runs fails the
+// gate when its wall time (ns/op) or allocations regress by more than
+// -threshold (default 20%), or its throughput metric (readings/s) drops
+// by more than the same margin. Benchmarks only on one side are ignored,
+// so adding or retiring a benchmark never breaks the gate.
 package main
 
 import (
@@ -48,10 +56,12 @@ type Output struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output JSON file (required)")
+	out := flag.String("o", "", "output JSON file")
+	check := flag.String("check", "", "baseline JSON file to gate against (exit 1 on regression)")
+	threshold := flag.Float64("threshold", 0.20, "relative regression that fails -check (0.20 = 20%)")
 	flag.Parse()
-	if *out == "" {
-		log.Fatal("benchjson: -o output file is required")
+	if *out == "" && *check == "" {
+		log.Fatal("benchjson: need -o and/or -check")
 	}
 
 	doc := Output{Context: map[string]string{}}
@@ -75,15 +85,75 @@ func main() {
 		log.Fatal("benchjson: no benchmark lines found on stdin")
 	}
 
-	data, err := json.MarshalIndent(doc, "", "  ")
+	if *out != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	}
+	if *check != "" {
+		if err := checkBaseline(*check, doc.Benchmarks, *threshold); err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+	}
+}
+
+// checkBaseline compares the run's records against the committed baseline
+// and returns an error describing every regression past the threshold.
+// Gated dimensions: ns/op and allocs/op may not grow by more than the
+// threshold (a zero-alloc baseline may not allocate at all), and the
+// readings/s throughput metric may not shrink by more than it.
+func checkBaseline(path string, got []Record, threshold float64) error {
+	b, err := os.ReadFile(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+	var base Output
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	baseline := make(map[string]Record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseline[r.Name] = r
+	}
+	var fails []string
+	checked := 0
+	for _, r := range got {
+		old, ok := baseline[r.Name]
+		if !ok {
+			continue
+		}
+		checked++
+		if old.NsPerOp > 0 && r.NsPerOp > old.NsPerOp*(1+threshold) {
+			fails = append(fails, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.0f%%)",
+				r.Name, old.NsPerOp, r.NsPerOp, 100*(r.NsPerOp/old.NsPerOp-1)))
+		}
+		switch {
+		case old.AllocsPerOp == 0 && r.AllocsPerOp > 0:
+			fails = append(fails, fmt.Sprintf("%s: allocs/op 0 -> %.0f (zero-alloc baseline)",
+				r.Name, r.AllocsPerOp))
+		case old.AllocsPerOp > 0 && r.AllocsPerOp > old.AllocsPerOp*(1+threshold):
+			fails = append(fails, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (+%.0f%%)",
+				r.Name, old.AllocsPerOp, r.AllocsPerOp, 100*(r.AllocsPerOp/old.AllocsPerOp-1)))
+		}
+		if want := old.Metrics["readings/s"]; want > 0 {
+			if have := r.Metrics["readings/s"]; have < want*(1-threshold) {
+				fails = append(fails, fmt.Sprintf("%s: readings/s %.0f -> %.0f (-%.0f%%)",
+					r.Name, want, have, 100*(1-have/want)))
+			}
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("perf gate vs %s failed:\n  %s", path, strings.Join(fails, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: perf gate vs %s passed (%d benchmarks within %.0f%%)\n",
+		path, checked, 100*threshold)
+	return nil
 }
 
 // contextLine recognizes the run's goos/goarch/pkg/cpu header lines.

@@ -64,6 +64,7 @@ func main() {
 		rate     = flag.Float64("rate", 0, "events per second to stream (0 = as fast as the daemon accepts)")
 		batch    = flag.Int("batch", 512, "events per ingest request when streaming")
 		perSite  = flag.Bool("per-site", false, "stream each site concurrently over /ingest/batch (set -watermark on the daemon to absorb producer skew)")
+		bin      = flag.Bool("bin", false, "ship readings over the binary /ingest/bin frame codec instead of JSON (departures still ride /ingest)")
 		skew     = flag.Int("skew", 300, "per-site mode: max stream-time lead (epochs) of any producer over the slowest; keep at or below the daemon's -watermark")
 		drain    = flag.Bool("drain", true, "POST /drain after streaming so the daemon finishes the trailing interval")
 		retry    = flag.Duration("retry", 0, "chaos mode: re-send failed posts with backoff for this long (covers a daemon kill -9 + restart); 0 fails fast")
@@ -112,9 +113,9 @@ func main() {
 	if *serveURL != "" {
 		var err error
 		if *perSite {
-			err = streamWorldPerSite(*serveURL, w, *rate, *batch, model.Epoch(*skew), *drain, *retry)
+			err = streamWorldPerSite(*serveURL, w, *rate, *batch, model.Epoch(*skew), *drain, *retry, *bin)
 		} else {
-			err = streamWorld(*serveURL, w, *rate, *batch, *drain, *retry)
+			err = streamWorld(*serveURL, w, *rate, *batch, *drain, *retry, *bin)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -149,7 +150,7 @@ func main() {
 // so producers self-pace: none runs more than skew epochs of stream time
 // ahead of the slowest, keeping the skew inside what the daemon's
 // watermark absorbs.
-func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize int, skew model.Epoch, drain bool, retry time.Duration) error {
+func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize int, skew model.Epoch, drain bool, retry time.Duration, bin bool) error {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -230,6 +231,10 @@ func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize in
 					time.Sleep(time.Millisecond)
 				}
 				if err := postRetry(retry, func() error {
+					if bin {
+						_, err := client.IngestBin(s, stream[i:end])
+						return err
+					}
 					_, err := client.IngestBatch(s, stream[i:end])
 					return err
 				}); err != nil {
@@ -343,8 +348,10 @@ func reportDaemon(client *serve.Client, drain bool, retry time.Duration) error {
 }
 
 // streamWorld is the load-generator mode: ship the world's readings and
-// ground-truth departures to a live rfidtrackd in stream-time order.
-func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drain bool, retry time.Duration) error {
+// ground-truth departures to a live rfidtrackd in stream-time order. With
+// bin, each chunk's readings travel as multi-section binary frames and
+// only the departures ride the JSON /ingest path.
+func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drain bool, retry time.Duration, bin bool) error {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -356,11 +363,16 @@ func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drai
 	}
 	fmt.Println()
 
+	var bySite [][]dist.Reading
+	var depChunk []serve.Event
 	start := time.Now()
 	sent := 0
 	for i := 0; i < len(events); i += batchSize {
 		end := min(i+batchSize, len(events))
 		if err := postRetry(retry, func() error {
+			if bin {
+				return postChunkBin(client, events[i:end], &bySite, &depChunk)
+			}
 			_, err := client.Ingest(events[i:end])
 			return err
 		}); err != nil {
@@ -379,4 +391,65 @@ func streamWorld(baseURL string, w *sim.World, rate float64, batchSize int, drai
 	fmt.Printf("streamed %d events in %s (%.0f events/s)\n",
 		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
 	return reportDaemon(client, drain, retry)
+}
+
+// postChunkBin ships one mixed-event chunk through the binary fast path,
+// preserving the stream's time order across HTTP requests: each maximal
+// run of consecutive readings travels as ONE multi-section frame (a
+// section per site, IngestBinAll), and departures split the chunk and
+// ride /ingest in place. The daemon publishes stream time once per
+// request, after bucketing everything in it — so by the time a Δ
+// checkpoint can seal, every earlier event of the chunk has been
+// delivered. Posting each site as its own request instead would let a
+// post-boundary site advance stream time and seal a checkpoint before a
+// pre-boundary site's readings arrive whenever a chunk straddles an
+// interval boundary: readings counted late that the JSON path delivers
+// on time. The scratch slices are reused across chunks.
+func postChunkBin(client *serve.Client, events []serve.Event, bySite *[][]dist.Reading, depChunk *[]serve.Event) error {
+	for s := range *bySite {
+		(*bySite)[s] = (*bySite)[s][:0]
+	}
+	*depChunk = (*depChunk)[:0]
+	flushReadings := func() error {
+		n := 0
+		for s := range *bySite {
+			n += len((*bySite)[s])
+		}
+		if n == 0 {
+			return nil
+		}
+		_, err := client.IngestBinAll(*bySite)
+		for s := range *bySite {
+			(*bySite)[s] = (*bySite)[s][:0]
+		}
+		return err
+	}
+	flushDeps := func() error {
+		if len(*depChunk) == 0 {
+			return nil
+		}
+		_, err := client.Ingest(*depChunk)
+		*depChunk = (*depChunk)[:0]
+		return err
+	}
+	for _, ev := range events {
+		if ev.Type != serve.TypeReading {
+			if err := flushReadings(); err != nil {
+				return err
+			}
+			*depChunk = append(*depChunk, ev)
+			continue
+		}
+		if err := flushDeps(); err != nil {
+			return err
+		}
+		for ev.Site >= len(*bySite) {
+			*bySite = append(*bySite, nil)
+		}
+		(*bySite)[ev.Site] = append((*bySite)[ev.Site], dist.Reading{T: ev.T, ID: ev.Tag, Mask: ev.Mask})
+	}
+	if err := flushReadings(); err != nil {
+		return err
+	}
+	return flushDeps()
 }

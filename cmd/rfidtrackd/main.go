@@ -35,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -56,6 +57,7 @@ func main() {
 		wmark    = flag.Int("watermark", 0, "stream-time slack (epochs) before closing a checkpoint; set ~interval when several readers post concurrently")
 		noQuery  = flag.Bool("no-query", false, "do not attach the per-site exposure query")
 		demo     = flag.Bool("demo", false, "self-drive: stream the deployment's own world over HTTP, print a summary, exit")
+		pprof    = flag.String("pprof", "", "side listener for net/http/pprof (e.g. localhost:6060; empty = off); see PERFORMANCE.md for profiling a live checkpoint")
 
 		dataDir  = flag.String("data-dir", "", "durable-state directory: WAL + snapshots; restart with the same directory to recover (empty = memory-only)")
 		fsync    = flag.Duration("fsync", 100*time.Millisecond, "WAL group-fsync cadence (<0 disables the timer; checkpoints and shutdown still sync)")
@@ -134,6 +136,22 @@ func main() {
 			fmt.Printf("ALERT #%d site=%d tag=%d exposed %d..%d\n", a.Seq, a.Site, a.Tag, a.First, a.Last)
 		}
 	}()
+
+	// The profiler gets its own listener so the ingest surface stays
+	// exactly the documented API and an operator can firewall the two
+	// separately. net/http/pprof registers on http.DefaultServeMux.
+	if *pprof != "" {
+		pln, err := net.Listen("tcp", *pprof)
+		if err != nil {
+			log.Fatalf("pprof listener: %v", err)
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
+	}
 
 	listenAddr := *addr
 	if *demo {

@@ -27,20 +27,19 @@ type scoredCand struct {
 // merged with any candidates carried over from migration and the current
 // assignment. All working storage is reused across Runs.
 func (e *Engine) buildCandidates() {
-	// Flatten container readings into one epoch-sorted index.
+	// Flatten container readings into one epoch-sorted index. The flatten
+	// order is ci-ascending with epochs ascending inside each container, so
+	// a stable counting sort on the epoch alone yields exactly the (t, ci)
+	// order a comparison sort would — in one histogram pass over the dense
+	// retained-window epoch range instead of O(n log n) compares.
 	reads := e.contReads[:0]
 	for ci, cid := range e.containers {
 		for _, rd := range e.tags[cid].series {
 			reads = append(reads, contRead{t: rd.T, ci: int32(ci), mask: rd.Mask})
 		}
 	}
-	slices.SortFunc(reads, func(a, b contRead) int {
-		if a.t != b.t {
-			return int(a.t) - int(b.t)
-		}
-		return int(a.ci) - int(b.ci)
-	})
-	e.contReads = reads
+	e.contReads = e.sortContReads(reads)
+	reads = e.contReads
 
 	// Dense container index for forced-candidate count lookups, rebuilt
 	// only when registrations changed the container set.
@@ -144,6 +143,62 @@ func (e *Engine) buildCandidates() {
 			}
 		}
 	}
+}
+
+// sortContReads sorts the flattened container-reading index by (t, ci),
+// returning the sorted slice (which may use e.contReads2's backing; the two
+// backings swap roles across Runs). Epochs in the retained history span a
+// bounded window, so a stable counting sort on t does the job in two linear
+// passes; a degenerate span (sparse epochs spread over a huge range) falls
+// back to the comparison sort.
+func (e *Engine) sortContReads(reads []contRead) []contRead {
+	if len(reads) < 2 {
+		return reads
+	}
+	lo, hi := reads[0].t, reads[0].t
+	for _, rd := range reads[1:] {
+		if rd.t < lo {
+			lo = rd.t
+		}
+		if rd.t > hi {
+			hi = rd.t
+		}
+	}
+	span := int64(hi) - int64(lo) + 1
+	if span > 4*int64(len(reads))+1024 {
+		slices.SortFunc(reads, func(a, b contRead) int {
+			if a.t != b.t {
+				return int(a.t) - int(b.t)
+			}
+			return int(a.ci) - int(b.ci)
+		})
+		return reads
+	}
+	if cap(e.epochHist) < int(span) {
+		e.epochHist = make([]int32, span)
+	}
+	hist := e.epochHist[:span]
+	for i := range hist {
+		hist[i] = 0
+	}
+	for _, rd := range reads {
+		hist[rd.t-lo]++
+	}
+	sum := int32(0)
+	for i, n := range hist {
+		hist[i] = sum
+		sum += n
+	}
+	if cap(e.contReads2) < len(reads) {
+		e.contReads2 = make([]contRead, 0, cap(reads))
+	}
+	out := e.contReads2[:len(reads)]
+	for _, rd := range reads {
+		out[hist[rd.t-lo]] = rd
+		hist[rd.t-lo]++
+	}
+	e.contReads2 = reads[:0]
+	return out
 }
 
 // priorOf looks up a candidate's carried-over weight in the snapshot taken

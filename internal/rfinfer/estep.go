@@ -95,6 +95,7 @@ func (e *Engine) eStep() {
 func (e *Engine) computePosterior(rec *tagRec, group []model.TagID, from model.Epoch, s *scratch) {
 	n := e.lik.N()
 	p := &rec.post
+	p.ver++
 
 	keep := 0
 	if from > epochMin {
@@ -125,6 +126,7 @@ func (e *Engine) computePosterior(rec *tagRec, group []model.TagID, from model.E
 		i := len(p.epochs) - 1
 		p.qBase[i] = computeRowAt(e.lik, members, gb, t, cur, s.lq, p.row(i))
 	}
+	p.refreshAdv(e.lik)
 }
 
 // groupBias returns the multiplier of the all-miss base row: one factor per
@@ -237,6 +239,24 @@ func mergeSeriesEpochs(a []model.Epoch, b model.Series, buf *[]model.Epoch) []mo
 		}
 		return a
 	}
+	// Containment fast path (see mergeEpochs): group members share reader
+	// schedules, so one member's epochs are often already in the union.
+	if len(b) <= len(a) && b[0].T >= a[0] && b[len(b)-1].T <= a[len(a)-1] {
+		i := 0
+		contained := true
+		for _, rd := range b {
+			for i < len(a) && a[i] < rd.T {
+				i++
+			}
+			if i >= len(a) || a[i] != rd.T {
+				contained = false
+				break
+			}
+		}
+		if contained {
+			return a
+		}
+	}
 	out := (*buf)[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -262,13 +282,32 @@ func mergeSeriesEpochs(a []model.Epoch, b model.Series, buf *[]model.Epoch) []mo
 }
 
 // mergeEpochs is mergeSeriesEpochs over two plain epoch lists, with the
-// same backing-array swap.
+// same backing-array swap. When b is already contained in a — the common
+// case once a few candidates' posterior epochs have been folded into an
+// evidence union — the containment is detected with a read-only walk and a
+// is returned without copying anything.
 func mergeEpochs(a, b []model.Epoch, buf *[]model.Epoch) []model.Epoch {
 	if len(b) == 0 {
 		return a
 	}
 	if len(a) == 0 {
 		return append(a, b...)
+	}
+	if len(b) <= len(a) && b[0] >= a[0] && b[len(b)-1] <= a[len(a)-1] {
+		i := 0
+		contained := true
+		for _, t := range b {
+			for i < len(a) && a[i] < t {
+				i++
+			}
+			if i >= len(a) || a[i] != t {
+				contained = false
+				break
+			}
+		}
+		if contained {
+			return a
+		}
 	}
 	out := (*buf)[:0]
 	i, j := 0, 0

@@ -20,6 +20,40 @@ type scratch struct {
 	series    []model.Series // member series gathered for one container
 	prefix    []float64      // prefix-sum table (critical-region search)
 	posts     []*posterior   // hoisted candidate posteriors (M-step)
+	uni       []float64      // per-epoch uniform evidence (M-step)
+	maskRows  [][]float64    // per-epoch own-observation delta rows (M-step)
+
+	// Candidate-union cache (M-step): the merged posterior epochs of the
+	// last candidate set processed, keyed by the sorted set and the
+	// posterior versions it was built from. Objects of one group share
+	// candidates (in per-object score order), so consecutive objects hit.
+	candU     []model.Epoch
+	candUKey  []model.TagID // sorted
+	candUVers []uint32      // aligned with candUKey
+	candUScr  []model.TagID // sort scratch for the probe key
+
+	evEpochs []model.Epoch // evidence epoch union (on-the-fly CR search)
+	crCurs   []int         // backward window-edge cursors (CR search)
+}
+
+// intBuf returns a length-n int buffer backed by s.crCurs. Contents are
+// unspecified; callers overwrite before reading.
+func (s *scratch) intBuf(n int) []int {
+	if cap(s.crCurs) < n {
+		s.crCurs = make([]int, n)
+	}
+	s.crCurs = s.crCurs[:n]
+	return s.crCurs
+}
+
+// maskRowRefs returns a length-n row-reference buffer backed by s.maskRows.
+// Contents are unspecified; callers overwrite before reading.
+func (s *scratch) maskRowRefs(n int) [][]float64 {
+	if cap(s.maskRows) < n {
+		s.maskRows = make([][]float64, n)
+	}
+	s.maskRows = s.maskRows[:n]
+	return s.maskRows
 }
 
 // postRefs returns a length-n posterior-pointer buffer backed by s.posts.

@@ -118,6 +118,10 @@ type tagRec struct {
 	id          model.TagID
 	isContainer bool
 	series      model.Series
+	// seriesVer counts series mutations (observations, truncation, history
+	// resets, state imports): the cheap change signal behind the M-step's
+	// whole-matrix evidence memo.
+	seriesVer uint32
 
 	// Object state.
 	cands  []model.TagID
@@ -170,10 +174,44 @@ type posterior struct {
 	n      int       // row stride: number of reader locations
 	q      []float64 // len(epochs)*n posterior rows
 	qBase  []float64 // per epoch: dot(q, base) — evidence of an unread object
+	// advSum is the container's object-independent evidence advantage:
+	// sum over active epochs of qBase minus the uniform-posterior evidence
+	// there. It is the bulk of any unread object's co-location total against
+	// this container, shared by every object that lists it as a candidate,
+	// and is refreshed whenever the posterior content changes (see
+	// computeEvidenceFastInto). prefAdv is its prefix-sum form —
+	// prefAdv[i+1] sums the first i+1 active epochs, prefAdv[0] = 0,
+	// advSum = prefAdv[len(epochs)] — which lets the critical-region search
+	// take any epoch range of the advantage as one subtraction.
+	advSum  float64
+	prefAdv []float64
+	// ver counts content mutations (recompute, memo compaction): objects
+	// whose candidates' posteriors all carry the version their evidence was
+	// computed against can skip the M-step rebuild entirely.
+	ver uint32
 }
 
 // row returns the posterior distribution at active-epoch index i.
 func (p *posterior) row(i int) []float64 { return p.q[i*p.n : (i+1)*p.n : (i+1)*p.n] }
+
+// refreshAdv recomputes advSum from the current rows. Callers invoke it at
+// every site that changes posterior content (recompute, memo compaction,
+// snapshot restore), always over the full epoch list in ascending order, so
+// the value is bit-identical however the posterior reached its state.
+func (p *posterior) refreshAdv(lik *model.Likelihood) {
+	pre := p.prefAdv
+	if cap(pre) < len(p.epochs)+1 {
+		pre = make([]float64, 0, len(p.epochs)*5/4+8)
+	}
+	pre = append(pre[:0], 0)
+	s := 0.0
+	for i, t := range p.epochs {
+		s += p.qBase[i] - lik.UniformBase(t)
+		pre = append(pre, s)
+	}
+	p.prefAdv = pre
+	p.advSum = s
+}
 
 // resize keeps the first keep rows and extends storage to rows total rows.
 func (p *posterior) resize(keep, rows, n int) {
@@ -205,6 +243,12 @@ type RunStats struct {
 	// Run inside recomputed containers; RowsComputed counts rows evaluated
 	// from scratch.
 	RowsReused, RowsComputed int
+	// EvidenceComputed counts objects whose evidence matrix the M-step
+	// rebuilt; EvidenceSkipped counts objects served whole from the
+	// evidence memo (unchanged series, candidates, priors and candidate
+	// posteriors). Later EM iterations of a converging Run skip almost
+	// every object.
+	EvidenceComputed, EvidenceSkipped int
 }
 
 // Engine runs RFINFER over a stream of readings at one site.
@@ -232,18 +276,21 @@ type Engine struct {
 	// Hot-path counters, accumulated atomically by workers and snapshotted
 	// into stats at the end of each Run.
 	nComputed, nSkipped, nRowsReused, nRowsComputed atomic.Int64
+	nEvComputed, nEvSkipped                         atomic.Int64
 	stats                                           RunStats
 
 	// Sequential-phase scratch (change-point detection and candidate
 	// pruning), reused across Runs.
-	subViews  [][]float64
-	priorBuf  []float64
-	contReads []contRead
-	contIndex map[model.TagID]int
-	countBuf  []int32
-	scoredBuf []scoredCand
-	oldCands  []model.TagID
-	oldPrior  []float64
+	subViews   [][]float64
+	priorBuf   []float64
+	contReads  []contRead
+	contReads2 []contRead // counting-sort double buffer (swaps with contReads)
+	epochHist  []int32    // counting-sort epoch histogram
+	contIndex  map[model.TagID]int
+	countBuf   []int32
+	scoredBuf  []scoredCand
+	oldCands   []model.TagID
+	oldPrior   []float64
 }
 
 // New returns an engine for a site with the given observation model
@@ -307,6 +354,7 @@ func (e *Engine) Observe(t model.Epoch, id model.TagID, r model.Loc) error {
 		return fmt.Errorf("rfinfer: reading from unknown reader %d", r)
 	}
 	rec.series.Add(t, r)
+	rec.seriesVer++
 	if t > e.now {
 		e.now = t
 	}
@@ -320,6 +368,7 @@ func (e *Engine) ObserveMask(t model.Epoch, id model.TagID, m model.Mask) error 
 		return fmt.Errorf("rfinfer: reading for unregistered tag %d", id)
 	}
 	rec.series.AddMask(t, m)
+	rec.seriesVer++
 	if t > e.now {
 		e.now = t
 	}

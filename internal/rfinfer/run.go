@@ -35,6 +35,8 @@ func (e *Engine) Run(now model.Epoch) RunResult {
 	e.nSkipped.Store(0)
 	e.nRowsReused.Store(0)
 	e.nRowsComputed.Store(0)
+	e.nEvComputed.Store(0)
+	e.nEvSkipped.Store(0)
 	for _, rec := range e.tags {
 		rec.dropped = rec.dropped[:0]
 	}
@@ -68,6 +70,8 @@ func (e *Engine) Run(now model.Epoch) RunResult {
 		PosteriorsSkipped:  int(e.nSkipped.Load()),
 		RowsReused:         int(e.nRowsReused.Load()),
 		RowsComputed:       int(e.nRowsComputed.Load()),
+		EvidenceComputed:   int(e.nEvComputed.Load()),
+		EvidenceSkipped:    int(e.nEvSkipped.Load()),
 	}
 	e.prevRun = e.lastRun
 	e.lastRun = now
@@ -169,10 +173,14 @@ func (e *Engine) detectChanges(now model.Epoch) []Detection {
 func (rec *tagRec) resetSeriesFrom(from model.Epoch) {
 	s := rec.series
 	lo := sort.Search(len(s), func(i int) bool { return s[i].T >= from })
+	if lo == 0 {
+		return
+	}
 	for _, rd := range s[:lo] {
 		rec.dropped = append(rec.dropped, rd.T)
 	}
 	rec.series = append(s[:0], s[lo:]...)
+	rec.seriesVer++
 }
 
 // updateCriticalRegions runs the history-truncation search of Section 4.1:
@@ -185,6 +193,10 @@ func (rec *tagRec) resetSeriesFrom(from model.Epoch) {
 // whole retained history. Objects are independent, so the search fans out
 // over the worker pool.
 func (e *Engine) updateCriticalRegions() {
+	if !e.fullEvidence() {
+		e.updateCriticalRegionsOnline()
+		return
+	}
 	w := e.cfg.CRWindow
 	e.parallelFor(len(e.objects), func(s *scratch, oi int) {
 		rec := e.tags[e.objects[oi]]
@@ -232,6 +244,135 @@ func (e *Engine) updateCriticalRegions() {
 			if best-second >= e.cfg.CRThreshold {
 				rec.cr = window{From: ev.epochs[lo], To: t + 1}
 				return
+			}
+		}
+	})
+}
+
+// updateCriticalRegionsOnline is the critical-region search of the fast
+// evidence mode: rec.ev holds no matrix, so each window's per-candidate
+// evidence is assembled from two prefix-sum families instead — the
+// posterior's object-independent advantage (prefAdv, shared by every
+// object) and the object's own dot-product corrections cached by the last
+// M-step (corrPre). The margin between the best and second-best candidate
+// is invariant to the uniform evidence common to all candidates, so the
+// windowed advantage+correction excess compares exactly like the matrix
+// version's windowed cell sums. Iteration order, window geometry and the
+// early exit mirror the matrix search, so both modes find the same regions
+// (up to float association in the margins); a window sum costs four
+// monotone cursor advances and two subtractions per candidate, never a
+// cell re-derivation.
+func (e *Engine) updateCriticalRegionsOnline() {
+	w := e.cfg.CRWindow
+	e.parallelFor(len(e.objects), func(s *scratch, oi int) {
+		rec := e.tags[e.objects[oi]]
+		ev := rec.ev
+		if ev == nil || len(ev.cands) < 2 {
+			return
+		}
+		k := len(ev.cands)
+		if len(ev.corrOff) != k+1 {
+			return // no fast-mode cache (nothing scored yet)
+		}
+		posts := s.postRefs(k)
+		for j, cid := range ev.cands {
+			posts[j] = &e.tags[cid].post
+		}
+		epochs := e.evidenceEpochs(&s.evEpochs, rec, ev.cands, posts, s)
+		n := len(epochs)
+		if n == 0 {
+			return
+		}
+		corrT, corrPre := ev.corrT, ev.corrPre
+
+		// The scan works newest-first in blocks of window positions. For
+		// each block, a per-candidate backward pass fills a dense row of
+		// window sums using four cursors that only move left — the
+		// posterior-epoch index at each window edge (advR <= t, advL < t-w)
+		// and the correction index at each edge — then a dense best/second
+		// scan over the block stops at the first decisive margin. Blocking
+		// keeps the per-candidate inner loops tight (candidate state in
+		// registers, sequential row writes) while objects that resolve
+		// near the newest epoch — the common case — never pay for the
+		// older windows.
+		const crBlock = 32
+		curs := s.intBuf(4 * k)
+		advR, advL := curs[:k], curs[k:2*k]
+		corR, corL := curs[2*k:3*k], curs[3*k:4*k]
+		for j := 0; j < k; j++ {
+			advR[j] = len(posts[j].epochs) - 1
+			advL[j] = advR[j]
+			corR[j] = int(ev.corrOff[j+1]) - 1
+			corL[j] = corR[j]
+		}
+		rows := s.floats(&s.prefix, crBlock*k)
+		for blockHi := n - 1; blockHi >= 0; blockHi -= crBlock {
+			blockLo := blockHi - crBlock + 1
+			if blockLo < 0 {
+				blockLo = 0
+			}
+			for j := 0; j < k; j++ {
+				p := posts[j]
+				pe, pre := p.epochs, p.prefAdv
+				base := int(ev.corrOff[j])
+				ar, al := advR[j], advL[j]
+				cr, cl := corR[j], corL[j]
+				row := rows[j*crBlock:]
+				for hi := blockHi; hi >= blockLo; hi-- {
+					t := epochs[hi]
+					tLo := t - w
+					for ar >= 0 && pe[ar] > t {
+						ar--
+					}
+					if al > ar {
+						al = ar
+					}
+					for al >= 0 && pe[al] >= tLo {
+						al--
+					}
+					sum := 0.0
+					if ar > al {
+						sum = pre[ar+1] - pre[al+1]
+					}
+					for cr >= base && corrT[cr] > t {
+						cr--
+					}
+					if cl > cr {
+						cl = cr
+					}
+					for cl >= base && corrT[cl] >= tLo {
+						cl--
+					}
+					if cr >= base {
+						sum += corrPre[cr]
+					}
+					if cl >= base {
+						sum -= corrPre[cl]
+					}
+					row[hi-blockLo] = sum
+				}
+				advR[j], advL[j] = ar, al
+				corR[j], corL[j] = cr, cl
+			}
+			for hi := blockHi; hi >= blockLo; hi-- {
+				best, second := -1e308, -1e308
+				for j := 0; j < k; j++ {
+					if v := rows[j*crBlock+hi-blockLo]; v > best {
+						second = best
+						best = v
+					} else if v > second {
+						second = v
+					}
+				}
+				if best-second >= e.cfg.CRThreshold {
+					t := epochs[hi]
+					lo := hi
+					for lo > 0 && epochs[lo-1] >= t-w {
+						lo--
+					}
+					rec.cr = window{From: epochs[lo], To: t + 1}
+					return
+				}
 			}
 		}
 	})
@@ -300,6 +441,9 @@ func filterSeries(rec *tagRec, recent, cr window, extra []window) {
 			rec.dropped = append(rec.dropped, rd.T)
 		}
 	}
+	if len(out) != len(s) {
+		rec.seriesVer++
+	}
 	rec.series = out
 }
 
@@ -340,6 +484,8 @@ func (e *Engine) refreshMemo() {
 		gb := rec.groupBias(len(rec.group))
 		cur := s.ints(len(members))
 		n := p.n
+		origLen := len(p.epochs)
+		recomputed := false
 		wi, ri, si := 0, 0, 0
 		ok := true
 		for _, t := range union {
@@ -359,6 +505,7 @@ func (e *Engine) refreshMemo() {
 			if si < len(stale) && stale[si] == t {
 				p.qBase[wi] = computeRowAt(e.lik, members, gb, t, cur, s.lq, p.q[wi*n:(wi+1)*n])
 				e.nRowsComputed.Add(1)
+				recomputed = true
 			} else if wi != ri {
 				copy(p.q[wi*n:(wi+1)*n], p.q[ri*n:(ri+1)*n])
 				p.qBase[wi] = p.qBase[ri]
@@ -368,12 +515,19 @@ func (e *Engine) refreshMemo() {
 			ri++
 		}
 		if !ok {
+			// The abort may have landed after compaction writes, so the
+			// content version must move even though the memo is dropped.
+			p.ver++
 			rec.postValid = false
 			return
 		}
 		p.epochs = p.epochs[:wi]
 		p.q = p.q[:wi*n]
 		p.qBase = p.qBase[:wi]
+		if recomputed || wi != origLen {
+			p.ver++ // compaction changed content: stale evidence must rebuild
+			p.refreshAdv(e.lik)
+		}
 		rec.postSig = e.dataSignature(rec.groupSig, rec, rec.group, epochMax)
 		rec.postThrough = e.now
 	})

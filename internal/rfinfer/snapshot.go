@@ -170,6 +170,7 @@ func (e *Engine) ImportState(st EngineState) error {
 		rec.cpStart = os.CPStart
 		rec.cr = window{From: os.CR.From, To: os.CR.To}
 		rec.series = append(rec.series[:0], e.sanitizeSeries(os.Series)...)
+		rec.seriesVer++
 		rec.ev = nil
 		rec.dropped = rec.dropped[:0]
 		rec.postValid = false
@@ -184,6 +185,7 @@ func (e *Engine) ImportState(st EngineState) error {
 		rec := e.tags[cs.ID]
 		rec.untagged = cs.Untagged
 		rec.series = append(rec.series[:0], e.sanitizeSeries(cs.Series)...)
+		rec.seriesVer++
 		// Restore the posterior for between-Run readers, but leave the memo
 		// invalid: the next Run recomputes from the restored histories,
 		// which the memo-vs-fresh invariant makes bit-identical. A
@@ -195,6 +197,7 @@ func (e *Engine) ImportState(st EngineState) error {
 			rec.post.epochs = append(rec.post.epochs[:0], cs.Post.Epochs...)
 			rec.post.q = append(rec.post.q[:0], cs.Post.Q...)
 			rec.post.qBase = append(rec.post.qBase[:0], cs.Post.QBase...)
+			rec.post.refreshAdv(e.lik)
 		} else {
 			rec.post = posterior{}
 		}

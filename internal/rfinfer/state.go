@@ -48,10 +48,21 @@ func (e *Engine) ExportCollapsed(oid model.TagID) (CollapsedState, error) {
 		Candidates: append([]model.TagID(nil), rec.cands...),
 		Weights:    make([]float64, len(rec.cands)),
 	}
-	// Recompute totals from the current posteriors so the export reflects
-	// the latest run.
-	ev := e.computeEvidence(rec, e.pool.get(0, e.lik.N()))
-	if len(ev.totals) == len(st.Weights) {
+	// Export the totals of the latest run, recomputing them (into a
+	// throwaway, so rec.ev stays M-step-owned) only when readings arrived
+	// since. The mode-matching compute keeps exported weights bit-identical
+	// to what the M-step scored.
+	ev := rec.ev
+	if !e.evidenceCurrent(rec) {
+		var tmp objEvidence
+		if e.fullEvidence() {
+			e.computeEvidenceInto(&tmp, rec, e.pool.get(0, e.lik.N()))
+		} else {
+			e.computeEvidenceFastInto(&tmp, rec, e.pool.get(0, e.lik.N()))
+		}
+		ev = &tmp
+	}
+	if ev != nil && len(ev.totals) == len(st.Weights) {
 		copy(st.Weights, ev.totals)
 		st.DefaultWeight = ev.uniTotal
 	} else {
@@ -131,6 +142,7 @@ func (e *Engine) ImportCR(st CRState) {
 	e.ImportCollapsed(st.Collapsed)
 	rec := e.tags[st.Collapsed.Object]
 	rec.series = rec.series.Merge(e.sanitizeSeries(st.ObjectHist))
+	rec.seriesVer++
 	rec.cr = window{From: st.CR.From, To: st.CR.To}
 	// Shipped readings are re-counted locally, so zero the prior weights to
 	// avoid double counting; the shipped history is what preserves
@@ -143,6 +155,7 @@ func (e *Engine) ImportCR(st CRState) {
 		e.RegisterContainer(cid)
 		c := e.tags[cid]
 		c.series = c.series.Merge(e.sanitizeSeries(s))
+		c.seriesVer++
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"rfidtrack/internal/model"
 	"rfidtrack/internal/rfinfer"
 	"rfidtrack/internal/sim"
+	"rfidtrack/internal/stream"
 )
 
 // benchWorld is the 4-site deployment the serve benchmarks run against.
@@ -113,6 +114,47 @@ func BenchmarkIngestBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "readings/s")
 }
 
+// BenchmarkIngestBin measures the binary wire fast path: pre-encoded
+// batch frames pushed through IngestFrame — structural validation, CRC,
+// zero-copy record iteration and bucketing under one stripe lock per
+// section. Frames are built once outside the loop, so the number is the
+// pure server-side cost per reading and the loop must stay zero-alloc;
+// like BenchmarkIngestBatch, every epoch stays inside the first
+// never-closing interval so no checkpoint runs. The acceptance floor is
+// 10M readings/s.
+func BenchmarkIngestBin(b *testing.B) {
+	w := benchWorld(b)
+	c := dist.NewCluster(w, dist.MigrateNone, rfinfer.DefaultConfig())
+	srv, err := New(c, Config{Interval: w.Epochs, QueueSize: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	const batchSize = 512
+	const numFrames = 8
+	item := w.Sites[0].Items()[0]
+	frames := make([][]byte, numFrames)
+	for f := range frames {
+		var fb stream.FrameBuilder
+		fb.Reset()
+		fb.BeginSection(0)
+		for j := 0; j < batchSize; j++ {
+			fb.Add(model.Epoch((f*batchSize+j)%int(w.Epochs)), item, 1)
+		}
+		frames[f] = append([]byte(nil), fb.Finish()...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		if _, err := srv.IngestFrame(frames[(i/batchSize)%numFrames]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "readings/s")
+}
+
 // BenchmarkIngestWAL is BenchmarkIngest with durability on: every
 // accepted reading is framed, CRC'd and buffered into its site's
 // write-ahead segment inside the stripe critical section, with the group
@@ -160,6 +202,71 @@ func BenchmarkIngestWAL(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "readings/s")
 	if st := srv.Stats(); st.Invalid != 0 {
 		b.Fatalf("bench stream counted %d invalid (last: %s)", st.Invalid, st.LastInvalid)
+	}
+}
+
+// BenchmarkIngestBinWAL is the headline durable-binary number: the world
+// streamed as multi-section batch frames (client-side encode included in
+// the timed loop, as a real producer pays it) with every accepted reading
+// appended to its site's write-ahead segment through the bulk buffered
+// path. Frames flush at each cycle wrap so no frame straddles a
+// checkpoint boundary. The acceptance floor is 3M readings/s.
+func BenchmarkIngestBinWAL(b *testing.B) {
+	w := benchWorld(b)
+	events := WorldEvents(w, nil)
+	c := dist.NewCluster(w, dist.MigrateNone, rfinfer.DefaultConfig())
+	srv, err := New(c, Config{Interval: w.Epochs, QueueSize: 1 << 17, DataDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	const batchSize = 512
+	var fb stream.FrameBuilder
+	bySite := make([][]dist.Reading, len(w.Sites))
+	pending := 0
+	flush := func() {
+		if pending == 0 {
+			return
+		}
+		fb.Reset()
+		for s, batch := range bySite {
+			if len(batch) == 0 {
+				continue
+			}
+			fb.BeginSection(s)
+			for _, rd := range batch {
+				fb.Add(rd.T, rd.ID, rd.Mask)
+			}
+			bySite[s] = bySite[s][:0]
+		}
+		if _, err := srv.IngestFrame(fb.Finish()); err != nil {
+			b.Fatal(err)
+		}
+		pending = 0
+	}
+	var offset model.Epoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		if i%len(events) == 0 && i > 0 {
+			flush() // never straddle the cycle-wrap checkpoint boundary
+			offset += w.Epochs
+		}
+		bySite[ev.Site] = append(bySite[ev.Site], dist.Reading{T: ev.T + offset, ID: ev.Tag, Mask: ev.Mask})
+		if pending++; pending == batchSize {
+			flush()
+		}
+	}
+	flush()
+	if err := srv.Drain(1); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "readings/s")
+	if st := srv.Stats(); st.Invalid != 0 || st.BadFrames != 0 {
+		b.Fatalf("bench stream counted %d invalid, %d bad frames (last: %s)", st.Invalid, st.BadFrames, st.LastInvalid)
 	}
 }
 

@@ -1,0 +1,208 @@
+// The binary ingest fast path: POST /ingest/bin carries a stream batch
+// frame (see internal/stream's frame codec) whose fixed-width records are
+// validated and bucketed straight out of the request buffer — no JSON, no
+// intermediate slice. The server-side decode is zero-copy (sections are
+// views over the body) and the client-side encode reuses one frame buffer
+// per Client, so both directions are allocation-free in steady state.
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
+)
+
+// IngestFrame validates and interval-buckets one binary batch frame, the
+// wire-free twin of IngestBatch for multi-site frames. Records pass
+// through the same per-reading validation as every other ingest path, so
+// the binary and JSON codecs are observationally identical to the
+// scheduler. The frame is fully checked (magic, length, CRC, section
+// tiling) before any record is applied: a torn or corrupt frame is
+// refused whole — counted in Stats.BadFrames — never half-ingested. The
+// frame buffer is not retained; the caller may reuse it immediately.
+//
+// The returned count is the number of records carried by the frame's
+// routable sections (mirroring IngestBatch's acknowledgement, which does
+// not subtract per-reading validation rejects).
+func (s *Server) IngestFrame(frame []byte) (queued int, err error) {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return 0, ErrClosed
+	}
+	s.ingestWG.Add(1)
+	s.closeMu.RUnlock()
+	defer s.ingestWG.Done()
+
+	// Hold the stripe lock across consecutive same-site sections, like
+	// Ingest does across runs of same-site events.
+	var cur *shard
+	batchMax := model.Epoch(-1)
+	_, err = stream.DecodeBatchFrame(frame, func(sec stream.BatchSection) error {
+		n := sec.Len()
+		if sec.Site < 0 || sec.Site >= len(s.shards) {
+			s.invMu.Lock()
+			s.invalid += n
+			s.miscReceived += n
+			s.lastInv = fmt.Sprintf("frame section for unknown site %d (%d readings)", sec.Site, n)
+			s.invMu.Unlock()
+			return nil
+		}
+		sh := s.shards[sec.Site]
+		if sh != cur {
+			if cur != nil {
+				s.flushWALLocked(cur)
+				cur.mu.Unlock()
+			}
+			sh.mu.Lock()
+			cur = sh
+		}
+		for i := 0; i < n; i++ {
+			t, tag, mask := sec.At(i)
+			if at := s.applyReadingLocked(sh, t, tag, mask); at > batchMax {
+				batchMax = at
+			}
+		}
+		queued += n
+		return nil
+	})
+	if cur != nil {
+		s.flushWALLocked(cur)
+		cur.mu.Unlock()
+	}
+	if err != nil {
+		s.invMu.Lock()
+		s.badFrames++
+		s.lastInv = err.Error()
+		s.invMu.Unlock()
+		return 0, fmt.Errorf("serve: refused batch frame: %w", err)
+	}
+	s.publishTime(batchMax)
+	return queued, s.walCommit()
+}
+
+// binBodies recycles request-body buffers for /ingest/bin so a sustained
+// binary producer costs no per-request body allocation.
+var binBodies = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// handleIngestBin reads one binary batch frame (Content-Type
+// application/octet-stream, same 8MB bound as /ingest/batch) and runs it
+// through IngestFrame.
+func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
+	if !contentTypeIs(r, "application/octet-stream") {
+		s.reject415(w, r, "application/octet-stream")
+		return
+	}
+	buf := binBodies.Get().(*bytes.Buffer)
+	defer binBodies.Put(buf)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBatchBytes)); err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, map[string]string{"error": "reading frame: " + err.Error()})
+		return
+	}
+	queued, err := s.IngestFrame(buf.Bytes())
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, IngestResponse{Queued: queued})
+}
+
+// contentTypeIs reports whether the request's media type matches want,
+// ignoring parameters like charset. It allocates nothing on the match
+// path.
+func contentTypeIs(r *http.Request, want string) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), want)
+}
+
+// reject415 refuses a request with the wrong Content-Type, counting it in
+// Stats.UnsupportedMedia: a misconfigured producer shows up in /stats, not
+// just in its own error log.
+func (s *Server) reject415(w http.ResponseWriter, r *http.Request, want string) {
+	s.invMu.Lock()
+	s.unsupportedCT++
+	s.lastInv = fmt.Sprintf("%s: unsupported Content-Type %q (want %s)",
+		r.URL.Path, r.Header.Get("Content-Type"), want)
+	s.invMu.Unlock()
+	writeJSON(w, http.StatusUnsupportedMediaType,
+		map[string]string{"error": "unsupported Content-Type; want " + want})
+}
+
+// IngestBin posts one site's readings through the binary /ingest/bin fast
+// path. The frame buffer is owned by the Client and reused across calls
+// (serialized by an internal mutex), so a steady-state producer re-encodes
+// into the same backing array every time.
+func (c *Client) IngestBin(site int, readings []dist.Reading) (IngestResponse, error) {
+	c.binMu.Lock()
+	defer c.binMu.Unlock()
+	c.binB.Reset()
+	c.binB.BeginSection(site)
+	for i := range readings {
+		c.binB.Add(readings[i].T, readings[i].ID, readings[i].Mask)
+	}
+	return c.postFrameLocked()
+}
+
+// IngestBinAll posts several sites' readings (indexed by site, empty
+// sites skipped) as ONE multi-section frame. The server buckets every
+// section before publishing stream time, so a time-ordered batch
+// regrouped by site cannot have a Δ checkpoint sealed between its sites —
+// which is exactly what happens, without a watermark, when each site is
+// posted as its own IngestBin request and the batch straddles an interval
+// boundary.
+func (c *Client) IngestBinAll(bySite [][]dist.Reading) (IngestResponse, error) {
+	c.binMu.Lock()
+	defer c.binMu.Unlock()
+	c.binB.Reset()
+	for site, rs := range bySite {
+		if len(rs) == 0 {
+			continue
+		}
+		c.binB.BeginSection(site)
+		for i := range rs {
+			c.binB.Add(rs[i].T, rs[i].ID, rs[i].Mask)
+		}
+	}
+	if c.binB.Records() == 0 {
+		return IngestResponse{}, nil
+	}
+	return c.postFrameLocked()
+}
+
+// postFrameLocked finishes the Client's frame buffer and POSTs it to
+// /ingest/bin. Callers hold binMu.
+func (c *Client) postFrameLocked() (IngestResponse, error) {
+	c.binRd.Reset(c.binB.Finish())
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/ingest/bin", &c.binRd)
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	var ir IngestResponse
+	err = checkStatus(resp, &ir)
+	return ir, err
+}

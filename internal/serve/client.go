@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"rfidtrack/internal/dist"
 	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
 	"rfidtrack/internal/wal"
 )
 
@@ -20,6 +22,12 @@ type Client struct {
 	BaseURL string
 	// HTTP is the underlying client; nil uses http.DefaultClient.
 	HTTP *http.Client
+
+	// binMu serializes the reused binary-frame encoder below; see
+	// IngestBin.
+	binMu sync.Mutex
+	binB  stream.FrameBuilder
+	binRd bytes.Reader
 }
 
 // httpClient resolves the underlying client.

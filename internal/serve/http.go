@@ -25,6 +25,7 @@ const ingestBatch = 512
 //
 //	POST /ingest                JSON-lines of reading/depart events
 //	POST /ingest/batch          one site's readings as a single JSON batch
+//	POST /ingest/bin            binary batch frame (application/octet-stream)
 //	POST /drain?through=N       run checkpoints through epoch N (0 = horizon)
 //	GET  /healthz               liveness + pipeline health
 //	GET  /stats                 Stats (ingest, shards, cluster, memo, scheduler, WAL)
@@ -37,6 +38,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("POST /ingest/batch", s.handleIngestBatch)
+	mux.HandleFunc("POST /ingest/bin", s.handleIngestBin)
 	mux.HandleFunc("POST /drain", s.handleDrain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
@@ -119,8 +121,15 @@ type BatchRequest struct {
 const maxBatchBytes = 8 << 20
 
 // handleIngestBatch decodes one BatchRequest and runs it through the
-// single-site IngestBatch fast path.
+// single-site IngestBatch fast path. The body must declare
+// application/json: a producer posting another codec here is
+// misconfigured, and silently JSON-decoding its payload would mask that,
+// so it gets 415 and a counted stat instead.
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	if !contentTypeIs(r, "application/json") {
+		s.reject415(w, r, "application/json")
+		return
+	}
 	var req BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
 	if err := dec.Decode(&req); err != nil {

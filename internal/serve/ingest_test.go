@@ -8,17 +8,20 @@ import (
 	"rfidtrack/internal/dist"
 	"rfidtrack/internal/model"
 	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/stream"
 )
 
 // TestConcurrentProducersNoLoss races N producers over the sharded ingest
-// front end — half through the mixed-event Ingest path one event at a
-// time, half through the site-addressed IngestBatch fast path — with real
+// front end — a third through the mixed-event Ingest path one event at a
+// time, a third through the site-addressed IngestBatch fast path, and a
+// third through binary batch frames (IngestFrame) — with real
 // cross-producer skew inside every interval, live checkpoints, and a
 // one-interval watermark. After the final drain every accepted reading
-// must be observed: zero loss, zero late, zero invalid. A deterministic
-// second phase then sends known-late readings and requires the Late
-// counter to match exactly. `make race` runs this under the race
-// detector, which is what pins the sharded path race-clean.
+// must be observed: zero loss, zero late, zero invalid, regardless of
+// which codec carried it. A deterministic second phase then sends
+// known-late readings and requires the Late counter to match exactly.
+// `make race` runs this under the race detector, which is what pins the
+// sharded path race-clean.
 func TestConcurrentProducersNoLoss(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
@@ -44,8 +47,8 @@ func TestConcurrentProducersNoLoss(t *testing.T) {
 	// Producers rendezvous between waves, so skew never exceeds one
 	// interval — which the watermark absorbs. Within a wave, producers
 	// interleave freely across all shards: each takes the event stripe
-	// i ≡ p (mod producers), even ones event-by-event through Ingest,
-	// odd ones per-site batched through IngestBatch.
+	// i ≡ p (mod producers); p%3 picks the codec — event-by-event Ingest,
+	// per-site IngestBatch, or one multi-section binary frame.
 	for k := 0; k < numWaves; k++ {
 		wave := waves[k]
 		var wg sync.WaitGroup
@@ -53,7 +56,7 @@ func TestConcurrentProducersNoLoss(t *testing.T) {
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
-				if p%2 == 0 {
+				if p%3 == 0 {
 					for i := p; i < len(wave); i += producers {
 						if err := srv.Ingest(wave[i : i+1]); err != nil {
 							t.Errorf("producer %d: %v", p, err)
@@ -66,6 +69,25 @@ func TestConcurrentProducersNoLoss(t *testing.T) {
 				for i := p; i < len(wave); i += producers {
 					ev := wave[i]
 					buckets[ev.Site] = append(buckets[ev.Site], dist.Reading{T: ev.T, ID: ev.Tag, Mask: ev.Mask})
+				}
+				if p%3 == 2 {
+					var fb stream.FrameBuilder
+					fb.Reset()
+					for site, batch := range buckets {
+						if len(batch) == 0 {
+							continue
+						}
+						fb.BeginSection(site)
+						for _, rd := range batch {
+							fb.Add(rd.T, rd.ID, rd.Mask)
+						}
+					}
+					if fb.Records() > 0 {
+						if _, err := srv.IngestFrame(fb.Finish()); err != nil {
+							t.Errorf("producer %d: %v", p, err)
+						}
+					}
+					return
 				}
 				for site, batch := range buckets {
 					if err := srv.IngestBatch(site, batch); err != nil {
@@ -197,6 +219,82 @@ func TestIngestBatchValidation(t *testing.T) {
 	}
 	// Keep the shutdown drain cheap: no stream time was ever published.
 	if err := srv2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestBinValidation pins the binary fast path's edges, mirroring
+// TestIngestBatchValidation: records inside a frame pass the same
+// per-reading validation as every other codec, a section addressed to an
+// unknown site is counted invalid without failing the frame, and a frame
+// that fails its structural checks (bad magic, torn length, flipped CRC)
+// is refused whole — no record of it may reach a bucket.
+func TestIngestBinValidation(t *testing.T) {
+	w := testWorld(t)
+	item := w.Sites[0].Items()[0]
+	c := dist.NewCluster(w, dist.MigrateNone, rfinfer.DefaultConfig())
+	srv, err := New(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One frame mixing a valid section, invalid records, and an
+	// unknown-site section: the two valid readings land, the rest count.
+	var fb stream.FrameBuilder
+	fb.Reset()
+	fb.BeginSection(0)
+	fb.Add(10, item, 1)                     // valid
+	fb.Add(10, model.TagID(w.NumTags()), 1) // unknown tag
+	fb.Add(10, item, 0)                     // empty mask
+	fb.Add(11, item, 1)                     // valid
+	fb.BeginSection(99)                     // unknown site
+	fb.Add(12, item, 1)
+	queued, err := srv.IngestFrame(fb.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued != 4 {
+		t.Errorf("queued = %d, want 4 (the routable sections' records)", queued)
+	}
+	if err := srv.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Invalid != 3 {
+		t.Errorf("invalid = %d, want 3 (last: %s)", st.Invalid, st.LastInvalid)
+	}
+	if st.Feed.Observed != 2 {
+		t.Errorf("observed = %d, want 2", st.Feed.Observed)
+	}
+	if st.BadFrames != 0 {
+		t.Errorf("bad frames = %d, want 0 so far", st.BadFrames)
+	}
+
+	// Structurally broken frames are refused whole.
+	fb.Reset()
+	fb.BeginSection(0)
+	fb.Add(20, item, 1)
+	good := fb.Finish()
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 0xff // flip the CRC
+	torn := append([]byte(nil), good[:len(good)-3]...)
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] ^= 0xff
+	for name, frame := range map[string][]byte{
+		"flipped CRC": corrupt, "torn tail": torn, "bad magic": badMagic, "empty": nil,
+	} {
+		if _, err := srv.IngestFrame(frame); err == nil {
+			t.Errorf("%s: frame accepted, want refusal", name)
+		}
+	}
+	st = srv.Stats()
+	if st.BadFrames != 4 {
+		t.Errorf("bad frames = %d, want 4 (last: %s)", st.BadFrames, st.LastInvalid)
+	}
+	if st.Feed.Observed != 2 {
+		t.Errorf("refused frames leaked records: observed %d, want 2", st.Feed.Observed)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

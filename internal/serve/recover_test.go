@@ -10,6 +10,7 @@ import (
 	"rfidtrack/internal/dist"
 	"rfidtrack/internal/model"
 	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/stream"
 )
 
 // normAlert is an alert stripped of its Seq and sorted canonically, so
@@ -53,6 +54,57 @@ func streamEvents(t *testing.T, srv *Server, events []Event) {
 		end := min(i+256, len(events))
 		if err := srv.Ingest(events[i:end]); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// streamEventsBin pushes the same stream through the binary wire protocol:
+// readings travel as batch frames with one section per site, departures
+// (which have no binary encoding) through Ingest. Frames never span an
+// interval boundary, so the per-site regrouping can never make a reading
+// late: no checkpoint fires while a frame's interval is still being fed.
+func streamEventsBin(t *testing.T, srv *Server, events []Event, interval model.Epoch, sites int) {
+	t.Helper()
+	var fb stream.FrameBuilder
+	bySite := make([][]dist.Reading, sites)
+	for i := 0; i < len(events); {
+		k := events[i].Time() / interval
+		j := i
+		for j < len(events) && events[j].Time()/interval == k {
+			j++
+		}
+		run := events[i:j]
+		i = j
+		for s := range bySite {
+			bySite[s] = bySite[s][:0]
+		}
+		var deps []Event
+		for _, ev := range run {
+			if ev.Type == TypeDepart {
+				deps = append(deps, ev)
+				continue
+			}
+			bySite[ev.Site] = append(bySite[ev.Site], dist.Reading{T: ev.T, ID: ev.Tag, Mask: ev.Mask})
+		}
+		fb.Reset()
+		for s, batch := range bySite {
+			if len(batch) == 0 {
+				continue
+			}
+			fb.BeginSection(s)
+			for _, rd := range batch {
+				fb.Add(rd.T, rd.ID, rd.Mask)
+			}
+		}
+		if fb.Records() > 0 {
+			if _, err := srv.IngestFrame(fb.Finish()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(deps) > 0 {
+			if err := srv.Ingest(deps); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }
@@ -242,5 +294,82 @@ func TestRecoverIdempotentResend(t *testing.T) {
 	// on a clean stream both counters would be zero.
 	if st := srv.Stats(); st.Feed.DupDepartures+st.Feed.LateDepartures == 0 {
 		t.Error("no duplicate departures were dropped; the resend loop is vacuous")
+	}
+}
+
+// TestRecoverBinaryMatchesUninterrupted repeats the crash/restart
+// acceptance bar with the binary wire protocol carrying every reading:
+// frames land in the WAL through the bulk append path, the server is
+// hard-stopped twice (once on pure WAL replay, once on snapshot + tail),
+// and the recovered Result must still be reflect.DeepEqual to the
+// uninterrupted sequential reference at 1 and GOMAXPROCS workers.
+func TestRecoverBinaryMatchesUninterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	w := testWorld(t)
+	const interval = model.Epoch(300)
+
+	ref := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+	want, err := ref.ReplaySequential(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := WorldEvents(w, ref.Departures())
+	crashes := []model.Epoch{350, 950} // same cut points as the JSON variant
+
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		dir := t.TempDir()
+		cfg := Config{
+			Interval:      interval,
+			Horizon:       w.Epochs,
+			Workers:       workers,
+			DataDir:       dir,
+			SyncEvery:     -1,
+			SnapshotEvery: 2,
+		}
+		newServer := func() *Server {
+			c := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+			srv, err := New(c, cfg)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			return srv
+		}
+
+		srv := newServer()
+		prev := 0
+		for _, at := range crashes {
+			cut := splitAt(events, at)
+			streamEventsBin(t, srv, events[prev:cut], interval, len(w.Sites))
+			prev = cut
+			if err := srv.Abort(); err != nil {
+				t.Fatalf("workers=%d: abort at %d: %v", workers, at, err)
+			}
+			srv = newServer()
+			if !srv.Healthy() {
+				t.Fatalf("workers=%d: recovered server unhealthy at %d", workers, at)
+			}
+		}
+		streamEventsBin(t, srv, events[prev:], interval, len(w.Sites))
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatalf("workers=%d: shutdown: %v", workers, err)
+		}
+
+		if got := srv.Result(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: recovered Result diverged from uninterrupted reference\n got: %+v\nwant: %+v",
+				workers, got, want)
+		}
+		st := srv.Stats()
+		if st.Invalid != 0 || st.BadFrames != 0 || st.Feed.Late != 0 {
+			t.Errorf("workers=%d: binary recovery counted invalid=%d badframes=%d late=%d on a clean stream",
+				workers, st.Invalid, st.BadFrames, st.Feed.Late)
+		}
+		if st.Feed.Checkpoints != int(w.Epochs/interval) {
+			t.Errorf("workers=%d: %d checkpoints across crashes, want %d", workers, st.Feed.Checkpoints, w.Epochs/interval)
+		}
+		if st.WAL == nil || st.WAL.Snapshots == 0 {
+			t.Errorf("workers=%d: no durable snapshots committed: %+v", workers, st.WAL)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"rfidtrack/internal/model"
 	"rfidtrack/internal/rfinfer"
 	"rfidtrack/internal/sim"
+	"rfidtrack/internal/stream"
 )
 
 // testWorld is a three-site cold-chain-style world with migrations.
@@ -171,7 +172,7 @@ func feedConcurrently(t *testing.T, srv *Server, events []Event, interval model.
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
-				if p%2 == 0 {
+				if p%3 == 0 {
 					for i := p; i < len(wave); i += producers {
 						if err := srv.Ingest(wave[i : i+1]); err != nil {
 							t.Errorf("producer %d: %v", p, err)
@@ -180,8 +181,9 @@ func feedConcurrently(t *testing.T, srv *Server, events []Event, interval model.
 					}
 					return
 				}
-				// Batch path for this stripe's readings; departures and other
-				// events go through Ingest.
+				// Batch (p%3 == 1) or binary-frame (p%3 == 2) path for this
+				// stripe's readings; departures and other events go through
+				// Ingest either way, so every drain mixes all three codecs.
 				bySite := map[int][]dist.Reading{}
 				for i := p; i < len(wave); i += producers {
 					ev := wave[i]
@@ -193,6 +195,20 @@ func feedConcurrently(t *testing.T, srv *Server, events []Event, interval model.
 						t.Errorf("producer %d: %v", p, err)
 						return
 					}
+				}
+				if p%3 == 2 {
+					var fb stream.FrameBuilder
+					fb.Reset()
+					for site, batch := range bySite {
+						fb.BeginSection(site)
+						for _, rd := range batch {
+							fb.Add(rd.T, rd.ID, rd.Mask)
+						}
+					}
+					if _, err := srv.IngestFrame(fb.Finish()); err != nil {
+						t.Errorf("producer %d: %v", p, err)
+					}
+					return
 				}
 				for site, batch := range bySite {
 					if err := srv.IngestBatch(site, batch); err != nil {

@@ -126,6 +126,12 @@ type Stats struct {
 	Invalid  int `json:"invalid"`
 	// LastInvalid describes the most recent validation rejection.
 	LastInvalid string `json:"last_invalid,omitempty"`
+	// BadFrames counts binary ingest frames refused whole (torn, corrupt,
+	// oversized); their records are never applied and are not in Invalid.
+	BadFrames int `json:"bad_frames,omitempty"`
+	// UnsupportedMedia counts ingest requests refused with 415 for a wrong
+	// Content-Type.
+	UnsupportedMedia int `json:"unsupported_media,omitempty"`
 	// StreamTime is the latest reading epoch seen; NextCheckpoint the next
 	// epoch the scheduler will run inference at.
 	StreamTime     model.Epoch `json:"stream_time"`
@@ -202,10 +208,12 @@ type Server struct {
 	nextCkpt atomic.Int64 // feed.Next(), for producer-side epoch bounds
 	failed   atomic.Bool  // latched runErr, releases backpressure waiters
 
-	invMu        sync.Mutex // guards the rejection counters
-	invalid      int
-	lastInv      string
-	miscReceived int // events not routed to any stripe (departures, junk)
+	invMu         sync.Mutex // guards the rejection counters
+	invalid       int
+	lastInv       string
+	miscReceived  int // events not routed to any stripe (departures, junk)
+	badFrames     int // binary frames refused whole
+	unsupportedCT int // requests refused with 415
 
 	depMu     sync.Mutex // guards the departure buffer
 	deps      []dist.Departure
@@ -343,6 +351,7 @@ func (s *Server) Ingest(events []Event) error {
 			sh := s.shards[ev.Site]
 			if sh != cur {
 				if cur != nil {
+					s.flushWALLocked(cur)
 					cur.mu.Unlock()
 				}
 				sh.mu.Lock()
@@ -358,6 +367,7 @@ func (s *Server) Ingest(events []Event) error {
 		}
 	}
 	if cur != nil {
+		s.flushWALLocked(cur)
 		cur.mu.Unlock()
 	}
 	s.publishTime(batchMax)
@@ -393,6 +403,7 @@ func (s *Server) IngestBatch(site int, readings []dist.Reading) error {
 			batchMax = t
 		}
 	}
+	s.flushWALLocked(sh)
 	sh.mu.Unlock()
 	s.publishTime(batchMax)
 	return s.walCommit()
@@ -438,8 +449,11 @@ func (s *Server) applyReadingLocked(sh *shard, t model.Epoch, tag model.TagID, m
 	// Backpressure: while the stripe is full *and* the scheduler has a
 	// checkpoint to run, wait for that checkpoint to drain the stripe.
 	// Without a runnable checkpoint the producers themselves are the only
-	// source of progress, so the bound does not apply.
+	// source of progress, so the bound does not apply. Wait releases the
+	// stripe lock, so the batch's logged-but-unflushed run goes to the WAL
+	// first — a snapshot rotating segments mid-wait must not strand it.
 	for sh.backlog >= s.cfg.QueueSize && s.checkpointDue() && !s.failed.Load() {
+		s.flushWALLocked(sh)
 		sh.waits++
 		sh.cond.Wait()
 		if t < sh.lateBefore { // the checkpoint we waited on sealed past us
@@ -459,15 +473,28 @@ func (s *Server) applyReadingLocked(sh *shard, t model.Epoch, tag model.TagID, m
 	if t > sh.maxT {
 		sh.maxT = t
 	}
-	// The append shares the stripe's critical section with the bucketing,
-	// so the log order is the bucket order and a snapshot's segment
-	// rotation (which also takes this lock) cleanly partitions the two.
+	// The WAL append stays inside the stripe's critical section with the
+	// bucketing, so the log order is the bucket order and a snapshot's
+	// segment rotation (which also takes this lock) cleanly partitions the
+	// two — but it is buffered per batch and flushed in bulk (one segment
+	// lock per run, not per reading) wherever the stripe lock is released.
 	if s.walOn.Load() {
-		if err := s.wal.AppendReading(sh.site, t, tag, mask); err != nil {
-			s.walFail(err)
-		}
+		sh.walBuf = append(sh.walBuf, dist.Reading{T: t, ID: tag, Mask: mask})
 	}
 	return t
+}
+
+// flushWALLocked bulk-appends the stripe's accepted-readings run to the
+// WAL. Caller holds sh.mu; every path that releases the stripe lock after
+// applyReadingLocked must flush first.
+func (s *Server) flushWALLocked(sh *shard) {
+	if len(sh.walBuf) == 0 {
+		return
+	}
+	if err := s.wal.AppendReadings(sh.site, sh.walBuf); err != nil {
+		s.walFail(err)
+	}
+	sh.walBuf = sh.walBuf[:0]
 }
 
 // walFail latches the first durability failure: the pipeline keeps
@@ -887,6 +914,8 @@ func (s *Server) Stats() Stats {
 	st.Received += s.miscReceived
 	st.Invalid = s.invalid
 	st.LastInvalid = s.lastInv
+	st.BadFrames = s.badFrames
+	st.UnsupportedMedia = s.unsupportedCT
 	s.invMu.Unlock()
 	s.depMu.Lock()
 	st.Feed.PendingDepartures += len(s.deps)

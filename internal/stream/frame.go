@@ -1,0 +1,332 @@
+// The binary batch frame codec: the high-throughput ingest wire format of
+// the online runtime (POST /ingest/bin). One frame carries one or more
+// per-site sections of fixed-width reading records:
+//
+//	header (16 bytes):
+//	  [4 bytes magic "RFB1"]
+//	  [4 bytes little-endian frame length, header and trailer included]
+//	  [4 bytes little-endian section count]
+//	  [4 bytes little-endian total record count]
+//	sections, each:
+//	  [4 bytes little-endian site]
+//	  [4 bytes little-endian record count]
+//	  [count x 16-byte records: epoch u32 | tag u32 | mask u64, LE]
+//	trailer:
+//	  [4 bytes CRC32-Castagnoli of everything before it]
+//
+// Fixed-width records make the producer encode a pair of stores per
+// reading and let the consumer decode without copying: a BatchSection is a
+// view over the frame's bytes, so readings go straight from the network
+// buffer into the ingest shards. The framing follows the WAL record codec
+// above: torn frames (cut short mid-write) are distinguishable from
+// corrupt ones, and no length or count from the wire is trusted before it
+// is checked against the bytes actually present.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"rfidtrack/internal/model"
+)
+
+// FrameMagic identifies (and versions) a binary batch frame: "RFB1" as a
+// little-endian uint32. An incompatible future layout gets a new magic.
+const FrameMagic = uint32('R') | uint32('F')<<8 | uint32('B')<<16 | uint32('1')<<24
+
+const (
+	// frameHeaderLen is the fixed frame prefix: magic, frame length,
+	// section count, record count.
+	frameHeaderLen = 16
+	// frameSectionLen is one section header: site + record count.
+	frameSectionLen = 8
+	// FrameRecordLen is one fixed-width reading record.
+	FrameRecordLen = 16
+	// frameTrailerLen is the CRC32-Castagnoli trailer.
+	frameTrailerLen = 4
+)
+
+// MaxFrameBytes bounds one frame's total length (~500k readings). It
+// matches the HTTP body cap of the JSON batch path: a larger frame is a
+// malformed producer, not a bigger buffer.
+const MaxFrameBytes = 8 << 20
+
+// ErrFramePartial reports a frame cut short: fewer bytes than its header
+// (or its declared length) requires. A streaming reader that buffered only
+// a prefix retries with more bytes; a file ends cleanly at the last whole
+// frame.
+var ErrFramePartial = errors.New("stream: partial batch frame")
+
+// ErrFrameCorrupt reports a complete frame whose bytes are not a valid
+// batch frame: bad magic, implausible length, CRC mismatch, or section
+// counts that do not tile the body exactly.
+var ErrFrameCorrupt = errors.New("stream: corrupt batch frame")
+
+// frameCastagnoli is the CRC32-Castagnoli table (hardware-accelerated on
+// amd64/arm64), shared by the encoder and decoder.
+var frameCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BatchSection is one site's records inside a decoded frame: a zero-copy
+// view over the frame's bytes. It is only valid while the frame buffer is.
+type BatchSection struct {
+	// Site is the section's site index as sent on the wire.
+	Site int
+	recs []byte // Count x FrameRecordLen record bytes
+	n    int
+}
+
+// Len returns the number of records in the section.
+func (s BatchSection) Len() int { return s.n }
+
+// At decodes record i. It performs no validation beyond the fixed layout:
+// epochs and tags are returned as signed values exactly as sent, and the
+// ingest layer's validation decides what is acceptable.
+func (s BatchSection) At(i int) (t model.Epoch, tag model.TagID, mask model.Mask) {
+	rec := s.recs[i*FrameRecordLen : i*FrameRecordLen+FrameRecordLen]
+	t = model.Epoch(int32(binary.LittleEndian.Uint32(rec)))
+	tag = model.TagID(int32(binary.LittleEndian.Uint32(rec[4:])))
+	mask = model.Mask(binary.LittleEndian.Uint64(rec[8:]))
+	return
+}
+
+// FrameReading is one decoded record, the materialized form of a section
+// entry for callers that want a slice instead of a view.
+type FrameReading struct {
+	T    model.Epoch
+	Tag  model.TagID
+	Mask model.Mask
+}
+
+// AppendTo appends the section's records to dst, growing it with the
+// shared decode-allocation clamp (model.DecodeCap): a hostile count never
+// preallocates more than the clamp, it only makes append grow the slice as
+// real records materialize.
+func (s BatchSection) AppendTo(dst []FrameReading) []FrameReading {
+	if dst == nil {
+		dst = make([]FrameReading, 0, model.DecodeCap(uint64(s.n)))
+	}
+	for i := 0; i < s.n; i++ {
+		t, tag, mask := s.At(i)
+		dst = append(dst, FrameReading{T: t, Tag: tag, Mask: mask})
+	}
+	return dst
+}
+
+// FrameBuilder incrementally encodes one batch frame. The zero value is
+// ready to use; Reset reuses the backing buffer, so a producer in steady
+// state allocates nothing per frame:
+//
+//	b.Reset()
+//	b.BeginSection(site)
+//	for ... { b.Add(t, tag, mask) }
+//	frame := b.Finish()
+type FrameBuilder struct {
+	buf      []byte
+	sections int
+	records  int
+	secOff   int // offset of the open section's header, -1 when none
+	finished bool
+}
+
+// Reset discards the frame under construction, keeping the buffer.
+func (b *FrameBuilder) Reset() {
+	b.buf = b.buf[:0]
+	b.sections = 0
+	b.records = 0
+	b.secOff = -1
+	b.finished = false
+}
+
+// start lazily writes the frame header placeholder.
+func (b *FrameBuilder) start() {
+	if len(b.buf) != 0 {
+		return
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], FrameMagic)
+	b.buf = append(b.buf, hdr[:]...)
+	b.secOff = -1
+}
+
+// BeginSection opens a new per-site section. Sections may repeat a site;
+// the consumer processes them in order.
+func (b *FrameBuilder) BeginSection(site int) {
+	b.start()
+	var sec [frameSectionLen]byte
+	binary.LittleEndian.PutUint32(sec[:], uint32(site))
+	b.secOff = len(b.buf)
+	b.buf = append(b.buf, sec[:]...)
+	b.sections++
+}
+
+// Add appends one reading record to the open section. Calling Add without
+// an open section panics: it is a producer programming error, not a wire
+// condition.
+func (b *FrameBuilder) Add(t model.Epoch, tag model.TagID, mask model.Mask) {
+	if b.secOff < 0 {
+		panic("stream: FrameBuilder.Add without BeginSection")
+	}
+	var rec [FrameRecordLen]byte
+	binary.LittleEndian.PutUint32(rec[:], uint32(t))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(tag))
+	binary.LittleEndian.PutUint64(rec[8:], uint64(mask))
+	b.buf = append(b.buf, rec[:]...)
+	binary.LittleEndian.PutUint32(b.buf[b.secOff+4:],
+		binary.LittleEndian.Uint32(b.buf[b.secOff+4:])+1)
+	b.records++
+}
+
+// Len returns the encoded size the frame has reached so far (header and
+// trailer included), letting a producer cut a frame before it exceeds
+// MaxFrameBytes.
+func (b *FrameBuilder) Len() int {
+	if len(b.buf) == 0 {
+		return frameHeaderLen + frameTrailerLen
+	}
+	if b.finished {
+		return len(b.buf)
+	}
+	return len(b.buf) + frameTrailerLen
+}
+
+// Records returns the number of records added so far.
+func (b *FrameBuilder) Records() int { return b.records }
+
+// Finish patches the header, appends the CRC trailer and returns the
+// complete frame. The returned slice aliases the builder's buffer: it is
+// valid until the next Reset.
+func (b *FrameBuilder) Finish() []byte {
+	b.start()
+	if b.finished {
+		panic("stream: FrameBuilder.Finish called twice without Reset")
+	}
+	b.finished = true
+	binary.LittleEndian.PutUint32(b.buf[4:], uint32(len(b.buf)+frameTrailerLen))
+	binary.LittleEndian.PutUint32(b.buf[8:], uint32(b.sections))
+	binary.LittleEndian.PutUint32(b.buf[12:], uint32(b.records))
+	crc := crc32.Checksum(b.buf, frameCastagnoli)
+	var tr [frameTrailerLen]byte
+	binary.LittleEndian.PutUint32(tr[:], crc)
+	b.buf = append(b.buf, tr[:]...)
+	return b.buf
+}
+
+// AppendBatchFrame appends a single-section frame for site to dst and
+// returns the extended slice: the one-shot convenience over FrameBuilder.
+func AppendBatchFrame(dst []byte, site int, rs []FrameReading) []byte {
+	start := len(dst)
+	var hdr [frameHeaderLen + frameSectionLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], FrameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(frameHeaderLen+frameSectionLen+len(rs)*FrameRecordLen+frameTrailerLen))
+	binary.LittleEndian.PutUint32(hdr[8:], 1)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(rs)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(site))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(rs)))
+	dst = append(dst, hdr[:]...)
+	for _, r := range rs {
+		var rec [FrameRecordLen]byte
+		binary.LittleEndian.PutUint32(rec[:], uint32(r.T))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(r.Tag))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(r.Mask))
+		dst = append(dst, rec[:]...)
+	}
+	crc := crc32.Checksum(dst[start:], frameCastagnoli)
+	var tr [frameTrailerLen]byte
+	binary.LittleEndian.PutUint32(tr[:], crc)
+	return append(dst, tr[:]...)
+}
+
+// DecodeBatchFrame decodes the first frame in b, calling emit for each
+// section in wire order, and returns the frame's total length in bytes.
+// Sections are zero-copy views into b: they are valid only during emit.
+//
+// A buffer shorter than the frame's declared length yields ErrFramePartial;
+// a complete frame that fails validation yields ErrFrameCorrupt. Every
+// count is validated against the bytes present before any section is
+// emitted, and emit's own error aborts the decode and is returned verbatim
+// — by then the CRC has already vouched for the whole frame.
+func DecodeBatchFrame(b []byte, emit func(BatchSection) error) (n int, err error) {
+	if len(b) < frameHeaderLen {
+		return 0, ErrFramePartial
+	}
+	if magic := binary.LittleEndian.Uint32(b); magic != FrameMagic {
+		return 0, fmt.Errorf("%w: bad magic %#x", ErrFrameCorrupt, magic)
+	}
+	frameLen := int(binary.LittleEndian.Uint32(b[4:]))
+	if frameLen < frameHeaderLen+frameTrailerLen || frameLen > MaxFrameBytes {
+		return 0, fmt.Errorf("%w: implausible frame length %d", ErrFrameCorrupt, frameLen)
+	}
+	if len(b) < frameLen {
+		return 0, ErrFramePartial
+	}
+	frame := b[:frameLen]
+	wantCRC := binary.LittleEndian.Uint32(frame[frameLen-frameTrailerLen:])
+	if crc := crc32.Checksum(frame[:frameLen-frameTrailerLen], frameCastagnoli); crc != wantCRC {
+		return 0, fmt.Errorf("%w: CRC mismatch", ErrFrameCorrupt)
+	}
+	sections := int(binary.LittleEndian.Uint32(frame[8:]))
+	records := int(binary.LittleEndian.Uint32(frame[12:]))
+	body := frame[frameHeaderLen : frameLen-frameTrailerLen]
+
+	// Validate that the declared sections tile the body exactly before
+	// emitting anything: a CRC-valid frame from a buggy producer must be
+	// rejected whole, not half-applied.
+	if sections > len(body)/frameSectionLen || records > model.MaxDecodeElems {
+		return 0, fmt.Errorf("%w: %d sections / %d records exceed body", ErrFrameCorrupt, sections, records)
+	}
+	rest := body
+	total := 0
+	for i := 0; i < sections; i++ {
+		if len(rest) < frameSectionLen {
+			return 0, fmt.Errorf("%w: truncated section %d header", ErrFrameCorrupt, i)
+		}
+		count := int(binary.LittleEndian.Uint32(rest[4:]))
+		recBytes := len(rest) - frameSectionLen
+		if count > recBytes/FrameRecordLen {
+			return 0, fmt.Errorf("%w: section %d count %d exceeds body", ErrFrameCorrupt, i, count)
+		}
+		rest = rest[frameSectionLen+count*FrameRecordLen:]
+		total += count
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing body bytes", ErrFrameCorrupt, len(rest))
+	}
+	if total != records {
+		return 0, fmt.Errorf("%w: header declares %d records, sections carry %d", ErrFrameCorrupt, records, total)
+	}
+
+	rest = body
+	for i := 0; i < sections; i++ {
+		site := int(int32(binary.LittleEndian.Uint32(rest)))
+		count := int(binary.LittleEndian.Uint32(rest[4:]))
+		sec := BatchSection{
+			Site: site,
+			recs: rest[frameSectionLen : frameSectionLen+count*FrameRecordLen],
+			n:    count,
+		}
+		if err := emit(sec); err != nil {
+			return 0, err
+		}
+		rest = rest[frameSectionLen+count*FrameRecordLen:]
+	}
+	return frameLen, nil
+}
+
+// ScanBatchFrames walks a buffer of concatenated frames (e.g. a capture
+// file written by rfidsim -bin -o), calling emit per section, and returns
+// the byte offset of the first invalid frame plus the error that stopped
+// the scan (nil when the buffer ends exactly on a frame boundary) — the
+// same contract as ScanWAL.
+func ScanBatchFrames(b []byte, emit func(BatchSection) error) (valid int, err error) {
+	off := 0
+	for off < len(b) {
+		n, err := DecodeBatchFrame(b[off:], emit)
+		if err != nil {
+			return off, err
+		}
+		off += n
+	}
+	return off, nil
+}

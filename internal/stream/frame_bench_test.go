@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"testing"
+
+	"rfidtrack/internal/model"
+)
+
+// benchFrame builds one 4-section, 2048-record frame — the shape a
+// saturating producer ships.
+func benchFrame(b *testing.B) []byte {
+	b.Helper()
+	var fb FrameBuilder
+	fb.Reset()
+	for site := 0; site < 4; site++ {
+		fb.BeginSection(site)
+		for i := 0; i < 512; i++ {
+			fb.Add(model.Epoch(i), model.TagID(i%97), model.Mask(1+i%7))
+		}
+	}
+	return append([]byte(nil), fb.Finish()...)
+}
+
+// BenchmarkEncodeBatchFrame measures the producer-side cost of building a
+// frame with a reused FrameBuilder, per record.
+func BenchmarkEncodeBatchFrame(b *testing.B) {
+	var fb FrameBuilder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 2048 {
+		fb.Reset()
+		for site := 0; site < 4; site++ {
+			fb.BeginSection(site)
+			for j := 0; j < 512; j++ {
+				fb.Add(model.Epoch(j), model.TagID(j%97), model.Mask(1+j%7))
+			}
+		}
+		if fb.Finish() == nil {
+			b.Fatal("empty frame")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkDecodeBatchFrame measures the consumer-side structural checks,
+// CRC and zero-copy record iteration, per record — the wire protocol's own
+// ceiling, independent of what the server does with each reading.
+func BenchmarkDecodeBatchFrame(b *testing.B) {
+	frame := benchFrame(b)
+	var sink model.Mask
+	b.SetBytes(int64(len(frame)) / 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 2048 {
+		_, err := DecodeBatchFrame(frame, func(sec BatchSection) error {
+			for j := 0; j < sec.Len(); j++ {
+				_, _, m := sec.At(j)
+				sink ^= m
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	_ = sink
+}

@@ -1,0 +1,262 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"rfidtrack/internal/model"
+)
+
+// frameSections returns a representative multi-site frame payload.
+func frameSections() map[int][]FrameReading {
+	return map[int][]FrameReading{
+		0: {
+			{T: 0, Tag: 0, Mask: 1},
+			{T: 299, Tag: 41, Mask: 0b1011},
+		},
+		3: {
+			{T: 1<<31 - 1, Tag: 1 << 20, Mask: ^model.Mask(0)},
+		},
+		7: {}, // empty sections are legal
+	}
+}
+
+// buildFrame encodes the sample sections (in ascending site order) with a
+// FrameBuilder.
+func buildFrame(t testing.TB, secs map[int][]FrameReading) []byte {
+	t.Helper()
+	var b FrameBuilder
+	b.Reset()
+	for _, site := range []int{0, 3, 7} {
+		b.BeginSection(site)
+		for _, r := range secs[site] {
+			b.Add(r.T, r.Tag, r.Mask)
+		}
+	}
+	return b.Finish()
+}
+
+// decodeFrame materializes every section of one frame.
+func decodeFrame(b []byte) (map[int][]FrameReading, int, error) {
+	got := make(map[int][]FrameReading)
+	n, err := DecodeBatchFrame(b, func(s BatchSection) error {
+		got[s.Site] = s.AppendTo(got[s.Site])
+		if got[s.Site] == nil {
+			got[s.Site] = []FrameReading{}
+		}
+		return nil
+	})
+	return got, n, err
+}
+
+// TestFrameRoundTrip pins encode -> decode identity through both encoders,
+// including empty sections and extreme field values.
+func TestFrameRoundTrip(t *testing.T) {
+	secs := frameSections()
+	frame := buildFrame(t, secs)
+	got, n, err := decodeFrame(frame)
+	if err != nil {
+		t.Fatalf("DecodeBatchFrame: %v", err)
+	}
+	if n != len(frame) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(frame))
+	}
+	want := map[int][]FrameReading{0: secs[0], 3: secs[3], 7: {}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The one-shot encoder must agree with the builder byte for byte.
+	var b FrameBuilder
+	b.Reset()
+	b.BeginSection(3)
+	for _, r := range secs[3] {
+		b.Add(r.T, r.Tag, r.Mask)
+	}
+	if one := AppendBatchFrame(nil, 3, secs[3]); !reflect.DeepEqual(one, b.Finish()) {
+		t.Fatalf("AppendBatchFrame and FrameBuilder disagree")
+	}
+}
+
+// TestFrameBuilderReuse pins the zero-alloc reuse contract: after Reset the
+// builder produces an identical frame from the same backing array.
+func TestFrameBuilderReuse(t *testing.T) {
+	var b FrameBuilder
+	encode := func() []byte {
+		b.Reset()
+		b.BeginSection(2)
+		b.Add(10, 20, 3)
+		b.Add(11, 21, 4)
+		return b.Finish()
+	}
+	first := append([]byte(nil), encode()...)
+	if allocs := testing.AllocsPerRun(100, func() { encode() }); allocs != 0 {
+		t.Fatalf("FrameBuilder reuse allocates %v per frame", allocs)
+	}
+	if !reflect.DeepEqual(encode(), first) {
+		t.Fatalf("reused builder produced a different frame")
+	}
+	if got := b.Records(); got != 2 {
+		t.Fatalf("Records() = %d, want 2", got)
+	}
+	if got := b.Len(); got != len(first) {
+		t.Fatalf("Len() = %d, want %d", got, len(first))
+	}
+}
+
+// TestFrameScan pins ScanBatchFrames over concatenated frames with the
+// ScanWAL offset contract.
+func TestFrameScan(t *testing.T) {
+	secs := frameSections()
+	one := buildFrame(t, secs)
+	buf := append(append([]byte(nil), one...), one...)
+	count := 0
+	valid, err := ScanBatchFrames(buf, func(s BatchSection) error { count += s.Len(); return nil })
+	if err != nil || valid != len(buf) {
+		t.Fatalf("scan: valid=%d err=%v", valid, err)
+	}
+	if count != 6 {
+		t.Fatalf("scanned %d records, want 6", count)
+	}
+	// A torn second frame stops the scan exactly at the first frame's end.
+	valid, err = ScanBatchFrames(buf[:len(one)+7], func(BatchSection) error { return nil })
+	if valid != len(one) || !errors.Is(err, ErrFramePartial) {
+		t.Fatalf("torn scan: valid=%d err=%v, want %d ErrFramePartial", valid, err, len(one))
+	}
+}
+
+// TestFrameTornAndCorrupt pins the refusal contract: any prefix decodes as
+// partial, and any single flipped bit in a complete frame is refused as
+// corrupt (the CRC covers header and body both).
+func TestFrameTornAndCorrupt(t *testing.T) {
+	frame := buildFrame(t, frameSections())
+	for cut := 0; cut < len(frame); cut++ {
+		_, _, err := decodeFrame(frame[:cut])
+		if !errors.Is(err, ErrFramePartial) && !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("cut at %d: err = %v", cut, err)
+		}
+	}
+	for i := range frame {
+		dirty := append([]byte(nil), frame...)
+		dirty[i] ^= 0x40
+		if _, _, err := decodeFrame(dirty); err == nil {
+			t.Fatalf("flipped byte %d decoded silently", i)
+		}
+	}
+}
+
+// TestFrameHostileHeaders pins that implausible lengths and counts are
+// refused before any record materializes, with the right error class.
+func TestFrameHostileHeaders(t *testing.T) {
+	patch := func(off int, v uint32) []byte {
+		frame := buildFrame(t, frameSections())
+		binary.LittleEndian.PutUint32(frame[off:], v)
+		// Recompute the CRC so only the patched field is at fault.
+		crc := crc32Of(frame[:len(frame)-frameTrailerLen])
+		binary.LittleEndian.PutUint32(frame[len(frame)-frameTrailerLen:], crc)
+		return frame
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"bad magic", patch(0, 0xdeadbeef), ErrFrameCorrupt},
+		{"oversized frame length", patch(4, MaxFrameBytes+1), ErrFrameCorrupt},
+		{"undersized frame length", patch(4, 3), ErrFrameCorrupt},
+		{"declared longer than buffer", patch(4, 1<<20), ErrFramePartial},
+		{"section count beyond body", patch(8, 1<<30), ErrFrameCorrupt},
+		{"record count beyond body", patch(12, 1<<30), ErrFrameCorrupt},
+		{"record count mismatch", patch(12, 2), ErrFrameCorrupt},
+		{"section record count beyond body", patch(frameHeaderLen+4, 1<<30), ErrFrameCorrupt},
+	}
+	for _, tc := range cases {
+		if _, _, err := decodeFrame(tc.frame); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// crc32Of is the test-side CRC helper (Castagnoli, like the codec).
+func crc32Of(b []byte) uint32 {
+	return crc32.Checksum(b, frameCastagnoli)
+}
+
+// FuzzDecodeBatchFrame hardens the frame decoder against arbitrary bytes:
+// it must never panic, never preallocate from an untrusted count beyond
+// the model.DecodeCap clamp, classify every rejection as partial or
+// corrupt, and decode every accepted frame into sections whose re-encoding
+// decodes identically.
+func FuzzDecodeBatchFrame(f *testing.F) {
+	secs := map[int][]FrameReading{
+		0: {{T: 0, Tag: 0, Mask: 1}, {T: 299, Tag: 41, Mask: 0b1011}},
+		3: {{T: 1<<31 - 1, Tag: 1 << 20, Mask: ^model.Mask(0)}},
+		7: {},
+	}
+	var b FrameBuilder
+	b.Reset()
+	for _, site := range []int{0, 3, 7} {
+		b.BeginSection(site)
+		for _, r := range secs[site] {
+			b.Add(r.T, r.Tag, r.Mask)
+		}
+	}
+	f.Add(append([]byte(nil), b.Finish()...))
+	f.Add(AppendBatchFrame(nil, 0, nil))
+	f.Add(AppendBatchFrame(nil, 2, []FrameReading{{T: -5, Tag: -7, Mask: 0}}))
+	f.Add([]byte{})
+	f.Add([]byte{'R', 'F', 'B', '1'})
+	f.Add([]byte{'R', 'F', 'B', '1', 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var sites []int
+		var recs []FrameReading
+		n, err := DecodeBatchFrame(in, func(s BatchSection) error {
+			sites = append(sites, s.Site)
+			recs = s.AppendTo(recs)
+			return nil
+		})
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v consumed %d bytes", err, n)
+			}
+			if !errors.Is(err, ErrFramePartial) && !errors.Is(err, ErrFrameCorrupt) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n < frameHeaderLen+frameTrailerLen || n > len(in) {
+			t.Fatalf("consumed %d bytes of %d", n, len(in))
+		}
+		// Re-encode what was decoded; the result must decode identically.
+		var rb FrameBuilder
+		rb.Reset()
+		_, _ = DecodeBatchFrame(in, func(s BatchSection) error {
+			rb.BeginSection(s.Site)
+			for i := 0; i < s.Len(); i++ {
+				tt, tag, mask := s.At(i)
+				rb.Add(tt, tag, mask)
+			}
+			return nil
+		})
+		var sites2 []int
+		var recs2 []FrameReading
+		if _, err := DecodeBatchFrame(rb.Finish(), func(s BatchSection) error {
+			sites2 = append(sites2, s.Site)
+			recs2 = s.AppendTo(recs2)
+			return nil
+		}); err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(sites, sites2) || !reflect.DeepEqual(recs, recs2) {
+			t.Fatalf("re-encode round trip diverged")
+		}
+		// A scan over the full input must terminate and stay panic-free.
+		if _, err := ScanBatchFrames(in, func(BatchSection) error { return nil }); err != nil &&
+			!errors.Is(err, ErrFramePartial) && !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("ScanBatchFrames error class: %v", err)
+		}
+	})
+}
