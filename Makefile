@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve bench-json bench-check bench-smoke recover-smoke docs-lint ci
+.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve bench-json bench-check bench-smoke recover-smoke peer-smoke docs-lint ci
 
 build:
 	$(GO) build ./...
@@ -17,15 +17,16 @@ vet:
 race:
 	$(GO) test -race ./internal/rfinfer/... ./internal/dist/... ./internal/query/... ./internal/serve/...
 
-# Short fuzz sessions over the wire decoders (40 s total budget): migrated
-# state bytes, write-ahead-log frames and binary ingest frames must never
-# panic a receiver, and a corrupt WAL tail or batch frame must be refused
-# cleanly instead of decoding garbage.
+# Short fuzz sessions over the wire decoders (50 s total budget): migrated
+# state bytes, write-ahead-log frames, binary ingest frames and peer
+# migration frames must never panic a receiver, and a corrupt WAL tail or
+# frame must be refused cleanly instead of decoding garbage.
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz 'FuzzDecode$$' -fuzztime 10s ./internal/trace/
 	$(GO) test -run XXX -fuzz 'FuzzDecodeCR' -fuzztime 10s ./internal/rfinfer/
 	$(GO) test -run XXX -fuzz 'FuzzDecodeWALRecord' -fuzztime 10s ./internal/stream/
 	$(GO) test -run XXX -fuzz 'FuzzDecodeBatchFrame' -fuzztime 10s ./internal/stream/
+	$(GO) test -run XXX -fuzz 'FuzzDecodeMigrationFrame' -fuzztime 10s ./internal/stream/
 
 # Whole-artifact benchmarks: regenerate every paper table/figure.
 bench:
@@ -54,7 +55,7 @@ bench-serve:
 bench-json:
 	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -o BENCH_serve.json
 	$(GO) test -bench 'BenchmarkEngineRun|BenchmarkEStep' -benchmem -run XXX ./internal/rfinfer/ | $(GO) run ./cmd/benchjson -o BENCH_rfinfer.json
-	$(GO) test -bench 'BenchmarkMigration|BenchmarkFeedAdvance' -benchmem -run XXX ./internal/dist/ | $(GO) run ./cmd/benchjson -o BENCH_dist.json
+	$(GO) test -bench 'BenchmarkMigration|BenchmarkFeedAdvance' -benchmem -run XXX ./internal/dist/ ./internal/stream/ | $(GO) run ./cmd/benchjson -o BENCH_dist.json
 	$(GO) test -bench 'BenchmarkIngestWAL$$|BenchmarkIngestBinWAL$$|BenchmarkRecovery$$|BenchmarkWAL' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -o BENCH_wal.json
 
 # Perf regression gate: re-run the online-runtime and durability
@@ -78,6 +79,13 @@ bench-smoke:
 recover-smoke:
 	$(GO) test -run 'TestRecoverSmoke' -count=1 -v .
 
+# Cluster smoke: build the real daemon, run TWO of them as networked peers
+# with the sites split between them, kill -9 one mid-stream, restart it,
+# and require the merged result to match the single-cluster reference
+# exactly. Bounded to a few seconds.
+peer-smoke:
+	$(GO) test -run 'TestPeerSmoke' -count=1 -v .
+
 # Documentation gate: formatting, vet, no undocumented exported
 # identifiers in the public-facing packages, and no dead cross-links in
 # the markdown docs.
@@ -88,4 +96,4 @@ docs-lint:
 	$(GO) run ./cmd/docslint -md README.md -md ARCHITECTURE.md -md PERFORMANCE.md -md OPERATIONS.md
 
 # Tier-1 verify: everything the CI gate runs, in one command.
-ci: build vet test race fuzz-smoke bench-smoke bench-check recover-smoke docs-lint
+ci: build vet test race fuzz-smoke bench-smoke bench-check recover-smoke peer-smoke docs-lint

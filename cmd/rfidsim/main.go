@@ -34,6 +34,7 @@ import (
 	"log"
 	"os"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,7 +61,8 @@ func main() {
 		lab      = flag.String("lab", "", "generate a lab trace (T1..T8) instead")
 		out      = flag.String("o", "", "output file for the reading stream (optional)")
 		siteFlag = flag.Int("site", 0, "which site's stream to write")
-		serveURL = flag.String("serve", "", "stream the world to a running rfidtrackd at this base URL")
+		serveURL = flag.String("serve", "", "stream the world to a running rfidtrackd at this base URL; a comma-separated list fans out across a peer cluster (readings to each site's owner, departures broadcast)")
+		siteMap  = flag.String("site-map", "", "cluster mode: comma-separated site->peer assignment matching the daemons' -site-map (default: contiguous blocks)")
 		rate     = flag.Float64("rate", 0, "events per second to stream (0 = as fast as the daemon accepts)")
 		batch    = flag.Int("batch", 512, "events per ingest request when streaming")
 		perSite  = flag.Bool("per-site", false, "stream each site concurrently over /ingest/batch (set -watermark on the daemon to absorb producer skew)")
@@ -112,7 +114,9 @@ func main() {
 
 	if *serveURL != "" {
 		var err error
-		if *perSite {
+		if strings.Contains(*serveURL, ",") {
+			err = streamWorldCluster(*serveURL, *siteMap, w, *rate, *batch, *drain, *retry)
+		} else if *perSite {
 			err = streamWorldPerSite(*serveURL, w, *rate, *batch, model.Epoch(*skew), *drain, *retry, *bin)
 		} else {
 			err = streamWorld(*serveURL, w, *rate, *batch, *drain, *retry, *bin)
@@ -303,12 +307,82 @@ func streamWorldPerSite(baseURL string, w *sim.World, rate float64, batchSize in
 	return reportDaemon(&serve.Client{BaseURL: baseURL}, drain, retry)
 }
 
+// streamWorldCluster is the multi-node load-generator mode: fan the
+// world's time-ordered event stream out across an rfidtrackd peer cluster
+// through serve.MultiClient (readings to each site's owning daemon,
+// departures broadcast to all), then drain every peer concurrently and
+// print the merged cluster Result.
+func streamWorldCluster(urlSpec, siteMap string, w *sim.World, rate float64, batchSize int, drain bool, retry time.Duration) error {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	var urls []string
+	for _, u := range strings.Split(urlSpec, ",") {
+		urls = append(urls, strings.TrimRight(strings.TrimSpace(u), "/"))
+	}
+	owner := dist.DefaultSiteMap(len(w.Sites), len(urls))
+	if siteMap != "" {
+		var err error
+		if owner, err = dist.ParseSiteMap(siteMap, len(w.Sites), len(urls)); err != nil {
+			return err
+		}
+	}
+	mc := serve.NewMultiClient(urls, owner)
+	events := serve.WorldEvents(w, dist.WorldDepartures(w))
+	fmt.Printf("streaming %d events across %d peers (site map %v)\n", len(events), len(urls), owner)
+	start := time.Now()
+	sent := 0
+	for i := 0; i < len(events); i += batchSize {
+		end := min(i+batchSize, len(events))
+		if err := postRetry(retry, func() error { return mc.Ingest(events[i:end]) }); err != nil {
+			return err
+		}
+		sent = end
+		if rate > 0 {
+			ahead := time.Duration(float64(sent)/rate*float64(time.Second)) - time.Since(start)
+			if ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("streamed %d events in %s (%.0f events/s)\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	if drain {
+		stats, err := mc.DrainAll(0)
+		if err != nil {
+			return err
+		}
+		for p, st := range stats {
+			fmt.Printf("peer %d: %d observed, %d late, %d invalid, %d checkpoints, %d alerts\n",
+				p, st.Feed.Observed, st.Feed.Late, st.Invalid, st.Feed.Checkpoints, st.Alerts)
+			if st.Peers != nil {
+				fmt.Printf("peer %d: sent %d migrations, received %d, %d socket bytes out / %d in\n",
+					p, st.Peers.MigrationsSent, st.Peers.MigrationsReceived,
+					st.Peers.SocketBytesSent, st.Peers.SocketBytesRecv)
+			}
+		}
+	}
+	res, err := mc.MergedResult()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged: containment %.2f%%, location %.2f%%; migrated %d bytes in %d messages (centralized would ship %d)\n",
+		res.ContErr.Rate(), res.LocErr.Rate(), res.Costs.Bytes, res.Costs.Messages, res.CentralizedBytes)
+	return nil
+}
+
 // postRetry runs send, re-trying with exponential backoff until the chaos
 // window closes. Re-sending a batch whose acknowledgement was lost is safe:
-// the daemon's ingest is idempotent. A zero window fails fast.
+// the daemon's ingest is idempotent. A zero window fails fast. Only
+// retryable failures re-send — transport errors and 5xx statuses, the
+// daemon-down and daemon-draining signatures. A 4xx status is a permanent
+// client error (malformed batch, wrong Content-Type): retrying it would
+// re-post the same broken request until the whole chaos window expired, so
+// it fails immediately instead.
 func postRetry(window time.Duration, send func() error) error {
 	err := send()
-	if err == nil || window <= 0 {
+	if err == nil || window <= 0 || !serve.Retryable(err) {
 		return err
 	}
 	deadline := time.Now().Add(window)
@@ -321,8 +395,8 @@ func postRetry(window time.Duration, send func() error) error {
 		if backoff < time.Second {
 			backoff *= 2
 		}
-		if err = send(); err == nil {
-			return nil
+		if err = send(); err == nil || !serve.Retryable(err) {
+			return err
 		}
 	}
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/serve"
+)
+
+// TestPostRetryGating is the 400-vs-503 table for the load generator's
+// retry loop: permanent client errors (4xx) fail on the first attempt —
+// re-posting the same malformed batch for the whole chaos window helps
+// nobody — while daemon-down signatures (transport errors, 5xx) re-send
+// until the window closes or the daemon comes back.
+func TestPostRetryGating(t *testing.T) {
+	const window = 5 * time.Second
+	cases := []struct {
+		name string
+		errs []error // per-attempt results; last one repeats
+		// wantAttempts of 1 means fail-fast / succeed-first-try; larger
+		// means the loop kept re-sending.
+		wantAttempts int
+		wantErr      bool
+	}{
+		{"first try succeeds", []error{nil}, 1, false},
+		{"400 fails fast", []error{&serve.HTTPError{Status: http.StatusBadRequest}}, 1, true},
+		{"415 fails fast", []error{&serve.HTTPError{Status: http.StatusUnsupportedMediaType}}, 1, true},
+		{"503 then recovery", []error{
+			&serve.HTTPError{Status: http.StatusServiceUnavailable},
+			&serve.HTTPError{Status: http.StatusServiceUnavailable},
+			nil,
+		}, 3, false},
+		{"transport error then recovery", []error{errors.New("connection refused"), nil}, 2, false},
+		{"503 then 400 stops retrying", []error{
+			&serve.HTTPError{Status: http.StatusServiceUnavailable},
+			&serve.HTTPError{Status: http.StatusBadRequest},
+		}, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			attempts := 0
+			err := postRetry(window, func() error {
+				i := min(attempts, len(tc.errs)-1)
+				attempts++
+				return tc.errs[i]
+			})
+			if (err != nil) != tc.wantErr {
+				t.Errorf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if attempts != tc.wantAttempts {
+				t.Errorf("send attempted %d times, want %d", attempts, tc.wantAttempts)
+			}
+		})
+	}
+}
+
+// TestPostRetryZeroWindow pins fail-fast mode: with no chaos window even a
+// retryable failure is returned immediately.
+func TestPostRetryZeroWindow(t *testing.T) {
+	attempts := 0
+	err := postRetry(0, func() error {
+		attempts++
+		return &serve.HTTPError{Status: http.StatusServiceUnavailable}
+	})
+	if err == nil || attempts != 1 {
+		t.Errorf("zero window: err = %v after %d attempts, want one failing attempt", err, attempts)
+	}
+}
+
+// TestPostRetryWindowExpiry pins that a daemon that never comes back
+// cannot hold the generator hostage past the window.
+func TestPostRetryWindowExpiry(t *testing.T) {
+	start := time.Now()
+	err := postRetry(200*time.Millisecond, func() error {
+		return errors.New("connection refused")
+	})
+	if err == nil {
+		t.Fatal("want the last failure back after the window expires")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("retry loop ran %v past a 200ms window", elapsed)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +59,11 @@ func main() {
 		noQuery  = flag.Bool("no-query", false, "do not attach the per-site exposure query")
 		demo     = flag.Bool("demo", false, "self-drive: stream the deployment's own world over HTTP, print a summary, exit")
 		pprof    = flag.String("pprof", "", "side listener for net/http/pprof (e.g. localhost:6060; empty = off); see PERFORMANCE.md for profiling a live checkpoint")
+
+		peers     = flag.String("peers", "", "comma-separated base URLs of every cluster peer, this daemon included (e.g. http://a:8080,http://b:8080); empty = single-node")
+		self      = flag.Int("self", 0, "this daemon's index into -peers")
+		siteMap   = flag.String("site-map", "", "comma-separated site->peer assignment, one entry per site (default: contiguous blocks)")
+		peerRetry = flag.Duration("peer-retry", 2*time.Minute, "how long migration sends retry against an unreachable peer before failing the checkpoint")
 
 		dataDir  = flag.String("data-dir", "", "durable-state directory: WAL + snapshots; restart with the same directory to recover (empty = memory-only)")
 		fsync    = flag.Duration("fsync", 100*time.Millisecond, "WAL group-fsync cadence (<0 disables the timer; checkpoints and shutdown still sync)")
@@ -113,9 +119,34 @@ func main() {
 	if !*noQuery {
 		scfg.Query = dist.ColdChainQuery(world, scfg.Interval)
 	}
+	if *peers != "" {
+		scfg.Peers = splitPeers(*peers)
+		scfg.Self = *self
+		scfg.PeerRetryWindow = *peerRetry
+		if *siteMap != "" {
+			owner, err := dist.ParseSiteMap(*siteMap, len(world.Sites), len(scfg.Peers))
+			if err != nil {
+				log.Fatal(err)
+			}
+			scfg.SiteOwner = owner
+		}
+	}
 	srv, err := serve.New(cluster, scfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(scfg.Peers) > 1 {
+		owner := scfg.SiteOwner
+		if owner == nil {
+			owner = dist.DefaultSiteMap(len(world.Sites), len(scfg.Peers))
+		}
+		var owned []int
+		for s, p := range owner {
+			if p == *self {
+				owned = append(owned, s)
+			}
+		}
+		fmt.Printf("cluster peer %d of %d, owning sites %v (site map %v)\n", *self, len(scfg.Peers), owned, owner)
 	}
 	if *dataDir != "" {
 		st := srv.Stats()
@@ -235,6 +266,16 @@ func runDemo(world *sim.World, cluster *dist.Cluster, baseURL string) error {
 		return fmt.Errorf("demo alerts: %w", err)
 	}
 	return nil
+}
+
+// splitPeers parses the -peers list, trimming whitespace and trailing
+// slashes so "http://a:8080/" and "http://a:8080" address the same peer.
+func splitPeers(spec string) []string {
+	var urls []string
+	for _, u := range strings.Split(spec, ",") {
+		urls = append(urls, strings.TrimRight(strings.TrimSpace(u), "/"))
+	}
+	return urls
 }
 
 // parseStrategy maps the -strategy flag to a migration strategy.

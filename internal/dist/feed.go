@@ -72,6 +72,12 @@ type Feed struct {
 	ingested  []int       // per-site ingest counts, reused across Advances
 	popped    []int       // per-site pending-bucket sizes, reused likewise
 
+	// partOwned is the peer's ownership mask in a partitioned feed (nil for
+	// a whole-cluster feed): only owned sites ingest, run and score here;
+	// cross-partition migrations travel through transport.
+	partOwned []bool
+	transport Transport
+
 	stats  FeedStats
 	closed bool
 }
@@ -148,6 +154,37 @@ func (c *Cluster) OpenFeed(interval model.Epoch) (*Feed, error) {
 	return c.openFeed(interval, c.workers())
 }
 
+// OpenPartitionedFeed prepares one peer's slice of the cluster for
+// incremental ingestion: the feed ingests, runs and scores only the sites
+// owned[s] marks true, and migrations crossing the partition boundary
+// travel through tr. Departures must still be delivered to every peer
+// (Depart accepts all of them): the broadcast stream is what keeps each
+// peer's global departure order — and its ONS mirror and query-ownership
+// view — identical, which is the induction the cross-process determinism
+// argument rests on (see coord.go). Hooks are not supported: a hook may
+// read cross-site state that lives on another peer.
+func (c *Cluster) OpenPartitionedFeed(interval model.Epoch, owned []bool, tr Transport) (*Feed, error) {
+	if c.Hooks.OnDepart != nil || c.Hooks.OnCheckpoint != nil {
+		return nil, fmt.Errorf("dist: hooks are not supported on a partitioned feed")
+	}
+	if len(owned) != len(c.World.Sites) {
+		return nil, fmt.Errorf("dist: ownership mask covers %d sites, want %d", len(owned), len(c.World.Sites))
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("dist: partitioned feed needs a transport")
+	}
+	f, err := c.openFeed(interval, c.workers())
+	if err != nil {
+		return nil, err
+	}
+	f.partOwned = append([]bool(nil), owned...)
+	f.transport = tr
+	return f, nil
+}
+
+// owns reports whether site s runs on this feed's peer.
+func (f *Feed) owns(s int) bool { return f.partOwned == nil || f.partOwned[s] }
+
 // openFeed is OpenFeed with an explicit worker budget (the sequential
 // reference uses 1).
 func (c *Cluster) openFeed(interval model.Epoch, workers int) (*Feed, error) {
@@ -190,6 +227,9 @@ func (f *Feed) Observe(site int, t model.Epoch, id model.TagID, mask model.Mask)
 	}
 	if site < 0 || site >= len(f.pending) {
 		return fmt.Errorf("dist: site %d out of range [0,%d)", site, len(f.pending))
+	}
+	if !f.owns(site) {
+		return fmt.Errorf("dist: site %d is not owned by this peer", site)
 	}
 	if t < 0 || t >= MaxEpoch {
 		return fmt.Errorf("dist: epoch %d out of range [0,%d)", t, MaxEpoch)
@@ -287,6 +327,15 @@ func (f *Feed) AdvanceWith(due [][]Reading) error {
 	}
 	ingested, popped := f.ingested, f.popped
 	err := forEachSite(len(f.pending), f.workers, func(s int) error {
+		if !f.owns(s) {
+			// Non-owned sites never buffer (Observe rejects them); a caller
+			// batch for one is a routing bug worth failing loudly on.
+			ingested[s], popped[s] = 0, 0
+			if due != nil && len(due[s]) > 0 {
+				return fmt.Errorf("dist: batch for site %d, which this peer does not own", s)
+			}
+			return nil
+		}
 		var bucket []Reading
 		popped[s] = 0
 		if len(f.pending[s]) > 0 {
@@ -370,7 +419,7 @@ func (f *Feed) AdvanceWith(due [][]Reading) error {
 		nDue++
 	}
 	for _, d := range f.deps[:nDue] {
-		if err := c.migrateBarrier(d, &f.res, f.links, f.owned); err != nil {
+		if err := f.migrate(d); err != nil {
 			return err
 		}
 	}
@@ -380,7 +429,9 @@ func (f *Feed) AdvanceWith(due [][]Reading) error {
 
 	evalAt := ckpt - 1
 	if err := forEachSite(len(c.Engines), f.workers, func(s int) error {
-		c.Engines[s].Run(evalAt)
+		if f.owns(s) {
+			c.Engines[s].Run(evalAt)
+		}
 		return nil
 	}); err != nil {
 		return err
@@ -401,6 +452,58 @@ func (f *Feed) AdvanceWith(due [][]Reading) error {
 	return nil
 }
 
+// migrate performs one due departure. On a whole-cluster feed it is the
+// barrier transfer. On a partitioned feed it dispatches on which side of
+// the partition boundary each endpoint lives: both local runs the barrier
+// transfer unchanged; source-only encodes, accounts the send and ships the
+// payload out through the transport; destination-only receives, applies
+// and accounts; neither-local updates only the ONS mirror and ownership
+// view (every peer observes every departure — that is what keeps the
+// mirrors complete). Whether bytes cross the transport at all is decided
+// by the same predicate on both sides — the strategy or an attached query
+// implies a payload — so sender and receiver always agree without
+// negotiation, even when the encoded payload happens to be empty.
+func (f *Feed) migrate(d Departure) error {
+	c := f.c
+	fromLocal, toLocal := f.owns(d.From), f.owns(d.To)
+	if fromLocal && toLocal {
+		return c.migrateBarrier(d, &f.res, f.links, f.owned)
+	}
+	c.ons.Move(d.Object, d.To)
+	if f.owned != nil {
+		delete(f.owned[d.From], d.Object)
+		f.owned[d.To][d.Object] = true
+	}
+	wire := c.Strategy != MigrateNone || c.hasQuerySection()
+	switch {
+	case fromLocal:
+		payload, engineBytes, queryBytes, err := c.encodePayload(d)
+		if err != nil {
+			return err
+		}
+		accountSend(d, payload, engineBytes, queryBytes, f.links, &f.res.QueryStateBytes, &c.stats.Sites[d.From])
+		if wire {
+			if err := f.transport.Send(d, payload); err != nil {
+				return err
+			}
+		}
+	case toLocal:
+		var payload []byte
+		if wire {
+			var err error
+			payload, err = f.transport.Recv(d)
+			if err != nil {
+				return err
+			}
+		}
+		if err := c.applyPayload(d, payload); err != nil {
+			return err
+		}
+		accountReceive(payload, &c.stats.Sites[d.To])
+	}
+	return nil
+}
+
 // runTail runs the post-inference tail of one checkpoint: hooks, query
 // feeding and scoring. With hooks installed (or a single worker) it keeps
 // the sequential site order, since a hook may read cross-site state.
@@ -411,6 +514,9 @@ func (f *Feed) runTail(evalAt model.Epoch) error {
 	c := f.c
 	if c.Hooks.OnCheckpoint != nil || f.workers <= 1 || len(c.Engines) <= 1 {
 		for s, eng := range c.Engines {
+			if !f.owns(s) {
+				continue
+			}
 			if c.Hooks.OnCheckpoint != nil {
 				c.Hooks.OnCheckpoint(s, eng, evalAt)
 			}
@@ -424,8 +530,11 @@ func (f *Feed) runTail(evalAt model.Epoch) error {
 		f.tails = make([]tailShard, len(c.Engines))
 	}
 	if err := forEachSite(len(c.Engines), f.workers, func(s int) error {
-		f.feedQuery(s, c.Engines[s], evalAt)
 		f.tails[s] = tailShard{}
+		if !f.owns(s) {
+			return nil
+		}
+		f.feedQuery(s, c.Engines[s], evalAt)
 		c.scoreSite(s, evalAt, &f.tails[s].cont, &f.tails[s].loc)
 		c.stats.Sites[s].Epochs++
 		return nil

@@ -1,0 +1,71 @@
+// The migration transport: how encoded payloads cross a partition
+// boundary. A partitioned feed (OpenPartitionedFeed) runs one peer's slice
+// of the cluster; when a departure crosses from an owned site to a remote
+// one the payload leaves through a Transport, and the peer owning the
+// destination blocks on the matching Recv. The in-process ChanTransport is
+// the loopback reference; internal/serve provides the HTTP peer transport.
+package dist
+
+import "sync"
+
+// Transport delivers encoded migration payloads between the peers of a
+// partitioned feed. Send and Recv are keyed by the departure identity —
+// (Object, From, To, At) — which the global departure order makes unique,
+// so delivery needs no sequence numbers. Send must not block on the
+// receiver's progress (the sender's checkpoint cannot wait for the remote
+// checkpoint to reach the same departure); Recv blocks until the payload
+// for d has arrived. Implementations must tolerate duplicate Sends of the
+// same departure (at-least-once senders re-send after a lost ack): the
+// first delivery wins and duplicates are dropped.
+type Transport interface {
+	// Send delivers d's payload toward the peer owning d.To.
+	Send(d Departure, payload []byte) error
+	// Recv blocks until d's payload has arrived and returns it.
+	Recv(d Departure) ([]byte, error)
+}
+
+// ChanTransport is the in-process loopback Transport: a mailbox per
+// in-flight departure, capacity one. It connects partitioned feeds running
+// in one process — the multi-peer determinism tests and any embedder that
+// wants partitioned scheduling without sockets. Safe for concurrent use.
+type ChanTransport struct {
+	mu  sync.Mutex
+	box map[Departure]chan []byte
+}
+
+// NewChanTransport returns an empty loopback transport.
+func NewChanTransport() *ChanTransport {
+	return &ChanTransport{box: make(map[Departure]chan []byte)}
+}
+
+// ch returns (creating if needed) the mailbox for d.
+func (t *ChanTransport) ch(d Departure) chan []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.box[d]
+	if !ok {
+		c = make(chan []byte, 1)
+		t.box[d] = c
+	}
+	return c
+}
+
+// Send deposits d's payload without blocking; a duplicate send of the same
+// departure is dropped (the mailbox already holds the identical bytes —
+// payload encoding is deterministic).
+func (t *ChanTransport) Send(d Departure, payload []byte) error {
+	select {
+	case t.ch(d) <- payload:
+	default:
+	}
+	return nil
+}
+
+// Recv blocks until d's payload arrives, then retires the mailbox.
+func (t *ChanTransport) Recv(d Departure) ([]byte, error) {
+	b := <-t.ch(d)
+	t.mu.Lock()
+	delete(t.box, d)
+	t.mu.Unlock()
+	return b, nil
+}

@@ -55,6 +55,14 @@ func (s *Server) IngestFrame(frame []byte) (queued int, err error) {
 			s.invMu.Unlock()
 			return nil
 		}
+		if s.owner != nil && s.owner[sec.Site] != s.cfg.Self {
+			s.invMu.Lock()
+			s.invalid += n
+			s.miscReceived += n
+			s.lastInv = fmt.Sprintf("frame section for site %d, owned by peer %d (%d readings)", sec.Site, s.owner[sec.Site], n)
+			s.invMu.Unlock()
+			return nil
+		}
 		sh := s.shards[sec.Site]
 		if sh != cur {
 			if cur != nil {

@@ -5,6 +5,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -38,14 +39,58 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// HTTPError is a non-2xx daemon response, carrying the status code so
+// callers can tell a retryable condition (503 while the daemon drains, a
+// proxy's 502) from a permanent one (400 malformed batch, 404, 415 wrong
+// Content-Type). Every Client method returns *HTTPError for non-2xx
+// statuses; plain transport failures keep their own error types.
+type HTTPError struct {
+	// Status is the HTTP status code of the refusal.
+	Status int
+	// Body is the (truncated) response body, usually the daemon's JSON
+	// error object.
+	Body string
+	// Method and Path identify the refused request.
+	Method, Path string
+}
+
+// Error formats the refusal with its status code.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("serve: %s %s: status %d: %s", e.Method, e.Path, e.Status, e.Body)
+}
+
+// Temporary reports whether the refusal is worth retrying: 5xx statuses
+// are server-side conditions that a later attempt may outlive, 4xx means
+// the request itself is wrong and will fail identically forever.
+func (e *HTTPError) Temporary() bool { return e.Status >= 500 }
+
+// Retryable reports whether an error from a Client method is worth
+// retrying: transport failures (connection refused, reset — the daemon may
+// be restarting) and 5xx statuses are; 4xx statuses are permanent client
+// errors that retrying can never fix. A nil error is not retryable.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Temporary()
+	}
+	return true
+}
+
 // checkStatus drains and closes the body, decoding it into out (when
-// non-nil) on success and into an error on a non-2xx status.
+// non-nil) on success and into a *HTTPError on a non-2xx status.
 func checkStatus(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("serve: %s %s: %s", resp.Request.Method, resp.Request.URL.Path,
-			bytes.TrimSpace(body))
+		return &HTTPError{
+			Status: resp.StatusCode,
+			Body:   string(bytes.TrimSpace(body)),
+			Method: resp.Request.Method,
+			Path:   resp.Request.URL.Path,
+		}
 	}
 	if out == nil {
 		return nil

@@ -75,6 +75,20 @@ func (s *Server) recover() error {
 			batch = append(batch, Reading(rec.Site, rec.T, rec.Tag, rec.Mask))
 		case stream.WALDepart:
 			batch = append(batch, Depart(dist.Departure{Object: rec.Object, From: rec.From, To: rec.To, At: rec.At}))
+		case stream.WALMigration:
+			// An inbound peer payload that was ACKed before the crash:
+			// re-deposit it for the caught-up checkpoint, unless the
+			// restored boundary shows that checkpoint already completed
+			// (then the record is a duplicate a pre-snapshot checkpoint
+			// consumed; the segment sorts first, so the boundary is final).
+			if s.peers != nil {
+				d := dist.Departure{Object: rec.Object, From: rec.From, To: rec.To, At: rec.At}
+				if model.Epoch(s.nextCkpt.Load()) <= migCkpt(d.At, s.cfg.Interval) {
+					if _, err := s.peers.deposit(d, rec.Payload, nil); err != nil {
+						return err
+					}
+				}
+			}
 		}
 		if len(batch) == cap(batch) {
 			return flush()
@@ -155,6 +169,15 @@ func (s *Server) restoreState(st *wal.State) error {
 	s.depMu.Lock()
 	s.deps = append(s.deps, st.PendingDeps...)
 	s.depMu.Unlock()
+	if s.peers != nil {
+		for _, m := range st.PendingMigs {
+			if _, err := s.peers.deposit(m.D, m.Payload, nil); err != nil {
+				return err
+			}
+		}
+	} else if len(st.PendingMigs) > 0 {
+		return fmt.Errorf("serve: snapshot carries %d pending peer migrations but the daemon is not clustered", len(st.PendingMigs))
+	}
 	s.invMu.Lock()
 	s.invalid = st.Invalid
 	s.miscReceived = st.Misc
@@ -198,6 +221,20 @@ func (s *Server) snapshotLocked() error {
 		return err
 	}
 	st.PendingDeps = append(s.feed.PendingDepartures(), pend...)
+	if s.peers != nil {
+		// The unconsumed peer inbox rides in the snapshot; rotating the
+		// migration segment in the same critical section as the export
+		// (see peerSet.deposit) keeps the two a consistent cut.
+		migs, merr := s.peers.exportAndRotate(s.wal, gen)
+		if merr != nil {
+			return merr
+		}
+		st.PendingMigs = migs
+	} else if err := s.wal.RotateMigrations(gen); err != nil {
+		// The migration segment exists even un-clustered; an unrotated
+		// segment would keep appending into a retired generation.
+		return err
+	}
 
 	st.Feed = s.feed.ExportState()
 	st.Engines = make([]rfinfer.EngineState, len(s.cluster.Engines))

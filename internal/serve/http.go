@@ -34,6 +34,8 @@ const ingestBatch = 512
 //	GET  /result                the accumulated dist.Result
 //	GET  /alerts?since=N&wait_ms=M   long-poll the alert log
 //	GET  /alerts/stream?since=N      server-sent events alert feed
+//	POST /peer/migrate          RFM1 migration frame from a cluster peer
+//	GET  /ons?tag=N             naming-service lookup (tag -> owning site)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -51,6 +53,8 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	mux.HandleFunc("GET /alerts/stream", s.handleAlertStream)
+	mux.HandleFunc("POST /peer/migrate", s.handlePeerMigrate)
+	mux.HandleFunc("GET /ons", s.handleONS)
 	return mux
 }
 
@@ -64,8 +68,15 @@ type IngestResponse struct {
 
 // handleIngest streams the request body's JSON lines into the ingest
 // shards in bounded batches. A full stripe blocks the request — HTTP
-// clients see backpressure as latency, never as data loss.
+// clients see backpressure as latency, never as data loss. The body must
+// declare application/x-ndjson, the same stance /ingest/batch and
+// /ingest/bin take: a producer posting another codec here would otherwise
+// have every line silently counted bad, which masks the misconfiguration.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !contentTypeIs(r, "application/x-ndjson") {
+		s.reject415(w, r, "application/x-ndjson")
+		return
+	}
 	var resp IngestResponse
 	batch := make([]Event, 0, ingestBatch)
 	flush := func() error {

@@ -1,0 +1,112 @@
+// MultiClient: the producer-side fan-out for a clustered deployment. One
+// time-ordered event stream goes in; readings route to the peer owning
+// their site, departures broadcast to every peer (the shared departure
+// order IS the cluster's coordination), and the per-peer partial Results
+// merge back into the single-cluster Result.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+)
+
+// MultiClient talks to every daemon of one cluster. Build it with
+// NewMultiClient; it is safe for use by one goroutine at a time (like
+// Client, which it wraps per peer).
+type MultiClient struct {
+	// Clients holds one Client per peer, index = peer id.
+	Clients []*Client
+	// Owner maps each site to its owning peer, and must match the
+	// SiteOwner every daemon was started with.
+	Owner []int
+
+	batches [][]Event // per-peer routing buffers, reused across Ingest calls
+}
+
+// NewMultiClient wires one Client per peer URL over the given site map.
+func NewMultiClient(urls []string, owner []int) *MultiClient {
+	m := &MultiClient{
+		Owner:   owner,
+		batches: make([][]Event, len(urls)),
+	}
+	for _, u := range urls {
+		m.Clients = append(m.Clients, &Client{BaseURL: u})
+	}
+	return m
+}
+
+// Ingest routes a time-ordered event slice across the cluster: each
+// reading goes to its site's owner, each departure to every peer. Events
+// keep their relative order within each peer's stream — the property the
+// daemons' checkpoint clocks rely on — because each peer's batch is the
+// order-preserving subsequence of the input.
+func (m *MultiClient) Ingest(events []Event) error {
+	for p := range m.batches {
+		m.batches[p] = m.batches[p][:0]
+	}
+	for _, ev := range events {
+		switch ev.Type {
+		case TypeReading:
+			if ev.Site < 0 || ev.Site >= len(m.Owner) {
+				return fmt.Errorf("serve: reading for unknown site %d", ev.Site)
+			}
+			p := m.Owner[ev.Site]
+			m.batches[p] = append(m.batches[p], ev)
+		default:
+			for p := range m.batches {
+				m.batches[p] = append(m.batches[p], ev)
+			}
+		}
+	}
+	for p, batch := range m.batches {
+		if len(batch) == 0 {
+			continue
+		}
+		if _, err := m.Clients[p].Ingest(batch); err != nil {
+			return fmt.Errorf("serve: peer %d ingest: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// DrainAll drains every peer through the same epoch, concurrently — a
+// requirement, not an optimization: one peer's drain checkpoint can block
+// receiving a migration another peer only sends during its own drain, so
+// draining the peers one at a time can deadlock until the retry window
+// expires. Returns each peer's post-drain Stats, indexed by peer.
+func (m *MultiClient) DrainAll(through model.Epoch) ([]Stats, error) {
+	stats := make([]Stats, len(m.Clients))
+	errs := make([]error, len(m.Clients))
+	var wg sync.WaitGroup
+	for p, c := range m.Clients {
+		wg.Add(1)
+		go func(p int, c *Client) {
+			defer wg.Done()
+			stats[p], errs[p] = c.Drain(through)
+		}(p, c)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			return stats, fmt.Errorf("serve: peer %d drain: %w", p, err)
+		}
+	}
+	return stats, nil
+}
+
+// MergedResult fetches every peer's partial Result and merges them into
+// the single-cluster Result (see dist.MergeResults).
+func (m *MultiClient) MergedResult() (dist.Result, error) {
+	parts := make([]dist.Result, len(m.Clients))
+	for p, c := range m.Clients {
+		res, err := c.Result()
+		if err != nil {
+			return dist.Result{}, fmt.Errorf("serve: peer %d result: %w", p, err)
+		}
+		parts[p] = res
+	}
+	return dist.MergeResults(parts), nil
+}

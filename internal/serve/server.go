@@ -83,6 +83,26 @@ type Config struct {
 	// bound both recovery time and disk usage: committing one retires all
 	// older WAL segments.
 	SnapshotEvery int
+
+	// Peers, when it lists more than one URL, splits the cluster across
+	// processes: entry i is daemon i's base URL, and this daemon runs the
+	// partitioned feed over the sites SiteOwner assigns it. Readings for
+	// non-owned sites are rejected (route them to their owner); departures
+	// must be broadcast to every peer — the shared global departure order
+	// is the cluster's only coordination (see internal/dist/coord.go).
+	// Empty or single-entry keeps the daemon a whole-cluster runtime.
+	Peers []string
+	// Self is this daemon's index into Peers.
+	Self int
+	// SiteOwner maps each site to its owning peer; nil uses
+	// dist.DefaultSiteMap's contiguous blocks. Every peer must own at
+	// least one site and all peers must be started with identical maps.
+	SiteOwner []int
+	// PeerRetryWindow bounds how long a migration Send retries against an
+	// unreachable peer and how long a checkpoint's Recv waits for a
+	// payload (default 2m). A peer that stays down past the window fails
+	// the checkpoint and latches the pipeline unhealthy.
+	PeerRetryWindow time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -153,6 +173,8 @@ type Stats struct {
 	Err string `json:"err,omitempty"`
 	// WAL is the durable-state accounting (nil when DataDir is unset).
 	WAL *wal.Stats `json:"wal,omitempty"`
+	// Peers is the cluster transport accounting (nil when un-clustered).
+	Peers *PeerStats `json:"peers,omitempty"`
 }
 
 // SiteSnapshot is one site's current inference estimates: the /snapshot
@@ -193,6 +215,12 @@ type Server struct {
 
 	shards []*shard
 	alerts *alertLog
+
+	// peers, owner and onsCache are set only in clustered mode
+	// (len(Config.Peers) > 1); see peer.go.
+	peers    *peerSet
+	owner    []int
+	onsCache *dist.ONSCache
 
 	closeMu  sync.RWMutex
 	closed   bool
@@ -250,6 +278,38 @@ func New(c *dist.Cluster, cfg Config) (*Server, error) {
 		schedDone: make(chan struct{}),
 		alerts:    newAlertLog(),
 	}
+	if len(cfg.Peers) > 1 {
+		if cfg.Self < 0 || cfg.Self >= len(cfg.Peers) {
+			return nil, fmt.Errorf("serve: self index %d out of range for %d peers", cfg.Self, len(cfg.Peers))
+		}
+		owner := cfg.SiteOwner
+		if owner == nil {
+			owner = dist.DefaultSiteMap(len(c.World.Sites), len(cfg.Peers))
+		}
+		if len(owner) != len(c.World.Sites) {
+			return nil, fmt.Errorf("serve: site map has %d entries, deployment has %d sites", len(owner), len(c.World.Sites))
+		}
+		seen := make([]bool, len(cfg.Peers))
+		for site, p := range owner {
+			if p < 0 || p >= len(cfg.Peers) {
+				return nil, fmt.Errorf("serve: site %d assigned to peer %d, want [0,%d)", site, p, len(cfg.Peers))
+			}
+			seen[p] = true
+		}
+		for p, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("serve: peer %d owns no sites", p)
+			}
+		}
+		s.owner = owner
+		s.peers = newPeerSet(cfg.Self, owner, cfg.Peers, cfg.PeerRetryWindow)
+		if cfg.Self != 0 {
+			// Peer 0 is the naming-service authority; everyone else runs
+			// the invalidating cache over GET /ons against it.
+			onsClient := &Client{BaseURL: cfg.Peers[0], HTTP: s.peers.hc}
+			s.onsCache = dist.NewONSCache(onsClient.ONSLookup)
+		}
+	}
 	prevQuery, prevWorkers := c.Query, c.Workers
 	c.Workers = cfg.Workers
 	if q := cfg.Query; q != nil {
@@ -257,7 +317,13 @@ func New(c *dist.Cluster, cfg Config) (*Server, error) {
 	} else if c.Query != nil {
 		c.Query = s.hookQuery(c.Query)
 	}
-	feed, err := c.OpenFeed(cfg.Interval)
+	var feed *dist.Feed
+	var err error
+	if s.peers != nil {
+		feed, err = c.OpenPartitionedFeed(cfg.Interval, dist.OwnedSites(s.owner, cfg.Self), s.peers)
+	} else {
+		feed, err = c.OpenFeed(cfg.Interval)
+	}
 	if err != nil {
 		c.Query, c.Workers = prevQuery, prevWorkers
 		return nil, err
@@ -348,6 +414,10 @@ func (s *Server) Ingest(events []Event) error {
 				s.rejectMiscf("reading for unknown site %d", ev.Site)
 				continue
 			}
+			if s.owner != nil && s.owner[ev.Site] != s.cfg.Self {
+				s.rejectMiscf("reading for site %d, owned by peer %d", ev.Site, s.owner[ev.Site])
+				continue
+			}
 			sh := s.shards[ev.Site]
 			if sh != cur {
 				if cur != nil {
@@ -385,6 +455,9 @@ func (s *Server) IngestBatch(site int, readings []dist.Reading) error {
 	}
 	if site < 0 || site >= len(s.shards) {
 		return fmt.Errorf("serve: site %d out of range [0,%d)", site, len(s.shards))
+	}
+	if s.owner != nil && s.owner[site] != s.cfg.Self {
+		return fmt.Errorf("serve: site %d is owned by peer %d, not this daemon (peer %d)", site, s.owner[site], s.cfg.Self)
 	}
 	s.closeMu.RLock()
 	if s.closed {
@@ -553,6 +626,22 @@ func (s *Server) applyDeparture(d dist.Departure) {
 		}
 	}
 	s.depMu.Unlock()
+	if s.onsCache != nil {
+		// The broadcast departure stream doubles as the naming-service
+		// cache's invalidation feed: the object's owner is changing, so
+		// the next lookup re-fetches from the authority.
+		s.onsCache.Invalidate(d.Object)
+	}
+	if s.owner != nil {
+		// A broadcast departure is also a stream-time signal in clustered
+		// mode: a peer whose own sites go quiet must still advance to the
+		// departure's checkpoint, where it receives (or sends) the
+		// migration payload. Producers therefore must keep departures in
+		// global time order with the readings they broadcast, or set a
+		// Watermark covering their skew — the same contract readings
+		// already carry.
+		s.publishTime(d.At)
+	}
 }
 
 // rejectf counts one validation rejection.
@@ -675,6 +764,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.final = &res
 	s.mu.Unlock()
 	s.alerts.close()
+	if s.peers != nil {
+		s.peers.close()
+	}
 	if s.wal != nil {
 		if cerr := s.wal.Close(); err == nil {
 			err = cerr
@@ -709,6 +801,9 @@ func (s *Server) Abort() error {
 	s.final = &res
 	s.mu.Unlock()
 	s.alerts.close()
+	if s.peers != nil {
+		s.peers.close()
+	}
 	if s.wal != nil {
 		err := s.wal.Commit()
 		if cerr := s.wal.Close(); err == nil {
@@ -804,6 +899,11 @@ func (s *Server) runCheckpointLocked() {
 	next := s.feed.Next()
 	s.nextCkpt.Store(int64(next))
 	s.dueAt.Store(int64(next + s.cfg.Watermark))
+	if s.peers != nil {
+		// Duplicate deposits that raced the consuming checkpoint are now
+		// provably stale; drop them so the inbox stays bounded.
+		s.peers.prune(next, s.cfg.Interval)
+	}
 	for i, sh := range s.shards {
 		sh.recycle(s.due[i])
 		s.due[i] = nil
@@ -900,6 +1000,14 @@ func (s *Server) Stats() Stats {
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		st.WAL = &ws
+	}
+	if s.peers != nil {
+		ps := s.peers.stats()
+		if s.onsCache != nil {
+			cs := s.onsCache.Stats()
+			ps.ONSCache = &cs
+		}
+		st.Peers = &ps
 	}
 
 	st.Shards = make([]ShardStats, len(s.shards))

@@ -147,30 +147,39 @@ func timedCondWait(cond *sync.Cond, d time.Duration) {
 // shuts down and every published alert has been delivered.
 type Subscription struct {
 	C      <-chan Alert
+	log    *alertLog
 	cancel chan struct{}
 	once   sync.Once
 }
 
-// Close stops the subscription and eventually closes C.
-func (s *Subscription) Close() { s.once.Do(func() { close(s.cancel) }) }
+// Close stops the subscription and closes C. The pump goroutine is woken
+// immediately — cancellation does not wait for the next alert or any poll
+// tick.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		close(s.cancel)
+		// The pump may be asleep on the log's cond with no alert coming;
+		// the broadcast is what delivers the cancellation promptly.
+		s.log.cond.Broadcast()
+	})
+}
 
-// subscribe starts a pump goroutine walking the log from its start.
+// subscribe starts a pump goroutine walking the log from its start. The
+// pump sleeps on the log's cond — no idle polling — and is woken by
+// publish, by the log closing, or by Subscription.Close.
 func (l *alertLog) subscribe() *Subscription {
 	ch := make(chan Alert, 16)
-	sub := &Subscription{C: ch, cancel: make(chan struct{})}
+	sub := &Subscription{C: ch, log: l, cancel: make(chan struct{})}
 	go func() {
 		defer close(ch)
 		next := 0
 		for {
 			l.mu.Lock()
-			for len(l.entries) <= next && !l.closed {
-				if canceled(sub.cancel) {
-					l.mu.Unlock()
-					return
-				}
-				timedCondWait(l.cond, 50*time.Millisecond)
+			for len(l.entries) <= next && !l.closed && !canceled(sub.cancel) {
+				l.cond.Wait()
 			}
-			if len(l.entries) <= next { // closed and fully delivered
+			if canceled(sub.cancel) || len(l.entries) <= next {
+				// Canceled, or closed and fully delivered.
 				l.mu.Unlock()
 				return
 			}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestSubscriptionCloseWakes pins the close-latency fix: Close must wake a
+// pump that is asleep on the alert log's cond with no alert ever coming,
+// and close C promptly — not after the next publish or a poll tick.
+func TestSubscriptionCloseWakes(t *testing.T) {
+	l := newAlertLog()
+	sub := l.subscribe()
+	// Let the pump reach its cond.Wait before closing.
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	sub.Close()
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			t.Fatal("subscription delivered an alert that was never published")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscription channel not closed within 2s of Close")
+	}
+	if waited := time.Since(start); waited > 500*time.Millisecond {
+		t.Errorf("Close took %v to close C; the cancel broadcast should make it immediate", waited)
+	}
+	// Close is idempotent.
+	sub.Close()
+}
+
+// TestAlertStreamClientDisconnect pins that an SSE handler whose client
+// goes away returns instead of looping on the alert log forever: after the
+// request context is canceled, the test server's Close — which waits for
+// outstanding handlers — must not hang.
+func TestAlertStreamClientDisconnect(t *testing.T) {
+	l := newAlertLog()
+	srv := &Server{alerts: l}
+	ts := httptest.NewServer(http.HandlerFunc(srv.handleAlertStream))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"?since=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE stream status %d, want 200", resp.StatusCode)
+	}
+	// Drop the client mid-stream with no alert ever published; the handler
+	// is asleep in the log's timed wait and must notice the disconnect.
+	cancel()
+	resp.Body.Close()
+
+	done := make(chan struct{})
+	go func() {
+		ts.Close() // waits for the handler to return
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE handler did not return within 5s of client disconnect")
+	}
+}

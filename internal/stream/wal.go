@@ -1,6 +1,6 @@
 // The write-ahead-log record codec: the durable wire format of the online
 // runtime's accepted-event log (internal/wal). Each record is one accepted
-// reading or departure, framed as
+// reading, departure or inbound migration payload, framed as
 //
 //	[4 bytes little-endian payload length]
 //	[4 bytes IEEE CRC32 of the payload]
@@ -29,14 +29,25 @@ const (
 	WALReading byte = 1
 	// WALDepart is one accepted departure event: Object, From, To, At.
 	WALDepart byte = 2
+	// WALMigration is one inbound migration payload accepted from a peer:
+	// the departure identity (Object, From, To, At) followed by the opaque
+	// payload bytes. Logging the payload before acknowledging the peer's
+	// POST is what makes at-least-once migration delivery survive a crash
+	// of the receiving daemon (see internal/serve's peer layer).
+	WALMigration byte = 3
 )
 
 // walFrameHeader is the fixed frame prefix: payload length + CRC32.
 const walFrameHeader = 8
 
-// MaxWALPayload bounds one record's payload. Real records are under 30
-// bytes; a length beyond this is a corrupt frame, not a bigger buffer.
+// MaxWALPayload bounds a reading or departure record's payload. Real
+// records are under 30 bytes; a length beyond this is a corrupt frame, not
+// a bigger buffer.
 const MaxWALPayload = 1 << 12
+
+// MaxWALMigrationPayload bounds a migration record's payload: the framed
+// departure fields plus a migration payload up to MaxMigrationPayload.
+const MaxWALMigrationPayload = MaxMigrationPayload + 64
 
 // ErrWALPartial reports a frame cut short at the end of a log: the clean
 // torn-tail signature of a crash mid-append. Everything before it is valid;
@@ -53,7 +64,7 @@ var ErrWALCorrupt = errors.New("stream: corrupt WAL frame")
 // WALRecord is one accepted event in the durable log. Kind selects which
 // field group is meaningful.
 type WALRecord struct {
-	// Kind is WALReading or WALDepart.
+	// Kind is WALReading, WALDepart or WALMigration.
 	Kind byte
 
 	// Reading fields: the observing site, epoch, tag and reader mask.
@@ -63,9 +74,14 @@ type WALRecord struct {
 	Mask model.Mask
 
 	// Departure fields: the object and its (from, to, at) transfer.
+	// WALMigration records use these for the departure identity too.
 	Object   model.TagID
 	From, To int
 	At       model.Epoch
+
+	// Payload is the opaque migration payload of a WALMigration record
+	// (nil for the other kinds, and for an empty payload).
+	Payload []byte
 }
 
 // AppendWALRecord appends the framed encoding of rec to dst and returns
@@ -85,6 +101,12 @@ func AppendWALRecord(dst []byte, rec WALRecord) []byte {
 		put(uint64(uint32(rec.From)))
 		put(uint64(uint32(rec.To)))
 		put(uint64(uint32(rec.At)))
+	case WALMigration:
+		put(uint64(uint32(rec.Object)))
+		put(uint64(uint32(rec.From)))
+		put(uint64(uint32(rec.To)))
+		put(uint64(uint32(rec.At)))
+		dst = append(dst, rec.Payload...)
 	default: // WALReading, and the encoder's fallback for unknown kinds
 		put(uint64(uint32(rec.Site)))
 		put(uint64(uint32(rec.T)))
@@ -106,7 +128,7 @@ func DecodeWALRecord(b []byte) (rec WALRecord, n int, err error) {
 		return rec, 0, ErrWALPartial
 	}
 	length := binary.LittleEndian.Uint32(b)
-	if length == 0 || length > MaxWALPayload {
+	if length == 0 || length > MaxWALMigrationPayload {
 		return rec, 0, fmt.Errorf("%w: payload length %d", ErrWALCorrupt, length)
 	}
 	if len(b) < walFrameHeader+int(length) {
@@ -117,6 +139,9 @@ func DecodeWALRecord(b []byte) (rec WALRecord, n int, err error) {
 		return rec, 0, fmt.Errorf("%w: CRC mismatch", ErrWALCorrupt)
 	}
 	rec.Kind = payload[0]
+	if rec.Kind != WALMigration && length > MaxWALPayload {
+		return WALRecord{}, 0, fmt.Errorf("%w: payload length %d for kind %d", ErrWALCorrupt, length, rec.Kind)
+	}
 	rest := payload[1:]
 	take := func() (uint64, bool) {
 		v, k := binary.Uvarint(rest)
@@ -134,7 +159,7 @@ func DecodeWALRecord(b []byte) (rec WALRecord, n int, err error) {
 		}
 		fields[i] = v
 	}
-	if len(rest) != 0 {
+	if rec.Kind != WALMigration && len(rest) != 0 {
 		return WALRecord{}, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrWALCorrupt, len(rest))
 	}
 	switch rec.Kind {
@@ -148,6 +173,17 @@ func DecodeWALRecord(b []byte) (rec WALRecord, n int, err error) {
 		rec.From = int(int32(fields[1]))
 		rec.To = int(int32(fields[2]))
 		rec.At = model.Epoch(int32(fields[3]))
+	case WALMigration:
+		rec.Object = model.TagID(int32(fields[0]))
+		rec.From = int(int32(fields[1]))
+		rec.To = int(int32(fields[2]))
+		rec.At = model.Epoch(int32(fields[3]))
+		// The remaining bytes are the opaque migration payload, copied out
+		// of the scan buffer: replay deposits these into long-lived state,
+		// so a view into the log buffer would not be safe to retain.
+		if len(rest) > 0 {
+			rec.Payload = append([]byte(nil), rest...)
+		}
 	default:
 		return WALRecord{}, 0, fmt.Errorf("%w: unknown record kind %d", ErrWALCorrupt, rec.Kind)
 	}

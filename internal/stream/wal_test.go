@@ -16,6 +16,9 @@ func walSamples() []WALRecord {
 		{Kind: WALReading, Site: 15, T: 1 << 29, Tag: 1 << 20, Mask: ^model.Mask(0)},
 		{Kind: WALDepart, Object: 7, From: 0, To: 1, At: 600},
 		{Kind: WALDepart, Object: 1 << 20, From: 14, To: 15, At: 1 << 29},
+		{Kind: WALMigration, Object: 7, From: 0, To: 1, At: 600},
+		{Kind: WALMigration, Object: 9, From: 2, To: 0, At: 1200,
+			Payload: []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}},
 	}
 }
 

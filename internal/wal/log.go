@@ -201,6 +201,7 @@ type Log struct {
 	manifest Manifest
 	readings []*segment // one per site
 	deps     *segment
+	migs     *segment // inbound peer migration payloads
 
 	statsMu sync.Mutex
 	stats   Stats // slow-path counters; Appended/AppendedBytes live below
@@ -235,6 +236,7 @@ func Open(dir string, sites int, opts Options) (*Log, error) {
 		opts:     opts.withDefaults(),
 		readings: make([]*segment, sites),
 		deps:     &segment{},
+		migs:     &segment{},
 		quit:     make(chan struct{}),
 	}
 	for s := range l.readings {
@@ -350,8 +352,11 @@ func syncDir(dir string) error {
 }
 
 // segmentName returns a segment file name for the given site (-1 for the
-// departure segment) and generation.
+// departure segment, -2 for the migration segment) and generation.
 func segmentName(site, gen int) string {
+	if site == -2 {
+		return fmt.Sprintf("migrations.%06d.wal", gen)
+	}
 	if site < 0 {
 		return fmt.Sprintf("departures.%06d.wal", gen)
 	}
@@ -372,6 +377,9 @@ func parseSegmentName(name string) (site, gen int, ok bool) {
 		return 0, 0, false
 	}
 	stem := base[:dot]
+	if stem == "migrations" {
+		return -2, gen, true
+	}
 	if stem == "departures" {
 		return -1, gen, true
 	}
@@ -388,9 +396,10 @@ func parseSegmentName(name string) (site, gen int, ok bool) {
 // skipping them would lose acknowledged events. Each valid record is
 // emitted; a torn or corrupt tail is truncated on disk at the last valid
 // record, so appending can safely resume on the same file. Segment order
-// is deterministic: the departure segment, then sites ascending, then
-// generation; a replay consumer must not depend on cross-segment record
-// order beyond that (the serve layer re-buckets by epoch anyway).
+// is deterministic: the migration segment, then the departure segment,
+// then sites ascending, then generation; a replay consumer must not depend
+// on cross-segment record order beyond that (the serve layer re-buckets by
+// epoch anyway).
 func (l *Log) Replay(emit func(stream.WALRecord) error) error {
 	entries, err := os.ReadDir(l.dir)
 	if err != nil {
@@ -471,6 +480,13 @@ func (l *Log) StartAppending() error {
 	if err := l.deps.swap(f); err != nil {
 		return err
 	}
+	f, err = open(-2)
+	if err != nil {
+		return err
+	}
+	if err := l.migs.swap(f); err != nil {
+		return err
+	}
 	if l.opts.SyncEvery > 0 {
 		l.syncerDone = make(chan struct{})
 		go l.syncer()
@@ -549,6 +565,24 @@ func (l *Log) AppendDeparture(d dist.Departure) error {
 	return nil
 }
 
+// AppendMigration logs one inbound migration payload accepted from a peer,
+// keyed by its departure identity. The serve layer commits (fsyncs) before
+// acknowledging the peer's POST — the sender stops re-sending once acked,
+// so the payload must already be durable at that point.
+func (l *Log) AppendMigration(d dist.Departure, payload []byte) error {
+	n, err := l.migs.append(stream.WALRecord{
+		Kind: stream.WALMigration, Object: d.Object, From: d.From, To: d.To, At: d.At,
+		Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	l.appendSeq.Add(1)
+	l.appended.Add(1)
+	l.appendedBytes.Add(int64(n))
+	return nil
+}
+
 // Strict reports whether acknowledgements must wait for Commit.
 func (l *Log) Strict() bool { return l.opts.Strict }
 
@@ -580,6 +614,11 @@ func (l *Log) Commit() error {
 	}
 	if l.deps.dirty.Load() {
 		if serr := l.deps.sync(); err == nil {
+			err = serr
+		}
+	}
+	if l.migs.dirty.Load() {
+		if serr := l.migs.sync(); err == nil {
 			err = serr
 		}
 	}
@@ -628,6 +667,13 @@ func (l *Log) RotateSite(site, gen int) error {
 // caller holds the departure-buffer lock, mirroring RotateSite.
 func (l *Log) RotateDepartures(gen int) error {
 	return l.rotateSegment(l.deps, -1, gen)
+}
+
+// RotateMigrations switches the migration segment to generation gen; the
+// caller quiesces the peer inbox across the rotation, mirroring
+// RotateDepartures, and carries the unconsumed inbox inside the snapshot.
+func (l *Log) RotateMigrations(gen int) error {
+	return l.rotateSegment(l.migs, -2, gen)
 }
 
 // rotateSegment opens the new generation's file and swaps it in, flushing
@@ -739,6 +785,9 @@ func (l *Log) Close() error {
 			}
 		}
 		if cerr := l.deps.close(); err == nil {
+			err = cerr
+		}
+		if cerr := l.migs.close(); err == nil {
 			err = cerr
 		}
 	})

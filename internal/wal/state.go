@@ -18,7 +18,10 @@ import (
 // snapMagic and snapVersion identify a snapshot file.
 var snapMagic = [8]byte{'R', 'F', 'I', 'D', 'S', 'N', 'A', 'P'}
 
-const snapVersion = 1
+// snapVersion 2 appended the PendingMigs section; version-1 snapshots
+// (written before the multi-node peer layer) still decode, with an empty
+// inbox.
+const snapVersion = 2
 
 // Alert is one persisted continuous-query alert. The serve layer's Seq is
 // implicit: it is the alert's index in the restored log.
@@ -47,6 +50,18 @@ type QueryState struct {
 	Parts []QueryPartition
 	// Matches is the site's emitted match history, in emission order.
 	Matches []stream.Match
+}
+
+// Migration is one inbound peer migration payload not yet consumed by a
+// checkpoint: the departure identity it is keyed by plus the opaque encoded
+// state. Snapshots carry the unconsumed inbox because committing a snapshot
+// retires the WAL generation whose migration segment held these records.
+type Migration struct {
+	// D is the departure identity the payload is routed by.
+	D dist.Departure
+	// Payload is the encoded migration state (nil when the transfer
+	// carried no bytes).
+	Payload []byte
 }
 
 // ShardCounters is one ingest stripe's persisted counters, restored so
@@ -83,6 +98,9 @@ type State struct {
 	Buffered [][]dist.Reading
 	// PendingDeps are the accepted departures no checkpoint has observed.
 	PendingDeps []dist.Departure
+	// PendingMigs are the inbound peer migration payloads no checkpoint
+	// has consumed (the peer inbox at snapshot time).
+	PendingMigs []Migration
 	// Shards and Invalid carry the serve layer's ingest counters across
 	// the restart.
 	Shards  []ShardCounters
@@ -310,6 +328,18 @@ func EncodeState(st *State) ([]byte, error) {
 	w.varint(int64(st.Invalid))
 	w.varint(int64(st.Misc))
 
+	// Peer inbox (added in snapVersion 2).
+	w.uvarint(uint64(len(st.PendingMigs)))
+	for i := range st.PendingMigs {
+		m := &st.PendingMigs[i]
+		w.uvarint(uint64(uint32(m.D.Object)))
+		w.uvarint(uint64(uint32(m.D.From)))
+		w.uvarint(uint64(uint32(m.D.To)))
+		w.varint(int64(m.D.At))
+		w.uvarint(uint64(len(m.Payload)))
+		w.buf.Write(m.Payload)
+	}
+
 	payload := w.buf.Bytes()
 	out := make([]byte, 0, len(payload)+16)
 	out = append(out, snapMagic[:]...)
@@ -327,8 +357,9 @@ func DecodeState(b []byte) (*State, error) {
 	if len(b) < 16 || !bytes.Equal(b[:8], snapMagic[:]) {
 		return nil, fmt.Errorf("wal: not a snapshot file")
 	}
-	if v := binary.LittleEndian.Uint32(b[8:12]); v != snapVersion {
-		return nil, fmt.Errorf("wal: unsupported snapshot version %d", v)
+	version := binary.LittleEndian.Uint32(b[8:12])
+	if version != 1 && version != snapVersion {
+		return nil, fmt.Errorf("wal: unsupported snapshot version %d", version)
 	}
 	payload := b[16:]
 	if crc := binary.LittleEndian.Uint32(b[12:16]); crc != crc32.ChecksumIEEE(payload) {
@@ -516,6 +547,33 @@ func DecodeState(b []byte) (*State, error) {
 	}
 	st.Invalid = int(r.varint())
 	st.Misc = int(r.varint())
+
+	if version >= 2 {
+		if n, ok := r.count("pending migration"); ok && n > 0 {
+			st.PendingMigs = make([]Migration, 0, model.DecodeCap(uint64(n)))
+			for i := 0; i < n && r.err == nil; i++ {
+				var m Migration
+				m.D.Object = model.TagID(r.uvarint())
+				m.D.From = int(int32(r.uvarint()))
+				m.D.To = int(int32(r.uvarint()))
+				m.D.At = model.Epoch(r.varint())
+				pl := r.uvarint()
+				if r.err != nil {
+					break
+				}
+				if pl > stream.MaxMigrationPayload {
+					return nil, fmt.Errorf("wal: implausible pending-migration payload length %d", pl)
+				}
+				if pl > 0 {
+					m.Payload = make([]byte, pl)
+					if _, err := io.ReadFull(r.r, m.Payload); err != nil {
+						return nil, err
+					}
+				}
+				st.PendingMigs = append(st.PendingMigs, m)
+			}
+		}
+	}
 	if r.err != nil {
 		return nil, r.err
 	}

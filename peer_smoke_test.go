@@ -1,0 +1,248 @@
+package rfidtrack_test
+
+// The two-process cluster smoke (`make peer-smoke`): run TWO real
+// rfidtrackd binaries as peers of one cluster — sites split between them,
+// migrations crossing as RFM1 frames over loopback HTTP — stream at them
+// through the fan-out client, SIGKILL one peer mid-stream, restart it over
+// its data directory, finish the stream, and require the merged Result and
+// alert count to match the uninterrupted single-cluster sequential
+// reference exactly. This is the process-level twin of
+// serve.TestClusteredRecoverKillOne.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/serve"
+)
+
+// reservePort grabs an ephemeral loopback port and releases it for the
+// daemon to bind. Peer URLs must be known before any daemon starts (every
+// -peers list names all of them), so ports are chosen up front; the
+// window between Close and the daemon's bind is the usual accepted race.
+func reservePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// startPeerDaemon launches one clustered rfidtrackd and waits for its
+// listen line.
+func startPeerDaemon(t *testing.T, bin, dataDir, addr, peers string, self int) *exec.Cmd {
+	t.Helper()
+	args := append([]string{
+		"-addr", addr, "-data-dir", dataDir, "-strict", "-snapshot-every", "1",
+		"-peers", peers, "-self", fmt.Sprint(self),
+	}, smokeWorldFlags...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	listening := make(chan struct{}, 1)
+	go func() {
+		lines := bufio.NewScanner(stdout)
+		for lines.Scan() {
+			if strings.Contains(lines.Text(), "listening on ") {
+				listening <- struct{}{}
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case <-listening:
+		return cmd
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("peer %d never printed its listen address", self)
+		return nil
+	}
+}
+
+// mcIngestRetry posts one batch through the fan-out client, retrying
+// through peer downtime; every daemon's ingest is idempotent, so a re-send
+// that duplicates an acknowledged sub-batch is safe.
+func mcIngestRetry(t *testing.T, mc *serve.MultiClient, events []serve.Event) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if err := mc.Ingest(events); err == nil {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("cluster ingest never succeeded: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestPeerSmoke is the end-to-end two-process cluster drill.
+func TestPeerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills daemons")
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		goTool = "go"
+	}
+	moduleRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "rfidtrackd")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	build := exec.CommandContext(ctx, goTool, "build", "-o", bin, "./cmd/rfidtrackd")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Uninterrupted single-cluster reference with the daemon's defaults:
+	// weight migration plus the cold-chain query.
+	w := smokeWorld(t)
+	const interval = model.Epoch(300)
+	ref := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+	ref.Query = dist.ColdChainQuery(w, interval)
+	want, err := ref.ReplaySequential(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAlerts := 0
+	for s := range w.Sites {
+		wantAlerts += len(ref.SiteQuery(s).Matches())
+	}
+	events := serve.WorldEvents(w, ref.Departures())
+
+	owner := dist.DefaultSiteMap(len(w.Sites), 2)
+	addrs := []string{
+		fmt.Sprintf("127.0.0.1:%d", reservePort(t)),
+		fmt.Sprintf("127.0.0.1:%d", reservePort(t)),
+	}
+	urls := []string{"http://" + addrs[0], "http://" + addrs[1]}
+	peersFlag := strings.Join(urls, ",")
+	dirs := []string{t.TempDir(), t.TempDir()}
+
+	daemons := make([]*exec.Cmd, 2)
+	for p := range daemons {
+		daemons[p] = startPeerDaemon(t, bin, dirs[p], addrs[p], peersFlag, p)
+	}
+	stopAll := func() {
+		for _, d := range daemons {
+			if d != nil {
+				d.Process.Signal(os.Interrupt)
+			}
+		}
+		for _, d := range daemons {
+			if d == nil {
+				continue
+			}
+			done := make(chan struct{})
+			go func(d *exec.Cmd) { d.Wait(); close(done) }(d)
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				d.Process.Kill()
+			}
+		}
+	}
+	defer stopAll()
+
+	mc := serve.NewMultiClient(urls, owner)
+
+	// Stream the first half, then SIGKILL peer 1 mid-interval — buffered
+	// readings, an unconsumed migration inbox, no graceful anything. Peer
+	// 0 keeps running; its in-flight migration sends retry against the
+	// dead socket until the restarted process reclaims the port.
+	const batch = 256
+	cut := 0
+	for cut < len(events) && events[cut].Time() < 450 {
+		cut++
+	}
+	sent := 0
+	for sent < cut {
+		end := min(sent+batch, cut)
+		mcIngestRetry(t, mc, events[sent:end])
+		sent = end
+	}
+	if err := daemons[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemons[1].Wait()
+
+	// Restart peer 1 on the same address over the same data directory,
+	// re-send the last acknowledged batch (covering the ack-lost window),
+	// then the rest of the stream.
+	daemons[1] = startPeerDaemon(t, bin, dirs[1], addrs[1], peersFlag, 1)
+	resend := max(sent-batch, 0)
+	for i := resend; i < len(events); i += batch {
+		end := min(i+batch, len(events))
+		mcIngestRetry(t, mc, events[i:end])
+	}
+
+	// Drain every peer concurrently (a sequential drain can deadlock: one
+	// peer's final checkpoints block on migrations another peer only sends
+	// during its own drain).
+	stats, err := mc.DrainAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := mc.MergedResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged cluster Result diverged from uninterrupted reference\n got: %+v\nwant: %+v", got, want)
+	}
+	gotAlerts := 0
+	for p := range mc.Clients {
+		alerts, err := mc.Clients[p].Alerts(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAlerts += len(alerts)
+	}
+	if gotAlerts != wantAlerts {
+		t.Errorf("cluster raised %d alerts, reference raised %d", gotAlerts, wantAlerts)
+	}
+	if wantAlerts == 0 {
+		t.Error("reference raised no alerts; the smoke scenario is too easy")
+	}
+	var migs, sock int64
+	for p, st := range stats {
+		if st.WAL == nil || st.WAL.Snapshots == 0 {
+			t.Errorf("peer %d reported no durable snapshots: %+v", p, st.WAL)
+		}
+		if st.Peers == nil {
+			t.Fatalf("peer %d reported no peer stats", p)
+		}
+		migs += st.Peers.MigrationsSent
+		sock += st.Peers.SocketBytesSent
+	}
+	if migs == 0 || sock == 0 {
+		t.Errorf("no cross-peer traffic (migrations=%d, socket bytes=%d); the site split carries no departures", migs, sock)
+	}
+}
