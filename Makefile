@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve bench-json bench-check bench-smoke recover-smoke peer-smoke docs-lint ci
+.PHONY: build test vet race fuzz-smoke bench bench-hot bench-dist bench-serve bench-json bench-check bench-smoke recover-smoke peer-smoke fanout-smoke docs-lint ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz 'FuzzDecodeWALRecord' -fuzztime 10s ./internal/stream/
 	$(GO) test -run XXX -fuzz 'FuzzDecodeBatchFrame' -fuzztime 10s ./internal/stream/
 	$(GO) test -run XXX -fuzz 'FuzzDecodeMigrationFrame' -fuzztime 10s ./internal/stream/
+	$(GO) test -run XXX -fuzz 'FuzzParseSubscriptionFilter' -fuzztime 10s ./internal/serve/
 
 # Whole-artifact benchmarks: regenerate every paper table/figure.
 bench:
@@ -46,14 +47,14 @@ bench-dist:
 # up directly in the log), the single-site batch fast path, per-checkpoint
 # scheduler latency, and ingest p99 while a checkpoint is running.
 bench-serve:
-	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$' -benchmem -run XXX ./internal/serve/
+	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$|BenchmarkFanout100k$$' -benchmem -run XXX ./internal/serve/
 
 # Machine-readable benchmark tracking: run the serve, rfinfer and dist
 # suites and emit BENCH_<pkg>.json (name, ns/op, B/op, allocs/op, plus
 # custom metrics like readings/s) so the perf trajectory is comparable
 # across PRs.
 bench-json:
-	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -o BENCH_serve.json
+	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$|BenchmarkFanout100k$$' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -o BENCH_serve.json
 	$(GO) test -bench 'BenchmarkEngineRun|BenchmarkEStep' -benchmem -run XXX ./internal/rfinfer/ | $(GO) run ./cmd/benchjson -o BENCH_rfinfer.json
 	$(GO) test -bench 'BenchmarkMigration|BenchmarkFeedAdvance' -benchmem -run XXX ./internal/dist/ ./internal/stream/ | $(GO) run ./cmd/benchjson -o BENCH_dist.json
 	$(GO) test -bench 'BenchmarkIngestWAL$$|BenchmarkIngestBinWAL$$|BenchmarkRecovery$$|BenchmarkWAL' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -o BENCH_wal.json
@@ -64,7 +65,7 @@ bench-json:
 # BENCH_serve.json / BENCH_wal.json. Regenerate the baselines with
 # `make bench-json` when a change legitimately moves them.
 bench-check:
-	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -check BENCH_serve.json
+	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$|BenchmarkFanout100k$$' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -check BENCH_serve.json
 	$(GO) test -bench 'BenchmarkIngestWAL$$|BenchmarkIngestBinWAL$$|BenchmarkRecovery$$|BenchmarkWAL' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -check BENCH_wal.json
 
 # Benchmark smoke: a 100ms pass over the online-runtime benchmarks that
@@ -86,6 +87,14 @@ recover-smoke:
 peer-smoke:
 	$(GO) test -run 'TestPeerSmoke' -count=1 -v .
 
+# Consumer-scale fan-out smoke: the real daemon plus a thousand real
+# SSE / cursor long-poll consumers. Default queues must deliver the exact
+# alert sequence to every consumer with zero drops; -sub-queue 1 must
+# record drops and catch-ups and STILL deliver everything (a drop defers
+# delivery to cursor catch-up, never loses it). Bounded to a few seconds.
+fanout-smoke:
+	$(GO) test -run 'TestFanoutSmoke' -count=1 -v .
+
 # Documentation gate: formatting, vet, no undocumented exported
 # identifiers in the public-facing packages, and no dead cross-links in
 # the markdown docs.
@@ -96,4 +105,4 @@ docs-lint:
 	$(GO) run ./cmd/docslint -md README.md -md ARCHITECTURE.md -md PERFORMANCE.md -md OPERATIONS.md
 
 # Tier-1 verify: everything the CI gate runs, in one command.
-ci: build vet test race fuzz-smoke bench-smoke bench-check recover-smoke peer-smoke docs-lint
+ci: build vet test race fuzz-smoke bench-smoke bench-check recover-smoke peer-smoke fanout-smoke docs-lint

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -70,6 +71,8 @@ func main() {
 		skew     = flag.Int("skew", 300, "per-site mode: max stream-time lead (epochs) of any producer over the slowest; keep at or below the daemon's -watermark")
 		drain    = flag.Bool("drain", true, "POST /drain after streaming so the daemon finishes the trailing interval")
 		retry    = flag.Duration("retry", 0, "chaos mode: re-send failed posts with backoff for this long (covers a daemon kill -9 + restart); 0 fails fast")
+		follow   = flag.Bool("follow", false, "subscribe to the daemon's alert feed while streaming (cluster mode merges every peer's feed), printing each alert and the final resume cursor")
+		filter   = flag.String("filter", "", "subscription filter for -follow, e.g. tag:7,site:1,pattern:q1,min_span:40 (empty = every alert)")
 	)
 	flag.Parse()
 
@@ -113,6 +116,10 @@ func main() {
 	fmt.Printf("ground-truth containment changes: %d\n", len(w.Changes))
 
 	if *serveURL != "" {
+		stopFollow := func() {}
+		if *follow {
+			stopFollow = followAlerts(*serveURL, *filter)
+		}
 		var err error
 		if strings.Contains(*serveURL, ",") {
 			err = streamWorldCluster(*serveURL, *siteMap, w, *rate, *batch, *drain, *retry)
@@ -124,6 +131,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		stopFollow()
 	}
 
 	if *out != "" {
@@ -141,6 +149,57 @@ func main() {
 		st, _ := f.Stat()
 		fmt.Printf("wrote %s (%d bytes, gzip would be %d)\n",
 			*out, st.Size(), trace.GzipSize(w.Sites[*siteFlag], nil))
+	}
+}
+
+// followAlerts attaches the durable-cursor consumer loop to the daemon's
+// alert feed (serve.Client.Follow), or — when baseURL is a comma-separated
+// peer list — the cluster-merged subscription (MultiClient.FollowAll),
+// printing each alert as the continuous queries raise it. The returned
+// stop function cancels the follow after a short grace for the feed's
+// tail and waits for it, then prints the alert count and the resume
+// cursor(s) a later -follow run could continue from.
+func followAlerts(baseURL, filterSpec string) (stop func()) {
+	flt, err := serve.ParseSubscriptionFilter(filterSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if strings.Contains(baseURL, ",") {
+			var urls []string
+			for _, u := range strings.Split(baseURL, ",") {
+				urls = append(urls, strings.TrimRight(strings.TrimSpace(u), "/"))
+			}
+			mc := serve.NewMultiClient(urls, nil)
+			cursors, err := mc.FollowAll(ctx, flt, nil, func(peer int, a serve.Alert) {
+				count.Add(1)
+				fmt.Printf("ALERT peer=%d #%d site=%d tag=%d exposed %d..%d\n",
+					peer, a.Seq, a.Site, a.Tag, a.First, a.Last)
+			})
+			if err != nil {
+				log.Printf("follow: %v", err)
+			}
+			fmt.Printf("followed %d alerts across %d peers; resume cursors %v\n", count.Load(), len(urls), cursors)
+			return
+		}
+		client := &serve.Client{BaseURL: baseURL}
+		cursor, err := client.Follow(ctx, flt, "", func(a serve.Alert) {
+			count.Add(1)
+			fmt.Printf("ALERT #%d site=%d tag=%d exposed %d..%d\n", a.Seq, a.Site, a.Tag, a.First, a.Last)
+		})
+		if err != nil {
+			log.Printf("follow: %v", err)
+		}
+		fmt.Printf("followed %d alerts; resume cursor %q\n", count.Load(), cursor)
+	}()
+	return func() {
+		time.Sleep(500 * time.Millisecond) // grace for the feed's tail after the drain
+		cancel()
+		<-done
 	}
 }
 

@@ -57,6 +57,7 @@ func main() {
 		queue    = flag.Int("queue", 8192, "per-site ingest shard backlog in readings (backpressure bound while a checkpoint is pending)")
 		wmark    = flag.Int("watermark", 0, "stream-time slack (epochs) before closing a checkpoint; set ~interval when several readers post concurrently")
 		noQuery  = flag.Bool("no-query", false, "do not attach the per-site exposure query")
+		subQueue = flag.Int("sub-queue", 0, "per-subscriber delivery queue bound; a consumer overflowing it flips to cursor catch-up (0 = default 256)")
 		demo     = flag.Bool("demo", false, "self-drive: stream the deployment's own world over HTTP, print a summary, exit")
 		pprof    = flag.String("pprof", "", "side listener for net/http/pprof (e.g. localhost:6060; empty = off); see PERFORMANCE.md for profiling a live checkpoint")
 
@@ -115,6 +116,7 @@ func main() {
 		SyncEvery:     *fsync,
 		Strict:        *strict,
 		SnapshotEvery: *snapEach,
+		SubQueue:      *subQueue,
 	}
 	if !*noQuery {
 		scfg.Query = dist.ColdChainQuery(world, scfg.Interval)
@@ -240,6 +242,9 @@ func main() {
 	fmt.Printf("errors: containment %.2f%%, location %.2f%%; migrated %d bytes in %d messages (centralized would ship %d)\n",
 		res.ContErr.Rate(), res.LocErr.Rate(), res.Costs.Bytes, res.Costs.Messages, res.CentralizedBytes)
 	fmt.Printf("alerts: %d; mean checkpoint latency %s\n", st.Alerts, meanLatency(st.Sched))
+	d := st.Delivery
+	fmt.Printf("delivery: %d enqueued, %d drops (lag events), %d catch-ups, slowest consumer %d behind at exit\n",
+		d.Enqueued, d.Dropped, d.Catchups, d.SlowestLag)
 	if st.WAL != nil {
 		fmt.Printf("durable: %d WAL records (%d bytes), %d snapshots, final snapshot at boundary %d\n",
 			st.WAL.Appended, st.WAL.AppendedBytes, st.WAL.Snapshots, st.WAL.LastSnapshot)

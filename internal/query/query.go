@@ -1,6 +1,8 @@
 package query
 
 import (
+	"fmt"
+
 	"rfidtrack/internal/model"
 	"rfidtrack/internal/stream"
 )
@@ -8,6 +10,11 @@ import (
 // Config parameterizes a Q1/Q2-style exposure query. The paper's 6-hour
 // and 10-hour horizons scale down with the trace length.
 type Config struct {
+	// Name, when set, is the query's registry key: the stable identifier
+	// alerts carry so the delivery tier can route per-pattern
+	// subscriptions ("q1", "q2"). Empty derives a canonical key from the
+	// query's shape; see PatternKey.
+	Name string
 	// ProductAttr and ProductValue select the monitored products
 	// (e.g. type=frozen). Empty ProductAttr monitors every object.
 	ProductAttr, ProductValue string
@@ -32,6 +39,7 @@ type Config struct {
 // product is out of any freezer case and at temperature > 0° for duration.
 func Q1Config(duration, snapshotInterval model.Epoch) Config {
 	return Config{
+		Name:           "q1",
 		ProductAttr:    "type",
 		ProductValue:   "frozen",
 		TempThreshold:  0,
@@ -59,6 +67,7 @@ func minEvents(duration, interval model.Epoch) int {
 // location whose temperature exceeds 10° for duration.
 func Q2Config(duration, snapshotInterval model.Epoch) Config {
 	return Config{
+		Name:           "q2",
 		ProductAttr:    "type",
 		ProductValue:   "frozen",
 		TempThreshold:  10,
@@ -67,6 +76,21 @@ func Q2Config(duration, snapshotInterval model.Epoch) Config {
 		UseContainment: false,
 		MinEvents:      minEvents(duration, snapshotInterval),
 	}
+}
+
+// PatternKey returns the query's stable registry key: Name when set, else
+// a canonical key derived from the query's shape, so two sites running the
+// same query always publish under the same key and a subscriber's
+// per-pattern filter matches alerts from every site.
+func (c Config) PatternKey() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	key := fmt.Sprintf("exposure:t>%g:d%d", c.TempThreshold, c.Duration)
+	if c.UseContainment {
+		key += ":cont"
+	}
+	return key
 }
 
 // Engine runs one exposure query over the inferred object event stream and
@@ -162,6 +186,9 @@ func (e *Engine) ImportMatches(ms []stream.Match) {
 
 // Pattern exposes the pattern operator for state migration.
 func (e *Engine) Pattern() *stream.SeqPattern { return e.pattern }
+
+// PatternKey returns the engine's registry key; see Config.PatternKey.
+func (e *Engine) PatternKey() string { return e.cfg.PatternKey() }
 
 // ExportState extracts and removes the pattern state of a departing
 // object, so it can travel with the object to the next site (Appendix B).

@@ -479,3 +479,98 @@ func BenchmarkIngestDuringCheckpoint(b *testing.B) {
 		b.Fatalf("ingest p99 %v tracks checkpoint latency (max %v): pipelining broken", p99, st.Sched.Max)
 	}
 }
+
+// BenchmarkFanout100k measures the delivery tier at consumer scale:
+// 100,000 registered subscribers — 99,000 tag-keyed over 10,000 tags (the
+// realistic shape: each consumer watches its own few tags), 400 site-keyed,
+// 472 pattern-keyed and 128 live match-all consumers draining with real
+// goroutines — while one publisher fans alerts out through the sharded
+// registry. One op is one published+dispatched alert, with the elapsed
+// clock running until every live consumer has drained its last alert.
+// Reported: matches/s (subscriber matches routed per second, index plus
+// scan) and p99-delivery-ms (publish-to-consumer latency of the live
+// pool, catch-up reads included). Queues are deliberately small so the
+// overflow -> lagged -> cursor-catch-up path is part of the steady state
+// being measured, not an untested corner.
+func BenchmarkFanout100k(b *testing.B) {
+	const (
+		nTagSubs  = 99000
+		nTags     = 10000
+		nSiteSubs = 400
+		nSites    = 4
+		nPatSubs  = 472
+		nLive     = 128
+		queueSize = 16
+	)
+	patterns := [2]string{"q1", "q2"}
+	l := newAlertLog()
+	reg := newRegistry(l, queueSize)
+	for i := 0; i < nTagSubs; i++ {
+		f := MatchAll()
+		f.Tag = model.TagID(i % nTags)
+		reg.register(f, 0)
+	}
+	for i := 0; i < nSiteSubs; i++ {
+		f := MatchAll()
+		f.Site = i % nSites
+		reg.register(f, 0)
+	}
+	for i := 0; i < nPatSubs; i++ {
+		f := MatchAll()
+		f.Pattern = patterns[i%2]
+		reg.register(f, 0)
+	}
+
+	// pubTimes[i] is written before alert i is dispatched and read by a
+	// live consumer only after delivery (ordered by the tier's locks).
+	pubTimes := make([]time.Time, b.N)
+	latCh := make(chan []time.Duration, nLive)
+	var wg sync.WaitGroup
+	for i := 0; i < nLive; i++ {
+		sub := reg.register(MatchAll(), 0)
+		wg.Add(1)
+		go func(sub *subscriber) {
+			defer wg.Done()
+			var lats []time.Duration
+			for {
+				batch, done := sub.poll(256, 100*time.Millisecond)
+				now := time.Now()
+				for _, a := range batch {
+					lats = append(lats, now.Sub(pubTimes[a.Seq]))
+				}
+				if done {
+					latCh <- lats
+					return
+				}
+			}
+		}(sub)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		m := stream.Match{Tag: model.TagID(i % nTags), First: 0, Last: model.Epoch(i % 900)}
+		pubTimes[i] = time.Now()
+		if a, fresh := l.publish(i%nSites, patterns[i%2], m); fresh {
+			reg.dispatch(a)
+		}
+	}
+	l.close()
+	reg.wakeAll()
+	wg.Wait() // the op isn't done until the live pool has everything
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	var all []time.Duration
+	for i := 0; i < nLive; i++ {
+		all = append(all, <-latCh...)
+	}
+	ds := reg.stats()
+	matches := ds.ScanMatches
+	for _, n := range ds.ShardMatches {
+		matches += n
+	}
+	b.ReportMetric(float64(matches)/elapsed.Seconds(), "matches/s")
+	b.ReportMetric(float64(percentileDuration(all, 0.99))/1e6, "p99-delivery-ms")
+}

@@ -4,12 +4,15 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sync"
+	"time"
 
 	"rfidtrack/internal/dist"
 	"rfidtrack/internal/model"
@@ -185,4 +188,95 @@ func (c *Client) Alerts(since, waitMS int) ([]Alert, error) {
 	var alerts []Alert
 	err = checkStatus(resp, &alerts)
 	return alerts, err
+}
+
+// followLimit is the per-page batch bound Follow requests.
+const followLimit = defaultPollLimit
+
+// AlertsCursor long-polls the alert feed in cursor mode: up to limit
+// alerts matching f, resuming from cursor ("" = the log's beginning),
+// waiting up to waitMS milliseconds server-side. The reply's Cursor
+// resumes exactly past the returned alerts.
+func (c *Client) AlertsCursor(ctx context.Context, f Filter, cursor string, waitMS, limit int) (AlertsPage, error) {
+	u := fmt.Sprintf("%s/alerts?wait_ms=%d&limit=%d", c.BaseURL, waitMS, limit)
+	if cursor != "" {
+		u += "&cursor=" + url.QueryEscape(cursor)
+	}
+	if spec := f.Encode(); spec != "" {
+		u += "&filter=" + url.QueryEscape(spec)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return AlertsPage{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return AlertsPage{}, err
+	}
+	var page AlertsPage
+	err = checkStatus(resp, &page)
+	return page, err
+}
+
+// Follow streams the alert feed to fn until ctx ends, the daemon reports
+// the feed complete (a graceful shutdown), or a permanent error occurs.
+// It is the durable-cursor consumer loop: transport failures and 5xx
+// refusals retry with exponential backoff from the last good cursor, and
+// alerts replayed by an at-least-once resume are suppressed by sequence
+// number — so fn observes every alert exactly once, in order, across
+// consumer disconnects AND a daemon kill -9 + restart. It returns the
+// final resume cursor; pass it to a later Follow to continue where this
+// one stopped. A ctx cancellation is a normal stop, not an error.
+func (c *Client) Follow(ctx context.Context, f Filter, cursor string, fn func(Alert)) (string, error) {
+	var nextSeq int64
+	if cursor != "" {
+		seq, err := stream.DecodeAlertCursor(cursor)
+		if err != nil {
+			return cursor, err
+		}
+		nextSeq = seq
+	}
+	const minBackoff = 50 * time.Millisecond
+	backoff := minBackoff
+	for {
+		if ctx.Err() != nil {
+			return cursor, nil
+		}
+		page, err := c.AlertsCursor(ctx, f, cursor, 25000, followLimit)
+		if err != nil {
+			if ctx.Err() != nil {
+				return cursor, nil
+			}
+			if !Retryable(err) {
+				return cursor, err
+			}
+			select {
+			case <-ctx.Done():
+				return cursor, nil
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = minBackoff
+		for _, a := range page.Alerts {
+			if int64(a.Seq) < nextSeq {
+				continue // duplicate replayed by an at-least-once resume
+			}
+			fn(a)
+			nextSeq = int64(a.Seq) + 1
+		}
+		// Adopt the server's cursor (it advances past non-matching alerts
+		// too) unless it would rewind behind an alert already delivered.
+		if pos, derr := stream.DecodeAlertCursor(page.Cursor); derr == nil && pos >= nextSeq {
+			cursor = page.Cursor
+		} else {
+			cursor = stream.EncodeAlertCursor(nextSeq)
+		}
+		if page.Done {
+			return cursor, nil
+		}
+	}
 }

@@ -89,6 +89,22 @@ func (s *Server) recover() error {
 					}
 				}
 			}
+		case stream.WALAlert:
+			// A post-snapshot alert that was published before the crash: its
+			// segment sorts first in the replay, so these land right after
+			// the snapshot's restored prefix with their pre-crash sequence
+			// numbers. The publish cursor is NOT advanced — the catch-up
+			// checkpoints re-fire exactly these matches and publish dedups
+			// them against the restored entries by position, which is what
+			// keeps resumed consumer cursors naming the same alerts.
+			s.alerts.restoreTail(Alert{
+				Site:    rec.Site,
+				Tag:     rec.Tag,
+				First:   rec.T,
+				Last:    rec.At,
+				Values:  rec.Values,
+				Pattern: rec.Pattern,
+			})
 		}
 		if len(batch) == cap(batch) {
 			return flush()
@@ -150,7 +166,7 @@ func (s *Server) restoreState(st *wal.State) error {
 
 	alerts := make([]Alert, len(st.Alerts))
 	for i, a := range st.Alerts {
-		alerts[i] = Alert{Site: a.Site, Tag: a.Tag, First: a.First, Last: a.Last, Values: a.Values}
+		alerts[i] = Alert{Site: a.Site, Tag: a.Tag, First: a.First, Last: a.Last, Values: a.Values, Pattern: a.Pattern}
 	}
 	s.alerts.restore(alerts)
 
@@ -235,6 +251,12 @@ func (s *Server) snapshotLocked() error {
 		// segment would keep appending into a retired generation.
 		return err
 	}
+	// Alerts published before this cut ride in st.Alerts below; the caller
+	// holds s.mu and publishes run under it, so the rotation and the
+	// export see the same log.
+	if err := s.wal.RotateAlerts(gen); err != nil {
+		return err
+	}
 
 	st.Feed = s.feed.ExportState()
 	st.Engines = make([]rfinfer.EngineState, len(s.cluster.Engines))
@@ -259,7 +281,7 @@ func (s *Server) snapshotLocked() error {
 		}
 	}
 	for _, a := range s.alerts.export() {
-		st.Alerts = append(st.Alerts, wal.Alert{Site: a.Site, Tag: a.Tag, First: a.First, Last: a.Last, Values: a.Values})
+		st.Alerts = append(st.Alerts, wal.Alert{Site: a.Site, Tag: a.Tag, First: a.First, Last: a.Last, Values: a.Values, Pattern: a.Pattern})
 	}
 	s.invMu.Lock()
 	st.Invalid = s.invalid

@@ -5,6 +5,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"rfidtrack/internal/dist"
 	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
 )
 
 // ingestBatch bounds how many parsed events one Ingest call carries; the
@@ -32,8 +34,10 @@ const ingestBatch = 512
 //	GET  /snapshot?site=N       SiteSnapshot of one site's estimates
 //	POST /snapshot              force a durable full-state snapshot (needs DataDir)
 //	GET  /result                the accumulated dist.Result
-//	GET  /alerts?since=N&wait_ms=M   long-poll the alert log
-//	GET  /alerts/stream?since=N      server-sent events alert feed
+//	GET  /alerts?since=N&wait_ms=M   long-poll the alert log (legacy bare array)
+//	GET  /alerts?cursor=C&filter=F   cursor long-poll: AlertsPage with resume cursor
+//	GET  /alerts/stream?cursor=C     server-sent events alert feed; reconnect
+//	                                 resumes from the Last-Event-ID header
 //	POST /peer/migrate          RFM1 migration frame from a cluster peer
 //	GET  /ons?tag=N             naming-service lookup (tag -> owning site)
 func (s *Server) Handler() http.Handler {
@@ -221,14 +225,75 @@ func (s *Server) handleSnapshotNow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m)
 }
 
-// handleAlerts long-polls the alert log: returns alerts with seq >= since,
-// waiting up to wait_ms (default 0, max 30000) when none are available.
-func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
-	since, err := intParam(r, "since", 0)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
+// AlertsPage is the cursor-mode GET /alerts reply: a batch of matching
+// alerts plus the resume cursor naming the position right after them.
+// Done is true only when the daemon shut down gracefully with every
+// published alert delivered — after a crash the page simply ends and the
+// client reconnects with its cursor.
+type AlertsPage struct {
+	Alerts []Alert `json:"alerts"`
+	// Cursor is the opaque resume token (stream.EncodeAlertCursor) to pass
+	// back as ?cursor= on the next poll.
+	Cursor string `json:"cursor"`
+	Done   bool   `json:"done,omitempty"`
+}
+
+// filterParams assembles the subscription filter from ?filter= (the
+// canonical ParseSubscriptionFilter spec) plus the individual ?tag=,
+// ?site=, ?pattern= and ?min_span= overrides. filtered reports whether
+// any filtering parameter was present at all.
+func filterParams(r *http.Request) (f Filter, filtered bool, err error) {
+	q := r.URL.Query()
+	f = MatchAll()
+	if spec := q.Get("filter"); spec != "" {
+		f, err = ParseSubscriptionFilter(spec)
+		if err != nil {
+			return Filter{}, false, err
+		}
+		filtered = true
 	}
+	if v := q.Get("tag"); v != "" {
+		n, perr := parseFilterInt("tag", v)
+		if perr != nil {
+			return Filter{}, false, perr
+		}
+		f.Tag = model.TagID(n)
+		filtered = true
+	}
+	if v := q.Get("site"); v != "" {
+		n, perr := parseFilterInt("site", v)
+		if perr != nil {
+			return Filter{}, false, perr
+		}
+		f.Site = n
+		filtered = true
+	}
+	if v := q.Get("pattern"); v != "" {
+		if len(v) > stream.MaxAlertPatternKey {
+			return Filter{}, false, fmt.Errorf("serve: ?pattern= longer than %d bytes", stream.MaxAlertPatternKey)
+		}
+		f.Pattern = v
+		filtered = true
+	}
+	if v := q.Get("min_span"); v != "" {
+		n, perr := parseFilterInt("min_span", v)
+		if perr != nil {
+			return Filter{}, false, perr
+		}
+		f.MinSpan = model.Epoch(n)
+		filtered = true
+	}
+	return f, filtered, nil
+}
+
+// handleAlerts serves the alert feed in two modes. With no cursor, filter
+// or limit parameters it is the legacy long-poll: a bare JSON array of
+// every alert with seq >= ?since=. Any of those parameters selects cursor
+// mode: the reply is an AlertsPage whose Cursor resumes exactly past the
+// returned alerts — the durable-cursor consumer protocol (wait_ms default
+// 0, max 30000; limit default 1000, max 10000).
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	waitMS, err := intParam(r, "wait_ms", 0)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -237,18 +302,109 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	if waitMS > 30000 {
 		waitMS = 30000
 	}
-	alerts := s.AlertsSince(since, time.Duration(waitMS)*time.Millisecond)
+	f, filtered, err := filterParams(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	cursorTok := q.Get("cursor")
+	if cursorTok == "" && !filtered && !q.Has("limit") {
+		since, err := intParam(r, "since", 0)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		alerts := s.AlertsSince(since, time.Duration(waitMS)*time.Millisecond)
+		if alerts == nil {
+			alerts = []Alert{}
+		}
+		writeJSON(w, http.StatusOK, alerts)
+		return
+	}
+	limit, err := intParam(r, "limit", defaultPollLimit)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if limit <= 0 {
+		limit = defaultPollLimit
+	}
+	if limit > maxPollLimit {
+		limit = maxPollLimit
+	}
+	from := 0
+	if cursorTok != "" {
+		seq, err := stream.DecodeAlertCursor(cursorTok)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		from = int(seq)
+	} else if from, err = intParam(r, "since", 0); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	// Register a real subscriber rather than calling PollAlerts: the
+	// client-disconnect hook can then fail a blocked poll immediately, so a
+	// consumer that hangs up mid-wait never holds this handler (and its
+	// ephemeral subscriber) for the full wait budget.
+	sub := s.registry.register(f, from)
+	defer sub.shutdown()
+	stop := context.AfterFunc(r.Context(), sub.shutdown)
+	defer stop()
+	alerts, done := sub.poll(limit, time.Duration(waitMS)*time.Millisecond)
+	next := sub.cursor()
+	if r.Context().Err() != nil {
+		return // client gone; nobody to write the page to
+	}
+	// done from the subscriber means "no further alert can arrive", which a
+	// crash also produces; only a graceful finish is terminal for clients.
+	if done && !s.alerts.isFinished() {
+		done = false
+	}
 	if alerts == nil {
 		alerts = []Alert{}
 	}
-	writeJSON(w, http.StatusOK, alerts)
+	writeJSON(w, http.StatusOK, AlertsPage{
+		Alerts: alerts,
+		Cursor: stream.EncodeAlertCursor(int64(next)),
+		Done:   done,
+	})
 }
 
-// handleAlertStream is the SSE feed: one `data:` frame per alert, starting
-// at ?since=, until the client disconnects or the server shuts down.
+// sseBatch bounds how many alerts one SSE write loop drains before
+// flushing.
+const sseBatch = 256
+
+// handleAlertStream is the SSE feed: one event per matching alert, each
+// carrying an `id:` line with the cursor that resumes right after it, so
+// a reconnecting EventSource client that echoes Last-Event-ID misses
+// nothing. The starting position is Last-Event-ID, else ?cursor=, else
+// ?since=; ?filter= and friends narrow the stream. The subscription rides
+// the delivery tier's bounded queue: a stalled client laps into cursor
+// catch-up instead of back-pressuring the publisher.
 func (s *Server) handleAlertStream(w http.ResponseWriter, r *http.Request) {
-	since, err := intParam(r, "since", 0)
+	f, _, err := filterParams(r)
 	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	from := 0
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		seq, err := stream.DecodeAlertCursor(lei)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		from = int(seq)
+	} else if tok := r.URL.Query().Get("cursor"); tok != "" {
+		seq, err := stream.DecodeAlertCursor(tok)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		from = int(seq)
+	} else if from, err = intParam(r, "since", 0); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
@@ -261,31 +417,43 @@ func (s *Server) handleAlertStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	next := since
+	sub := s.registry.register(f, from)
+	defer sub.shutdown()
+	stop := context.AfterFunc(r.Context(), sub.shutdown)
+	defer stop()
 	for {
-		alerts := s.alerts.since(next, time.Second)
-		if alerts == nil {
-			select {
-			case <-r.Context().Done():
-				return
-			default:
-			}
-			if s.alerts.isClosed() {
-				return
-			}
-			continue
+		batch, done := sub.poll(sseBatch, time.Second)
+		if r.Context().Err() != nil {
+			return
 		}
-		for _, a := range alerts {
+		for _, a := range batch {
 			payload, err := json.Marshal(a)
 			if err != nil {
 				return
 			}
-			if _, err := fmt.Fprintf(w, "data: %s\n\n", payload); err != nil {
+			if _, err := fmt.Fprintf(w, "id: %s\ndata: %s\n\n",
+				stream.EncodeAlertCursor(int64(a.Seq+1)), payload); err != nil {
 				return
 			}
-			next = a.Seq + 1
 		}
-		fl.Flush()
+		if len(batch) > 0 {
+			fl.Flush()
+		}
+		if done {
+			if s.alerts.isFinished() {
+				// Terminal marker: graceful shutdown with everything
+				// delivered. After a crash the stream just ends instead,
+				// and the client reconnects with its Last-Event-ID.
+				fmt.Fprint(w, "event: done\ndata: {}\n\n")
+				fl.Flush()
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -95,6 +96,45 @@ func (m *MultiClient) DrainAll(through model.Epoch) ([]Stats, error) {
 		}
 	}
 	return stats, nil
+}
+
+// FollowAll follows every peer's alert feed concurrently — the
+// cluster-merged subscription behind rfidsim -follow. Each peer publishes
+// its own alert sequence, so cursors, when non-nil, must hold one resume
+// token per peer (a previous FollowAll's return value). fn is serialized
+// (one call at a time, any peer) and receives the peer index alongside
+// each alert; within a peer the per-Follow guarantees hold (in-order,
+// exactly-once across disconnects and daemon restarts). It returns every
+// peer's final cursor, even when some peer's follow failed.
+func (m *MultiClient) FollowAll(ctx context.Context, f Filter, cursors []string, fn func(peer int, a Alert)) ([]string, error) {
+	out := make([]string, len(m.Clients))
+	if cursors != nil {
+		if len(cursors) != len(m.Clients) {
+			return nil, fmt.Errorf("serve: %d resume cursors for %d peers", len(cursors), len(m.Clients))
+		}
+		copy(out, cursors)
+	}
+	errs := make([]error, len(m.Clients))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p, c := range m.Clients {
+		wg.Add(1)
+		go func(p int, c *Client) {
+			defer wg.Done()
+			out[p], errs[p] = c.Follow(ctx, f, out[p], func(a Alert) {
+				mu.Lock()
+				fn(p, a)
+				mu.Unlock()
+			})
+		}(p, c)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("serve: peer %d follow: %w", p, err)
+		}
+	}
+	return out, nil
 }
 
 // MergedResult fetches every peer's partial Result and merges them into

@@ -135,7 +135,8 @@ func TestRecoverMatchesUninterrupted(t *testing.T) {
 		for _, m := range ref.SiteQuery(s).Matches() {
 			wantAlerts = append(wantAlerts, Alert{
 				Site: s, Tag: m.Tag, First: m.First, Last: m.Last,
-				Values: append([]float64(nil), m.Values...),
+				Values:  append([]float64(nil), m.Values...),
+				Pattern: ref.SiteQuery(s).PatternKey(),
 			})
 		}
 	}

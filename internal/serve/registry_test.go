@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/stream"
+)
+
+// publishAndDispatch mimics Server.publishAlert for registry-level tests:
+// append to the log, fan out through the registry.
+func publishAndDispatch(l *alertLog, r *registry, site int, pattern string, m stream.Match) Alert {
+	a, fresh := l.publish(site, pattern, m)
+	if fresh {
+		r.dispatch(a)
+	}
+	return a
+}
+
+// drainSub collects everything a subscriber delivers without waiting.
+func drainSub(sub *subscriber) []Alert {
+	var out []Alert
+	for {
+		batch, _ := sub.poll(maxPollLimit, 0)
+		if len(batch) == 0 {
+			return out
+		}
+		out = append(out, batch...)
+	}
+}
+
+// TestRegistryMatchesBruteForce is the sharded-matching correctness bar:
+// over randomized alert and filter populations, every subscriber — however
+// the registry routed it (tag shard, site list, pattern list, broadcast) —
+// must deliver exactly the alerts a brute-force scan of the log through
+// its filter selects, in order.
+func TestRegistryMatchesBruteForce(t *testing.T) {
+	patterns := []string{"q1", "q2", "exposure:t>12:d600"}
+	for _, seed := range []int64{1, 2, 77} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			l := newAlertLog()
+			reg := newRegistry(l, 1<<20) // no overflow: this test isolates matching
+			const nSubs, nAlerts, nTags, nSites = 200, 1500, 60, 5
+
+			// Random filters across every routing class, including composites
+			// (tag+pattern, site+min_span, ...) that the index alone cannot
+			// satisfy and must finish with the residual Filter.Match.
+			filters := make([]Filter, nSubs)
+			subs := make([]*subscriber, nSubs)
+			for i := range filters {
+				f := MatchAll()
+				if rng.Intn(2) == 0 {
+					f.Tag = model.TagID(rng.Intn(nTags))
+				}
+				if rng.Intn(3) == 0 {
+					f.Site = rng.Intn(nSites)
+				}
+				if rng.Intn(3) == 0 {
+					f.Pattern = patterns[rng.Intn(len(patterns))]
+				}
+				if rng.Intn(4) == 0 {
+					f.MinSpan = model.Epoch(rng.Intn(900))
+				}
+				filters[i] = f
+				subs[i] = reg.register(f, 0)
+			}
+
+			var published []Alert
+			for i := 0; i < nAlerts; i++ {
+				m := stream.Match{
+					Tag:   model.TagID(rng.Intn(nTags)),
+					First: model.Epoch(rng.Intn(600)),
+				}
+				m.Last = m.First + model.Epoch(rng.Intn(1200))
+				a := publishAndDispatch(l, reg, rng.Intn(nSites), patterns[rng.Intn(len(patterns))], m)
+				published = append(published, a)
+			}
+
+			for i, sub := range subs {
+				var want []Alert
+				for _, a := range published {
+					if filters[i].Match(a) {
+						want = append(want, a)
+					}
+				}
+				got := drainSub(sub)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("sub %d (filter %q): sharded delivery diverged from brute force\n got %d alerts: %+v\nwant %d alerts: %+v",
+						i, filters[i].Encode(), len(got), got, len(want), want)
+				}
+				sub.shutdown()
+			}
+
+			// The index actually sharded: tag-filtered subscribers must have
+			// been matched via tag shards, not the broadcast scan.
+			ds := reg.stats()
+			var shardTotal int64
+			for _, n := range ds.ShardMatches {
+				shardTotal += n
+			}
+			if shardTotal == 0 {
+				t.Error("no matches routed through tag shards; the registry is scanning instead of sharding")
+			}
+		})
+	}
+}
+
+// TestRegistryStatsAccounting pins the drop / catch-up accounting: a
+// queue-1 subscriber flooded with matches must record drops and a lagged
+// interval, then a full catch-up — with nothing lost.
+func TestRegistryStatsAccounting(t *testing.T) {
+	l := newAlertLog()
+	reg := newRegistry(l, 1)
+	sub := reg.register(MatchAll(), 0)
+	const n = 50
+	for i := 0; i < n; i++ {
+		publishAndDispatch(l, reg, 0, "q1", stream.Match{Tag: 1, First: 0, Last: model.Epoch(i)})
+	}
+	ds := reg.stats()
+	if ds.Dropped == 0 {
+		t.Error("queue-1 subscriber saw 50 alerts with no recorded drop")
+	}
+	if ds.Lagged != 1 {
+		t.Errorf("Lagged = %d, want 1 before the consumer catches up", ds.Lagged)
+	}
+	got := drainSub(sub)
+	if len(got) != n {
+		t.Fatalf("lagged consumer delivered %d alerts, want all %d via catch-up", len(got), n)
+	}
+	for i, a := range got {
+		if a.Seq != i {
+			t.Fatalf("alert %d has seq %d; catch-up must preserve order", i, a.Seq)
+		}
+	}
+	ds = reg.stats()
+	if ds.Catchups == 0 {
+		t.Error("catch-up completed but Catchups counter is 0")
+	}
+	if ds.Lagged != 0 {
+		t.Errorf("Lagged = %d after full catch-up, want 0", ds.Lagged)
+	}
+	if !sub.everLagged() {
+		t.Error("subscriber dropped but everLagged reports false")
+	}
+	sub.shutdown()
+}
+
+// FuzzParseSubscriptionFilter is the parser hardening bar for everything a
+// consumer hands the daemon: filter specs and resume cursors. Neither
+// parser may panic on any input, and both must round-trip — a parsed
+// filter re-encodes to a spec that parses back to the same filter, and a
+// decoded cursor re-encodes to the identical token (the canonical-form
+// rule that makes cursors safe to compare).
+func FuzzParseSubscriptionFilter(f *testing.F) {
+	f.Add("", "")
+	f.Add("tag:7", "ac1-0-50b9bbb4")
+	f.Add("tag:7,site:1,pattern:q1,min_span:40", stream.EncodeAlertCursor(12345))
+	f.Add("pattern:exposure:t>0:d600:cont", stream.EncodeAlertCursor(1<<40))
+	f.Add("site:-1,tag:99999999999999999999", "ac1-zz-00000000")
+	f.Add("min_span:0,min_span:12,,:,junk", "ac1--deadbeef")
+	f.Fuzz(func(t *testing.T, spec, cursor string) {
+		flt, err := ParseSubscriptionFilter(spec)
+		if err == nil {
+			enc := flt.Encode()
+			back, err2 := ParseSubscriptionFilter(enc)
+			if err2 != nil {
+				t.Fatalf("Encode of parsed filter %q -> %q does not re-parse: %v", spec, enc, err2)
+			}
+			if back != flt {
+				t.Fatalf("filter round-trip diverged: %q -> %+v -> %q -> %+v", spec, flt, enc, back)
+			}
+			// A parsed filter must be usable: Match may not panic.
+			_ = flt.Match(Alert{Seq: 1, Site: 2, Tag: 3, First: 4, Last: 5, Pattern: "q1"})
+		}
+		seq, err := stream.DecodeAlertCursor(cursor)
+		if err == nil {
+			if seq < 0 {
+				t.Fatalf("cursor %q decoded to negative seq %d", cursor, seq)
+			}
+			if re := stream.EncodeAlertCursor(seq); re != cursor {
+				t.Fatalf("cursor %q decodes to %d but re-encodes to %q; decode must enforce canonical form", cursor, seq, re)
+			}
+		}
+		// And every sequence number encodes to a token that decodes back.
+		tok := stream.EncodeAlertCursor(seq)
+		back, err := stream.DecodeAlertCursor(tok)
+		if err != nil || back != seq {
+			t.Fatalf("EncodeAlertCursor(%d) = %q does not decode back (got %d, %v)", seq, tok, back, err)
+		}
+	})
+}
+
+// TestFilterEncodeMatchAll pins the canonical empty encoding.
+func TestFilterEncodeMatchAll(t *testing.T) {
+	if enc := MatchAll().Encode(); enc != "" {
+		t.Errorf("MatchAll().Encode() = %q, want empty", enc)
+	}
+	f, err := ParseSubscriptionFilter("  ")
+	if err != nil || f != MatchAll() {
+		t.Errorf("blank spec parsed to %+v, %v; want MatchAll", f, err)
+	}
+}
+
+// percentileDuration returns the p-th percentile (0..1) of ds.
+func percentileDuration(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// TestStalledConsumerDoesNotBlockLive is the slow-consumer isolation bar:
+// one consumer stops reading entirely (its SSE connection never drains)
+// while a live consumer keeps polling; the publisher must never block, the
+// stalled consumer must flip to lagged — not back-pressure the pump — and
+// the live consumer's per-alert delivery latency must stay bounded.
+func TestStalledConsumerDoesNotBlockLive(t *testing.T) {
+	l := newAlertLog()
+	reg := newRegistry(l, 4) // tiny queue so the stall overflows fast
+	stalled := reg.register(MatchAll(), 0)
+	live := reg.register(MatchAll(), 0)
+
+	const n = 2000
+	// pubTimes[i] is written before alert i is published; the consumer
+	// reads it only after receiving alert i through the delivery tier's
+	// locks, so the access is ordered.
+	pubTimes := make([]time.Time, n)
+	var delivered []Alert
+	latencies := make([]time.Duration, 0, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(delivered) < n {
+			batch, _ := live.poll(64, 2*time.Second)
+			if len(batch) == 0 {
+				return
+			}
+			now := time.Now()
+			for _, a := range batch {
+				latencies = append(latencies, now.Sub(pubTimes[a.Seq]))
+			}
+			delivered = append(delivered, batch...)
+		}
+	}()
+
+	publishStart := time.Now()
+	for i := 0; i < n; i++ {
+		pubTimes[i] = time.Now()
+		publishAndDispatch(l, reg, 0, "q1", stream.Match{Tag: model.TagID(i % 7), First: 0, Last: model.Epoch(i)})
+	}
+	publishTook := time.Since(publishStart)
+	// The stalled consumer never read a thing; if offers blocked, the
+	// publish loop above could not have finished quickly.
+	if publishTook > 5*time.Second {
+		t.Fatalf("publishing %d alerts took %v with a stalled subscriber; offers must never block", n, publishTook)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("live consumer did not finish; a stalled peer is blocking delivery")
+	}
+	if len(delivered) != n {
+		t.Fatalf("live consumer got %d alerts, want %d", len(delivered), n)
+	}
+	for i, a := range delivered {
+		if a.Seq != i {
+			t.Fatalf("live consumer alert %d has seq %d; order must be preserved", i, a.Seq)
+		}
+	}
+	if !stalled.everLagged() {
+		t.Error("stalled consumer with queue 4 never lagged; overflow accounting is broken")
+	}
+
+	// p99 of the live consumer's delivery latency: the stall must not leak
+	// into its tail. The bound is deliberately loose (scheduler jitter on a
+	// loaded CI box) — the regression this guards is the old unbounded
+	// blocking-channel design, where a stalled peer froze deliveryForever.
+	p99 := percentileDuration(latencies, 0.99)
+	if p99 > 2*time.Second {
+		t.Errorf("live consumer p99 delivery latency %v with one stalled peer; want bounded (<2s)", p99)
+	}
+
+	// The stalled consumer can still catch up by cursor afterwards.
+	got := drainSub(stalled)
+	if len(got) != n {
+		t.Errorf("stalled consumer caught up to %d alerts, want %d (drop means deferred, not lost)", len(got), n)
+	}
+	stalled.shutdown()
+	live.shutdown()
+}

@@ -63,6 +63,11 @@ type Config struct {
 	// Query optionally attaches per-site continuous queries; their matches
 	// flow to Subscribe channels and the HTTP alert feeds.
 	Query *dist.ClusterQuery
+	// SubQueue bounds each alert subscriber's in-memory delivery queue. A
+	// consumer that falls more than SubQueue alerts behind is marked
+	// lagged and catches up from the alert log by cursor instead of
+	// holding queued copies (see DeliveryStats). Default 256.
+	SubQueue int
 
 	// DataDir enables durable state: accepted events append to a per-site
 	// write-ahead log and full-state snapshots commit at Δ-checkpoint
@@ -119,6 +124,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 16
 	}
+	if c.SubQueue <= 0 {
+		c.SubQueue = 256
+	}
 	return c
 }
 
@@ -158,6 +166,9 @@ type Stats struct {
 	NextCheckpoint model.Epoch `json:"next_checkpoint"`
 	// Alerts is the number of continuous-query alerts published so far.
 	Alerts int `json:"alerts"`
+	// Delivery is the alert delivery tier's accounting: subscriber count,
+	// per-shard match counts, queue depths, drops and consumer lag.
+	Delivery DeliveryStats `json:"delivery"`
 	// Feed is the incremental feed's ingestion counters (Late and Buffered
 	// include the ingest shards' stripe-local counts).
 	Feed dist.FeedStats `json:"feed"`
@@ -213,8 +224,16 @@ type Server struct {
 	cfg     Config
 	cluster *dist.Cluster
 
-	shards []*shard
-	alerts *alertLog
+	shards   []*shard
+	alerts   *alertLog
+	registry *registry
+	// staged holds each site's current-checkpoint query matches, filled by
+	// the per-site engine callbacks during AdvanceWith (the owning site's
+	// goroutine is the only writer of its slice) and drained by the
+	// scheduler in site order once AdvanceWith returns — which is what
+	// makes the cross-site alert publication order, and therefore every
+	// consumer cursor, deterministic across runs and crash recovery.
+	staged [][]stagedMatch
 
 	// peers, owner and onsCache are set only in clustered mode
 	// (len(Config.Peers) > 1); see peer.go.
@@ -278,6 +297,8 @@ func New(c *dist.Cluster, cfg Config) (*Server, error) {
 		schedDone: make(chan struct{}),
 		alerts:    newAlertLog(),
 	}
+	s.registry = newRegistry(s.alerts, cfg.SubQueue)
+	s.staged = make([][]stagedMatch, len(c.World.Sites))
 	if len(cfg.Peers) > 1 {
 		if cfg.Self < 0 || cfg.Self >= len(cfg.Peers) {
 			return nil, fmt.Errorf("serve: self index %d out of range for %d peers", cfg.Self, len(cfg.Peers))
@@ -365,19 +386,57 @@ func New(c *dist.Cluster, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// hookQuery wraps a ClusterQuery so every per-site engine publishes its
-// matches to the alert log the moment a pattern fires. The log is
-// mutex-guarded, so this stays safe when the checkpoint tail fans out
-// over sites.
+// stagedMatch is one query match awaiting deterministic publication at
+// the end of its checkpoint.
+type stagedMatch struct {
+	pattern string
+	m       stream.Match
+}
+
+// hookQuery wraps a ClusterQuery so every per-site engine stages its
+// matches the moment a pattern fires. Staging — not publishing — from the
+// callback matters twice over: ClusterQuery guarantees each site's
+// callback fires only from that site's checkpoint goroutine, so the
+// per-site slice needs no lock, and deferring publication to the
+// scheduler's site-ordered drain (runCheckpointLocked) pins the global
+// alert sequence regardless of how the parallel site fan-out interleaves.
 func (s *Server) hookQuery(q *dist.ClusterQuery) *dist.ClusterQuery {
 	return &dist.ClusterQuery{
 		New: func(site int) *query.Engine {
 			eng := q.New(site)
-			eng.SetOnMatch(func(m stream.Match) { s.alerts.publish(site, m) })
+			key := eng.PatternKey()
+			eng.SetOnMatch(func(m stream.Match) {
+				s.staged[site] = append(s.staged[site], stagedMatch{pattern: key, m: m})
+			})
 			return eng
 		},
 		Feed: q.Feed,
 	}
+}
+
+// publishAlert appends one staged match to the alert log, mirrors it into
+// the WAL's alert segment (the durable half of consumer cursors), and
+// fans it out through the subscription registry. Recovery's catch-up
+// checkpoints re-fire matches the WAL tail already restored; those come
+// back non-fresh and are neither re-logged nor re-dispatched.
+func (s *Server) publishAlert(site int, pattern string, m stream.Match) {
+	a, fresh := s.alerts.publish(site, pattern, m)
+	if !fresh {
+		return
+	}
+	if s.wal != nil && s.walOn.Load() {
+		if err := s.wal.AppendAlert(wal.Alert{
+			Site:    a.Site,
+			Tag:     a.Tag,
+			First:   a.First,
+			Last:    a.Last,
+			Values:  a.Values,
+			Pattern: a.Pattern,
+		}); err != nil {
+			s.walFail(err)
+		}
+	}
+	s.registry.dispatch(a)
 }
 
 // Ingest validates and interval-buckets the events on the calling
@@ -763,7 +822,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.final = &res
 	s.mu.Unlock()
-	s.alerts.close()
+	// finish, not close: a graceful shutdown means the alert sequence is
+	// complete, so following clients see Done instead of reconnecting.
+	s.alerts.finish()
+	s.registry.wakeAll()
 	if s.peers != nil {
 		s.peers.close()
 	}
@@ -800,7 +862,10 @@ func (s *Server) Abort() error {
 	res := s.feed.Result()
 	s.final = &res
 	s.mu.Unlock()
+	// close, not finish: the crash-stop leaves the alert sequence
+	// extendable by a restarted daemon, so clients resume, not stop.
 	s.alerts.close()
+	s.registry.wakeAll()
 	if s.peers != nil {
 		s.peers.close()
 	}
@@ -894,6 +959,15 @@ func (s *Server) runCheckpointLocked() {
 	if err != nil && s.runErr == nil {
 		s.runErr = err
 		s.failed.Store(true)
+	}
+
+	// Publish this checkpoint's staged matches in site order; see the
+	// staged field for why this ordering is the determinism anchor.
+	for site := range s.staged {
+		for _, sm := range s.staged[site] {
+			s.publishAlert(site, sm.pattern, sm.m)
+		}
+		s.staged[site] = s.staged[site][:0]
 	}
 
 	next := s.feed.Next()
@@ -1032,6 +1106,7 @@ func (s *Server) Stats() Stats {
 		st.StreamTime = model.Epoch(maxT)
 	}
 	st.Alerts = s.alerts.len()
+	st.Delivery = s.registry.stats()
 	return st
 }
 
@@ -1063,11 +1138,46 @@ func (s *Server) Snapshot(site int) (SiteSnapshot, error) {
 	return snap, nil
 }
 
-// Subscribe registers an alert subscriber; see Subscription.
-func (s *Server) Subscribe() *Subscription { return s.alerts.subscribe() }
+// Subscribe registers a channel-mode subscriber over every alert from the
+// log's beginning; see Subscription.
+func (s *Server) Subscribe() *Subscription {
+	return s.registry.subscribeChannel(MatchAll(), 0)
+}
+
+// SubscribeFilter registers a channel-mode subscriber over the alerts
+// matching f, from the log's beginning.
+func (s *Server) SubscribeFilter(f Filter) *Subscription {
+	return s.registry.subscribeChannel(f, 0)
+}
+
+// SubscribeCursor registers a cursor-mode subscriber: alerts matching f
+// from log position cursor onward, read with Subscription.Poll. It is the
+// in-process twin of the HTTP cursor long-poll — a reconnecting consumer
+// passes its last Subscription.Cursor and misses nothing.
+func (s *Server) SubscribeCursor(f Filter, cursor int) *Subscription {
+	return &Subscription{sub: s.registry.register(f, cursor)}
+}
+
+// PollAlerts is the one-shot cursor long-poll behind GET /alerts: it
+// returns up to max alerts matching f from position cursor, waiting up to
+// wait when none are available, along with the next cursor (the position
+// the caller resumes from) and whether delivery is finished (graceful
+// shutdown with everything consumed).
+func (s *Server) PollAlerts(f Filter, cursor, max int, wait time.Duration) (alerts []Alert, next int, done bool) {
+	sub := s.registry.register(f, cursor)
+	defer sub.shutdown()
+	alerts, done = sub.poll(max, wait)
+	if done && !s.alerts.isFinished() {
+		// A crash-stop close ends this poll but not the sequence; only a
+		// finished log is terminal for the consumer.
+		done = false
+	}
+	return alerts, sub.cursor(), done
+}
 
 // AlertsSince returns the alerts with Seq >= since, waiting up to wait for
-// one to arrive when none is available yet (the long-poll primitive).
+// one to arrive when none is available yet (the legacy long-poll
+// primitive; cursor-aware consumers use PollAlerts).
 func (s *Server) AlertsSince(since int, wait time.Duration) []Alert {
 	return s.alerts.since(since, wait)
 }

@@ -13,7 +13,7 @@ import (
 // and close C promptly — not after the next publish or a poll tick.
 func TestSubscriptionCloseWakes(t *testing.T) {
 	l := newAlertLog()
-	sub := l.subscribe()
+	sub := newRegistry(l, 256).subscribeChannel(MatchAll(), 0)
 	// Let the pump reach its cond.Wait before closing.
 	time.Sleep(20 * time.Millisecond)
 	start := time.Now()
@@ -33,13 +33,62 @@ func TestSubscriptionCloseWakes(t *testing.T) {
 	sub.Close()
 }
 
+// TestSubscriptionCloseDuringPoll pins the cursor-mode half of the close
+// contract: Close fired while a Poll is blocked waiting for an alert that
+// never comes must fail the poll immediately (done=true), not after the
+// poll's wait budget expires.
+func TestSubscriptionCloseDuringPoll(t *testing.T) {
+	l := newAlertLog()
+	r := newRegistry(l, 256)
+	sub := &Subscription{sub: r.register(MatchAll(), 0)}
+
+	type pollResult struct {
+		alerts []Alert
+		done   bool
+		took   time.Duration
+	}
+	res := make(chan pollResult, 1)
+	start := time.Now()
+	go func() {
+		alerts, done := sub.Poll(100, 30*time.Second)
+		res <- pollResult{alerts, done, time.Since(start)}
+	}()
+	// Let the poll reach its wait before closing.
+	time.Sleep(20 * time.Millisecond)
+	sub.Close()
+
+	select {
+	case pr := <-res:
+		if !pr.done {
+			t.Error("Poll returned done=false after Close; a closed subscription is finished")
+		}
+		if len(pr.alerts) != 0 {
+			t.Errorf("Poll returned %d alerts that were never published", len(pr.alerts))
+		}
+		if pr.took > 500*time.Millisecond {
+			t.Errorf("Poll took %v to observe Close; the done channel should make it immediate", pr.took)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Poll still blocked 2s after Close; close-during-poll must fail the poll immediately")
+	}
+
+	// And a poll issued after Close fails without waiting at all.
+	start = time.Now()
+	if _, done := sub.Poll(100, 30*time.Second); !done {
+		t.Error("Poll on a closed subscription returned done=false")
+	}
+	if took := time.Since(start); took > 500*time.Millisecond {
+		t.Errorf("post-Close Poll took %v, want immediate", took)
+	}
+}
+
 // TestAlertStreamClientDisconnect pins that an SSE handler whose client
 // goes away returns instead of looping on the alert log forever: after the
 // request context is canceled, the test server's Close — which waits for
 // outstanding handlers — must not hang.
 func TestAlertStreamClientDisconnect(t *testing.T) {
 	l := newAlertLog()
-	srv := &Server{alerts: l}
+	srv := &Server{alerts: l, registry: newRegistry(l, 256)}
 	ts := httptest.NewServer(http.HandlerFunc(srv.handleAlertStream))
 
 	ctx, cancel := context.WithCancel(context.Background())

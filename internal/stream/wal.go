@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 
 	"rfidtrack/internal/model"
 )
@@ -35,6 +36,14 @@ const (
 	// POST is what makes at-least-once migration delivery survive a crash
 	// of the receiving daemon (see internal/serve's peer layer).
 	WALMigration byte = 3
+	// WALAlert is one published continuous-query alert: Site, Tag, the
+	// episode span (T = first epoch, At = last), the pattern key and the
+	// collected measurement values. The delivery tier appends one per
+	// published alert, which is what lets a consumer's cursor survive a
+	// daemon kill -9: recovery restores the snapshot's alert-log prefix
+	// and replays these records for the post-snapshot tail, so resumed
+	// sequence numbers name the same alerts they did before the crash.
+	WALAlert byte = 4
 )
 
 // walFrameHeader is the fixed frame prefix: payload length + CRC32.
@@ -48,6 +57,15 @@ const MaxWALPayload = 1 << 12
 // MaxWALMigrationPayload bounds a migration record's payload: the framed
 // departure fields plus a migration payload up to MaxMigrationPayload.
 const MaxWALMigrationPayload = MaxMigrationPayload + 64
+
+// MaxWALAlertPayload bounds an alert record's payload: the framed fields,
+// a pattern key up to MaxAlertPatternKey and the episode's measurement
+// values. Real alerts carry a handful of floats per Δ-interval of
+// exposure; a length beyond this is a corrupt frame.
+const MaxWALAlertPayload = 1 << 16
+
+// MaxAlertPatternKey bounds an alert record's pattern-key string.
+const MaxAlertPatternKey = 128
 
 // ErrWALPartial reports a frame cut short at the end of a log: the clean
 // torn-tail signature of a crash mid-append. Everything before it is valid;
@@ -82,6 +100,12 @@ type WALRecord struct {
 	// Payload is the opaque migration payload of a WALMigration record
 	// (nil for the other kinds, and for an empty payload).
 	Payload []byte
+
+	// Alert fields of a WALAlert record: the pattern key that fired and
+	// the episode's measurement values. WALAlert reuses Site, Tag, T (the
+	// episode's first epoch) and At (its last).
+	Pattern string
+	Values  []float64
 }
 
 // AppendWALRecord appends the framed encoding of rec to dst and returns
@@ -107,6 +131,19 @@ func AppendWALRecord(dst []byte, rec WALRecord) []byte {
 		put(uint64(uint32(rec.To)))
 		put(uint64(uint32(rec.At)))
 		dst = append(dst, rec.Payload...)
+	case WALAlert:
+		put(uint64(uint32(rec.Site)))
+		put(uint64(uint32(rec.Tag)))
+		put(uint64(uint32(rec.T)))
+		put(uint64(uint32(rec.At)))
+		put(uint64(len(rec.Pattern)))
+		dst = append(dst, rec.Pattern...)
+		put(uint64(len(rec.Values)))
+		for _, v := range rec.Values {
+			var fb [8]byte
+			binary.LittleEndian.PutUint64(fb[:], math.Float64bits(v))
+			dst = append(dst, fb[:]...)
+		}
 	default: // WALReading, and the encoder's fallback for unknown kinds
 		put(uint64(uint32(rec.Site)))
 		put(uint64(uint32(rec.T)))
@@ -139,8 +176,16 @@ func DecodeWALRecord(b []byte) (rec WALRecord, n int, err error) {
 		return rec, 0, fmt.Errorf("%w: CRC mismatch", ErrWALCorrupt)
 	}
 	rec.Kind = payload[0]
-	if rec.Kind != WALMigration && length > MaxWALPayload {
-		return WALRecord{}, 0, fmt.Errorf("%w: payload length %d for kind %d", ErrWALCorrupt, length, rec.Kind)
+	switch rec.Kind {
+	case WALMigration: // bounded by MaxWALMigrationPayload above
+	case WALAlert:
+		if length > MaxWALAlertPayload {
+			return WALRecord{}, 0, fmt.Errorf("%w: payload length %d for kind %d", ErrWALCorrupt, length, rec.Kind)
+		}
+	default:
+		if length > MaxWALPayload {
+			return WALRecord{}, 0, fmt.Errorf("%w: payload length %d for kind %d", ErrWALCorrupt, length, rec.Kind)
+		}
 	}
 	rest := payload[1:]
 	take := func() (uint64, bool) {
@@ -159,7 +204,7 @@ func DecodeWALRecord(b []byte) (rec WALRecord, n int, err error) {
 		}
 		fields[i] = v
 	}
-	if rec.Kind != WALMigration && len(rest) != 0 {
+	if rec.Kind != WALMigration && rec.Kind != WALAlert && len(rest) != 0 {
 		return WALRecord{}, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrWALCorrupt, len(rest))
 	}
 	switch rec.Kind {
@@ -183,6 +228,29 @@ func DecodeWALRecord(b []byte) (rec WALRecord, n int, err error) {
 		// so a view into the log buffer would not be safe to retain.
 		if len(rest) > 0 {
 			rec.Payload = append([]byte(nil), rest...)
+		}
+	case WALAlert:
+		rec.Site = int(int32(fields[0]))
+		rec.Tag = model.TagID(int32(fields[1]))
+		rec.T = model.Epoch(int32(fields[2]))
+		rec.At = model.Epoch(int32(fields[3]))
+		plen, ok := take()
+		if !ok || plen > MaxAlertPatternKey || plen > uint64(len(rest)) {
+			return WALRecord{}, 0, fmt.Errorf("%w: alert pattern length", ErrWALCorrupt)
+		}
+		// Copied out of the scan buffer like the migration payload: the
+		// restored alert log outlives the replay.
+		rec.Pattern = string(rest[:plen])
+		rest = rest[plen:]
+		nvals, ok := take()
+		if !ok || nvals > uint64(len(rest))/8 || int(nvals)*8 != len(rest) {
+			return WALRecord{}, 0, fmt.Errorf("%w: alert value count", ErrWALCorrupt)
+		}
+		if nvals > 0 {
+			rec.Values = make([]float64, nvals)
+			for i := range rec.Values {
+				rec.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[i*8:]))
+			}
 		}
 	default:
 		return WALRecord{}, 0, fmt.Errorf("%w: unknown record kind %d", ErrWALCorrupt, rec.Kind)

@@ -202,6 +202,7 @@ type Log struct {
 	readings []*segment // one per site
 	deps     *segment
 	migs     *segment // inbound peer migration payloads
+	alerts   *segment // published continuous-query alerts (the delivery tier's durable log)
 
 	statsMu sync.Mutex
 	stats   Stats // slow-path counters; Appended/AppendedBytes live below
@@ -237,6 +238,7 @@ func Open(dir string, sites int, opts Options) (*Log, error) {
 		readings: make([]*segment, sites),
 		deps:     &segment{},
 		migs:     &segment{},
+		alerts:   &segment{},
 		quit:     make(chan struct{}),
 	}
 	for s := range l.readings {
@@ -352,8 +354,12 @@ func syncDir(dir string) error {
 }
 
 // segmentName returns a segment file name for the given site (-1 for the
-// departure segment, -2 for the migration segment) and generation.
+// departure segment, -2 for the migration segment, -3 for the alert
+// segment) and generation.
 func segmentName(site, gen int) string {
+	if site == -3 {
+		return fmt.Sprintf("alerts.%06d.wal", gen)
+	}
 	if site == -2 {
 		return fmt.Sprintf("migrations.%06d.wal", gen)
 	}
@@ -377,6 +383,9 @@ func parseSegmentName(name string) (site, gen int, ok bool) {
 		return 0, 0, false
 	}
 	stem := base[:dot]
+	if stem == "alerts" {
+		return -3, gen, true
+	}
 	if stem == "migrations" {
 		return -2, gen, true
 	}
@@ -396,10 +405,11 @@ func parseSegmentName(name string) (site, gen int, ok bool) {
 // skipping them would lose acknowledged events. Each valid record is
 // emitted; a torn or corrupt tail is truncated on disk at the last valid
 // record, so appending can safely resume on the same file. Segment order
-// is deterministic: the migration segment, then the departure segment,
-// then sites ascending, then generation; a replay consumer must not depend
-// on cross-segment record order beyond that (the serve layer re-buckets by
-// epoch anyway).
+// is deterministic: the alert segment, then the migration segment, then
+// the departure segment, then sites ascending, then generation; a replay
+// consumer must not depend on cross-segment record order beyond that (the
+// serve layer re-buckets by epoch anyway, and restores the alert tail
+// before re-ingesting events).
 func (l *Log) Replay(emit func(stream.WALRecord) error) error {
 	entries, err := os.ReadDir(l.dir)
 	if err != nil {
@@ -485,6 +495,13 @@ func (l *Log) StartAppending() error {
 		return err
 	}
 	if err := l.migs.swap(f); err != nil {
+		return err
+	}
+	f, err = open(-3)
+	if err != nil {
+		return err
+	}
+	if err := l.alerts.swap(f); err != nil {
 		return err
 	}
 	if l.opts.SyncEvery > 0 {
@@ -583,6 +600,25 @@ func (l *Log) AppendMigration(d dist.Departure, payload []byte) error {
 	return nil
 }
 
+// AppendAlert logs one published alert to the alert segment. The serve
+// layer's publish path appends in sequence order under its scheduler lock,
+// so the segment's record order IS the alert log's sequence order — the
+// invariant that lets recovery reassign Seq by position when replaying the
+// post-snapshot tail.
+func (l *Log) AppendAlert(a Alert) error {
+	n, err := l.alerts.append(stream.WALRecord{
+		Kind: stream.WALAlert, Site: a.Site, Tag: a.Tag,
+		T: a.First, At: a.Last, Pattern: a.Pattern, Values: a.Values,
+	})
+	if err != nil {
+		return err
+	}
+	l.appendSeq.Add(1)
+	l.appended.Add(1)
+	l.appendedBytes.Add(int64(n))
+	return nil
+}
+
 // Strict reports whether acknowledgements must wait for Commit.
 func (l *Log) Strict() bool { return l.opts.Strict }
 
@@ -619,6 +655,11 @@ func (l *Log) Commit() error {
 	}
 	if l.migs.dirty.Load() {
 		if serr := l.migs.sync(); err == nil {
+			err = serr
+		}
+	}
+	if l.alerts.dirty.Load() {
+		if serr := l.alerts.sync(); err == nil {
 			err = serr
 		}
 	}
@@ -674,6 +715,14 @@ func (l *Log) RotateDepartures(gen int) error {
 // RotateDepartures, and carries the unconsumed inbox inside the snapshot.
 func (l *Log) RotateMigrations(gen int) error {
 	return l.rotateSegment(l.migs, -2, gen)
+}
+
+// RotateAlerts switches the alert segment to generation gen. The serve
+// scheduler calls it while holding its scheduler lock — the lock alert
+// publishes run under — so alerts published before the cut ride in the
+// snapshot's alert log and alerts after it land in the new generation.
+func (l *Log) RotateAlerts(gen int) error {
+	return l.rotateSegment(l.alerts, -3, gen)
 }
 
 // rotateSegment opens the new generation's file and swaps it in, flushing
@@ -788,6 +837,9 @@ func (l *Log) Close() error {
 			err = cerr
 		}
 		if cerr := l.migs.close(); err == nil {
+			err = cerr
+		}
+		if cerr := l.alerts.close(); err == nil {
 			err = cerr
 		}
 	})

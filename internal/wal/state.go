@@ -18,10 +18,10 @@ import (
 // snapMagic and snapVersion identify a snapshot file.
 var snapMagic = [8]byte{'R', 'F', 'I', 'D', 'S', 'N', 'A', 'P'}
 
-// snapVersion 2 appended the PendingMigs section; version-1 snapshots
-// (written before the multi-node peer layer) still decode, with an empty
-// inbox.
-const snapVersion = 2
+// snapVersion 2 appended the PendingMigs section; version 3 added the
+// per-alert pattern key. Older snapshots still decode: version 1 with an
+// empty peer inbox, versions 1–2 with empty pattern keys.
+const snapVersion = 3
 
 // Alert is one persisted continuous-query alert. The serve layer's Seq is
 // implicit: it is the alert's index in the restored log.
@@ -33,6 +33,9 @@ type Alert struct {
 	// collected measurements.
 	First, Last model.Epoch
 	Values      []float64
+	// Pattern is the registry key of the query pattern that fired (the
+	// delivery tier's per-pattern subscription dimension).
+	Pattern string
 }
 
 // QueryPartition is one object's live pattern state at a site.
@@ -135,6 +138,10 @@ func (w *stateWriter) floats(vs []float64) {
 		w.f64(v)
 	}
 }
+func (w *stateWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf.WriteString(s)
+}
 
 // stateReader is the sticky decoding counterpart.
 type stateReader struct {
@@ -194,6 +201,18 @@ func (r *stateReader) floats(what string) []float64 {
 		out = append(out, r.f64())
 	}
 	return out
+}
+func (r *stateReader) str(what string) string {
+	n, ok := r.count(what)
+	if !ok {
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(b)
 }
 
 // EncodeState serializes a snapshot: magic, version, CRC32 of the payload,
@@ -299,6 +318,7 @@ func EncodeState(st *State) ([]byte, error) {
 		w.varint(int64(a.First))
 		w.varint(int64(a.Last))
 		w.floats(a.Values)
+		w.str(a.Pattern)
 	}
 
 	// Buffered events.
@@ -358,7 +378,7 @@ func DecodeState(b []byte) (*State, error) {
 		return nil, fmt.Errorf("wal: not a snapshot file")
 	}
 	version := binary.LittleEndian.Uint32(b[8:12])
-	if version != 1 && version != snapVersion {
+	if version < 1 || version > snapVersion {
 		return nil, fmt.Errorf("wal: unsupported snapshot version %d", version)
 	}
 	payload := b[16:]
@@ -502,6 +522,9 @@ func DecodeState(b []byte) (*State, error) {
 			a.First = model.Epoch(r.varint())
 			a.Last = model.Epoch(r.varint())
 			a.Values = r.floats("alert value")
+			if version >= 3 {
+				a.Pattern = r.str("alert pattern")
+			}
 			st.Alerts = append(st.Alerts, a)
 		}
 	}
