@@ -42,31 +42,43 @@ bench-hot:
 bench-dist:
 	$(GO) test -bench 'BenchmarkMigration' -benchmem -run XXX ./internal/dist/
 
+# Every baseline-tracked benchmark runs under a pinned GOGC so GC cadence
+# cannot drift between the committed BENCH_*.json and a checking run (an
+# ambient GOGC tweak would otherwise masquerade as a perf change).
+BENCH_ENV = GOGC=100
+SERVE_BENCH = BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkClientIngestBinEncode$$|BenchmarkCheckpoint$$|BenchmarkCheckpointIdle$$|BenchmarkIngestDuringCheckpoint$$|BenchmarkFanout100k$$
+WAL_BENCH = BenchmarkIngestWAL$$|BenchmarkIngestBinWAL$$|BenchmarkRecovery$$|BenchmarkWAL
+
 # Online-runtime benchmarks: sustained ingest throughput into a 4-site
 # cluster (the readings/s metric is the headline number — regressions show
 # up directly in the log), the single-site batch fast path, per-checkpoint
-# scheduler latency, and ingest p99 while a checkpoint is running.
+# scheduler latency dense and idle-heavy, and ingest p99 while a
+# checkpoint is running.
 bench-serve:
-	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$|BenchmarkFanout100k$$' -benchmem -run XXX ./internal/serve/
+	$(BENCH_ENV) $(GO) test -bench '$(SERVE_BENCH)' -benchmem -run XXX ./internal/serve/
 
 # Machine-readable benchmark tracking: run the serve, rfinfer and dist
 # suites and emit BENCH_<pkg>.json (name, ns/op, B/op, allocs/op, plus
 # custom metrics like readings/s) so the perf trajectory is comparable
 # across PRs.
 bench-json:
-	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$|BenchmarkFanout100k$$' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -o BENCH_serve.json
-	$(GO) test -bench 'BenchmarkEngineRun|BenchmarkEStep' -benchmem -run XXX ./internal/rfinfer/ | $(GO) run ./cmd/benchjson -o BENCH_rfinfer.json
-	$(GO) test -bench 'BenchmarkMigration|BenchmarkFeedAdvance' -benchmem -run XXX ./internal/dist/ ./internal/stream/ | $(GO) run ./cmd/benchjson -o BENCH_dist.json
-	$(GO) test -bench 'BenchmarkIngestWAL$$|BenchmarkIngestBinWAL$$|BenchmarkRecovery$$|BenchmarkWAL' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -o BENCH_wal.json
+	$(BENCH_ENV) $(GO) test -bench '$(SERVE_BENCH)' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -o BENCH_serve.json
+	$(BENCH_ENV) $(GO) test -bench 'BenchmarkEngineRun|BenchmarkEStep' -benchmem -run XXX ./internal/rfinfer/ | $(GO) run ./cmd/benchjson -o BENCH_rfinfer.json
+	$(BENCH_ENV) $(GO) test -bench 'BenchmarkMigration|BenchmarkFeedAdvance' -benchmem -run XXX ./internal/dist/ ./internal/stream/ | $(GO) run ./cmd/benchjson -o BENCH_dist.json
+	$(BENCH_ENV) $(GO) test -bench '$(WAL_BENCH)' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -o BENCH_wal.json
 
 # Perf regression gate: re-run the online-runtime and durability
 # benchmarks and fail when a headline number (ns/op, allocs/op or
 # readings/s) regresses more than 20% against the committed baselines in
-# BENCH_serve.json / BENCH_wal.json. Regenerate the baselines with
-# `make bench-json` when a change legitimately moves them.
+# BENCH_serve.json / BENCH_wal.json. Legitimately noisier benchmarks get
+# wider per-metric margins via -tolerance: recovery is I/O-bound, the
+# 100k-consumer fan-out and checkpoint-concurrent ingest are scheduler-
+# noise-bound, and the dense-checkpoint latency swings with GC phase.
+# Regenerate the baselines with `make bench-json` when a change
+# legitimately moves them.
 bench-check:
-	$(GO) test -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkIngestBin$$|BenchmarkCheckpoint$$|BenchmarkIngestDuringCheckpoint$$|BenchmarkFanout100k$$' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -check BENCH_serve.json
-	$(GO) test -bench 'BenchmarkIngestWAL$$|BenchmarkIngestBinWAL$$|BenchmarkRecovery$$|BenchmarkWAL' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -check BENCH_wal.json
+	$(BENCH_ENV) $(GO) test -bench '$(SERVE_BENCH)' -benchmem -run XXX ./internal/serve/ | $(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance 'Fanout100k=0.35,IngestDuringCheckpoint=0.35,Checkpoint:ns/op=0.30,CheckpointIdle:ns/op=0.30'
+	$(BENCH_ENV) $(GO) test -bench '$(WAL_BENCH)' -benchmem -run XXX ./internal/serve/ ./internal/wal/ | $(GO) run ./cmd/benchjson -check BENCH_wal.json -tolerance 'Recovery=0.40'
 
 # Benchmark smoke: a 100ms pass over the online-runtime benchmarks that
 # fails on build error or panic, so a checkpoint/ingest regression that

@@ -19,6 +19,18 @@
 // -threshold (default 20%), or its throughput metric (readings/s) drops
 // by more than the same margin. Benchmarks only on one side are ignored,
 // so adding or retiring a benchmark never breaks the gate.
+//
+// -tolerance widens the margin for specific benchmarks or specific
+// dimensions of one benchmark — for results that are legitimately
+// noisier than the default threshold (I/O-bound recovery, wide fan-out):
+//
+//	benchjson -check BENCH.json -tolerance 'Recovery=0.4,Fanout100k:ns/op=0.35'
+//
+// Entries are comma-separated `Name=frac` (every gated dimension of that
+// benchmark) or `Name:metric=frac` (that dimension only, metric one of
+// ns/op, allocs/op, readings/s; the specific form wins). The gate runs
+// under a pinned GOGC (see the Makefile) so GC cadence cannot drift
+// between the committed baseline and the checking run.
 package main
 
 import (
@@ -55,10 +67,51 @@ type Output struct {
 	Benchmarks []Record `json:"benchmarks"`
 }
 
+// tolerances maps "Name" or "Name:metric" to a per-benchmark regression
+// margin that overrides the global -threshold. It implements flag.Value
+// and accepts comma-separated entries, repeatable across flags.
+type tolerances map[string]float64
+
+func (t tolerances) String() string { return fmt.Sprint(map[string]float64(t)) }
+
+func (t tolerances) Set(s string) error {
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(ent, "=")
+		if !ok {
+			return fmt.Errorf("tolerance %q: want Name=frac or Name:metric=frac", ent)
+		}
+		frac, err := strconv.ParseFloat(val, 64)
+		if err != nil || frac < 0 {
+			return fmt.Errorf("tolerance %q: bad fraction %q", ent, val)
+		}
+		t[strings.TrimSpace(key)] = frac
+	}
+	return nil
+}
+
+// threshold resolves the margin for one benchmark dimension: the
+// Name:metric override if present, else the Name override, else the
+// global default.
+func (t tolerances) threshold(name, metric string, def float64) float64 {
+	if v, ok := t[name+":"+metric]; ok {
+		return v
+	}
+	if v, ok := t[name]; ok {
+		return v
+	}
+	return def
+}
+
 func main() {
 	out := flag.String("o", "", "output JSON file")
 	check := flag.String("check", "", "baseline JSON file to gate against (exit 1 on regression)")
 	threshold := flag.Float64("threshold", 0.20, "relative regression that fails -check (0.20 = 20%)")
+	tol := tolerances{}
+	flag.Var(tol, "tolerance", "per-benchmark overrides of -threshold: 'Name=frac' or 'Name:metric=frac', comma-separated")
 	flag.Parse()
 	if *out == "" && *check == "" {
 		log.Fatal("benchjson: need -o and/or -check")
@@ -97,7 +150,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
 	}
 	if *check != "" {
-		if err := checkBaseline(*check, doc.Benchmarks, *threshold); err != nil {
+		if err := checkBaseline(*check, doc.Benchmarks, *threshold, tol); err != nil {
 			log.Fatalf("benchjson: %v", err)
 		}
 	}
@@ -106,9 +159,10 @@ func main() {
 // checkBaseline compares the run's records against the committed baseline
 // and returns an error describing every regression past the threshold.
 // Gated dimensions: ns/op and allocs/op may not grow by more than the
-// threshold (a zero-alloc baseline may not allocate at all), and the
-// readings/s throughput metric may not shrink by more than it.
-func checkBaseline(path string, got []Record, threshold float64) error {
+// threshold (a zero-alloc baseline may not allocate at all, regardless of
+// tolerance), and the readings/s throughput metric may not shrink by more
+// than it. tol widens the margin per benchmark or per dimension.
+func checkBaseline(path string, got []Record, threshold float64, tol tolerances) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -129,22 +183,23 @@ func checkBaseline(path string, got []Record, threshold float64) error {
 			continue
 		}
 		checked++
-		if old.NsPerOp > 0 && r.NsPerOp > old.NsPerOp*(1+threshold) {
-			fails = append(fails, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.0f%%)",
-				r.Name, old.NsPerOp, r.NsPerOp, 100*(r.NsPerOp/old.NsPerOp-1)))
+		if m := tol.threshold(r.Name, "ns/op", threshold); old.NsPerOp > 0 && r.NsPerOp > old.NsPerOp*(1+m) {
+			fails = append(fails, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.0f%%, margin %.0f%%)",
+				r.Name, old.NsPerOp, r.NsPerOp, 100*(r.NsPerOp/old.NsPerOp-1), 100*m))
 		}
-		switch {
+		switch m := tol.threshold(r.Name, "allocs/op", threshold); {
 		case old.AllocsPerOp == 0 && r.AllocsPerOp > 0:
 			fails = append(fails, fmt.Sprintf("%s: allocs/op 0 -> %.0f (zero-alloc baseline)",
 				r.Name, r.AllocsPerOp))
-		case old.AllocsPerOp > 0 && r.AllocsPerOp > old.AllocsPerOp*(1+threshold):
-			fails = append(fails, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (+%.0f%%)",
-				r.Name, old.AllocsPerOp, r.AllocsPerOp, 100*(r.AllocsPerOp/old.AllocsPerOp-1)))
+		case old.AllocsPerOp > 0 && r.AllocsPerOp > old.AllocsPerOp*(1+m):
+			fails = append(fails, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (+%.0f%%, margin %.0f%%)",
+				r.Name, old.AllocsPerOp, r.AllocsPerOp, 100*(r.AllocsPerOp/old.AllocsPerOp-1), 100*m))
 		}
 		if want := old.Metrics["readings/s"]; want > 0 {
-			if have := r.Metrics["readings/s"]; have < want*(1-threshold) {
-				fails = append(fails, fmt.Sprintf("%s: readings/s %.0f -> %.0f (-%.0f%%)",
-					r.Name, want, have, 100*(1-have/want)))
+			m := tol.threshold(r.Name, "readings/s", threshold)
+			if have := r.Metrics["readings/s"]; have < want*(1-m) {
+				fails = append(fails, fmt.Sprintf("%s: readings/s %.0f -> %.0f (-%.0f%%, margin %.0f%%)",
+					r.Name, want, have, 100*(1-have/want), 100*m))
 			}
 		}
 	}

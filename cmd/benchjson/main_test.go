@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTolerancesSet(t *testing.T) {
+	tol := tolerances{}
+	if err := tol.Set("Recovery=0.4, Fanout100k:ns/op=0.35,"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tol.Set("Checkpoint=0.3"); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"Recovery": 0.4, "Fanout100k:ns/op": 0.35, "Checkpoint": 0.3}
+	if len(tol) != len(want) {
+		t.Fatalf("parsed %v, want %v", tol, want)
+	}
+	for k, v := range want {
+		if tol[k] != v {
+			t.Errorf("tol[%q] = %v, want %v", k, tol[k], v)
+		}
+	}
+	for _, bad := range []string{"Recovery", "X=-0.1", "Y=notafrac"} {
+		if err := (tolerances{}).Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestToleranceThresholdPrecedence(t *testing.T) {
+	tol := tolerances{"Recovery": 0.4, "Recovery:ns/op": 0.5}
+	if got := tol.threshold("Recovery", "ns/op", 0.2); got != 0.5 {
+		t.Errorf("metric override = %v, want 0.5", got)
+	}
+	if got := tol.threshold("Recovery", "allocs/op", 0.2); got != 0.4 {
+		t.Errorf("name override = %v, want 0.4", got)
+	}
+	if got := tol.threshold("Ingest", "ns/op", 0.2); got != 0.2 {
+		t.Errorf("default = %v, want 0.2", got)
+	}
+}
+
+// writeBaseline commits one single-benchmark baseline file for checkBaseline.
+func writeBaseline(t *testing.T, rec Record) string {
+	t.Helper()
+	data, err := json.Marshal(Output{Benchmarks: []Record{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckBaselineTolerance(t *testing.T) {
+	base := Record{Name: "Recovery", NsPerOp: 1000, AllocsPerOp: 10,
+		Metrics: map[string]float64{"readings/s": 1e6}}
+	path := writeBaseline(t, base)
+	slow := []Record{{Name: "Recovery", NsPerOp: 1300, AllocsPerOp: 10,
+		Metrics: map[string]float64{"readings/s": 1e6}}}
+
+	// +30% ns/op fails the default 20% gate...
+	err := checkBaseline(path, slow, 0.20, tolerances{})
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("default gate = %v, want ns/op regression", err)
+	}
+	// ...passes with a whole-benchmark override...
+	if err := checkBaseline(path, slow, 0.20, tolerances{"Recovery": 0.4}); err != nil {
+		t.Fatalf("name tolerance: %v", err)
+	}
+	// ...and with a metric-specific one, which must not loosen the others.
+	if err := checkBaseline(path, slow, 0.20, tolerances{"Recovery:ns/op": 0.4}); err != nil {
+		t.Fatalf("metric tolerance: %v", err)
+	}
+	worse := []Record{{Name: "Recovery", NsPerOp: 1300, AllocsPerOp: 20,
+		Metrics: map[string]float64{"readings/s": 1e6}}}
+	err = checkBaseline(path, worse, 0.20, tolerances{"Recovery:ns/op": 0.4})
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("allocs gate under ns/op-only tolerance = %v, want allocs/op regression", err)
+	}
+
+	// A zero-alloc baseline stays a hard gate regardless of tolerance.
+	zb := writeBaseline(t, Record{Name: "ClientIngestBinEncode", NsPerOp: 1})
+	leak := []Record{{Name: "ClientIngestBinEncode", NsPerOp: 1, AllocsPerOp: 1}}
+	err = checkBaseline(zb, leak, 0.20, tolerances{"ClientIngestBinEncode": 9})
+	if err == nil || !strings.Contains(err.Error(), "zero-alloc") {
+		t.Fatalf("zero-alloc gate = %v, want failure", err)
+	}
+}
+
+func TestParseBenchCustomMetrics(t *testing.T) {
+	rec, ok := parseBench("BenchmarkIngestBin-8   \t 1000\t 245.0 ns/op\t 42600000 readings/s\t 83 B/op\t 0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if rec.Name != "IngestBin" || rec.NsPerOp != 245 || rec.AllocsPerOp != 0 ||
+		rec.Metrics["readings/s"] != 42.6e6 {
+		t.Errorf("parsed %+v", rec)
+	}
+}

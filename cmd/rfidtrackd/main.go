@@ -242,6 +242,8 @@ func main() {
 	fmt.Printf("errors: containment %.2f%%, location %.2f%%; migrated %d bytes in %d messages (centralized would ship %d)\n",
 		res.ContErr.Rate(), res.LocErr.Rate(), res.Costs.Bytes, res.Costs.Messages, res.CentralizedBytes)
 	fmt.Printf("alerts: %d; mean checkpoint latency %s\n", st.Alerts, meanLatency(st.Sched))
+	fmt.Printf("incremental: %d dirty site-checkpoints, %d groups recomputed, %d skipped clean\n",
+		st.Sched.DirtySites, st.Sched.DirtyGroups, st.Sched.SkippedGroups)
 	d := st.Delivery
 	fmt.Printf("delivery: %d enqueued, %d drops (lag events), %d catch-ups, slowest consumer %d behind at exit\n",
 		d.Enqueued, d.Dropped, d.Catchups, d.SlowestLag)

@@ -22,6 +22,7 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"rfidtrack/internal/metrics"
@@ -71,6 +72,8 @@ type Feed struct {
 	tails     []tailShard // per-site score shards of the fanned-out tail
 	ingested  []int       // per-site ingest counts, reused across Advances
 	popped    []int       // per-site pending-bucket sizes, reused likewise
+	order     []int       // fused-path site schedule, reused across Advances
+	cost      []int       // fused-path cost estimates, reused likewise
 
 	// partOwned is the peer's ownership mask in a partitioned feed (nil for
 	// a whole-cluster feed): only owned sites ingest, run and score here;
@@ -101,9 +104,13 @@ const MaxEpoch = model.Epoch(1) << 30
 // replay or stream while keeping worst-case bucket memory small.
 const maxSkipIntervals = 1 << 20
 
-// PhaseNS breaks Advance wall time into its pipeline phases: parallel
-// interval ingest, migrations in departure order, parallel inference, and
-// the query-feed + scoring tail.
+// PhaseNS breaks Advance time into its pipeline phases: interval ingest,
+// migrations in departure order, inference, and the query-feed + scoring
+// tail. On the phased path each entry is the wall time of one barrier
+// phase. On the fused scheduler path (see AdvanceWith) the three per-site
+// phases run inside one pooled task per site, so Ingest, Infer and Tail are
+// the summed task segments across sites — busy time, which can exceed the
+// checkpoint's wall clock when sites overlap; Migrate is always wall time.
 type PhaseNS struct {
 	// Ingest is the (epoch, tag)-ordered interval ingest phase.
 	Ingest time.Duration `json:"ingest_ns"`
@@ -142,6 +149,10 @@ type FeedStats struct {
 	PendingDepartures int
 	// Checkpoints is the number of completed Advance calls.
 	Checkpoints int
+	// FusedCheckpoints counts checkpoints that ran on the fused scheduler
+	// path: no due migrations and no hooks, so every site's whole
+	// checkpoint ran as one pooled task, longest-first.
+	FusedCheckpoints int
 	// Phases accumulates per-phase Advance latency across all checkpoints;
 	// LastPhases is the most recent checkpoint's breakdown.
 	Phases, LastPhases PhaseNS
@@ -306,6 +317,18 @@ func (f *Feed) Advance() error { return f.AdvanceWith(nil) }
 // [Next()-Interval(), Next()); the slices are sorted in place and released
 // when AdvanceWith returns, so the caller may recycle their backing arrays.
 // due may be nil (plain Advance) and its entries may be nil or empty.
+//
+// Scheduling: a checkpoint with no due migrations and no checkpoint hook
+// has no cross-site data flow at all, so instead of running three barrier
+// phases (ingest all sites, infer all sites, tail all sites) the feed runs
+// each site's whole checkpoint — ingest, inference, query feed, scoring —
+// as one task on a shared worker pool, longest-first by estimated cost
+// (interval volume plus the engine's dirty-tag count). Under a skewed world
+// the hot site starts first and the idle sites' sub-millisecond checkpoints
+// pack in behind it, instead of every phase barrier re-serializing the
+// cluster behind the hot site. Per-site score shards still merge in site
+// order, so the Result stays bit-identical to the phased schedule, which in
+// turn matches the sequential reference at any worker count.
 func (f *Feed) AdvanceWith(due [][]Reading) error {
 	if f.closed {
 		return fmt.Errorf("dist: feed is closed")
@@ -318,67 +341,10 @@ func (f *Feed) AdvanceWith(due [][]Reading) error {
 	}
 	c := f.c
 	ckpt := f.next
-	var phases PhaseNS
-	phaseStart := time.Now()
-
 	if f.ingested == nil {
 		f.ingested = make([]int, len(f.pending))
 		f.popped = make([]int, len(f.pending))
 	}
-	ingested, popped := f.ingested, f.popped
-	err := forEachSite(len(f.pending), f.workers, func(s int) error {
-		if !f.owns(s) {
-			// Non-owned sites never buffer (Observe rejects them); a caller
-			// batch for one is a routing bug worth failing loudly on.
-			ingested[s], popped[s] = 0, 0
-			if due != nil && len(due[s]) > 0 {
-				return fmt.Errorf("dist: batch for site %d, which this peer does not own", s)
-			}
-			return nil
-		}
-		var bucket []Reading
-		popped[s] = 0
-		if len(f.pending[s]) > 0 {
-			bucket = f.pending[s][0]
-			f.pending[s] = f.pending[s][1:]
-			popped[s] = len(bucket)
-		}
-		if due != nil && len(due[s]) > 0 {
-			if bucket == nil {
-				bucket = due[s]
-			} else {
-				bucket = append(bucket, due[s]...)
-			}
-		}
-		sortReadings(bucket)
-		if len(bucket) > 0 {
-			// One O(1) range check on the sorted bucket guards the
-			// AdvanceWith contract: a reading outside the current interval
-			// would silently be ingested at the wrong checkpoint.
-			if lo, hi := bucket[0].T, bucket[len(bucket)-1].T; lo < ckpt-f.interval || hi >= ckpt {
-				return fmt.Errorf("dist: site %d batch spans [%d,%d], outside checkpoint %d's interval", s, lo, hi, ckpt)
-			}
-		}
-		eng := c.Engines[s]
-		for _, ev := range bucket {
-			if err := eng.ObserveMask(ev.T, ev.ID, ev.Mask); err != nil {
-				return err
-			}
-		}
-		ingested[s] = len(bucket)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	for s, n := range ingested {
-		f.stats.Observed += n
-		// Only readings that sat in pending count against buffered; due
-		// readings were buffered by the caller, never here.
-		f.buffered -= popped[s]
-	}
-	phases.Ingest = time.Since(phaseStart)
-	phaseStart = time.Now()
 
 	// Departures observed by this checkpoint migrate before any site runs,
 	// so the destination's run already sees the imported state. The sort
@@ -387,6 +353,8 @@ func (f *Feed) AdvanceWith(due [][]Reading) error {
 	// producer re-sending a batch whose ack was lost, or a recovery replay
 	// overlapping a snapshot — land adjacent and are dropped: departure
 	// ingest is idempotent, like reading ingest (mask merge) already is.
+	// Counting the due departures up front also picks the schedule: zero
+	// due means the fused per-site path is sound.
 	if f.depsDirty {
 		slices.SortFunc(f.deps, func(a, b Departure) int {
 			if c := cmp.Compare(a.At, b.At); c != 0 {
@@ -418,9 +386,105 @@ func (f *Feed) AdvanceWith(due [][]Reading) error {
 	for nDue < len(f.deps) && f.deps[nDue].At < ckpt {
 		nDue++
 	}
+
+	var phases PhaseNS
+	var err error
+	fused := nDue == 0 && c.Hooks.OnCheckpoint == nil &&
+		f.workers > 1 && len(c.Engines) > 1
+	if fused {
+		phases, err = f.advanceFused(due, ckpt)
+	} else {
+		phases, err = f.advancePhased(due, ckpt, nDue)
+	}
+	if err != nil {
+		return err
+	}
+	for s, n := range f.ingested {
+		f.stats.Observed += n
+		// Only readings that sat in pending count against buffered; due
+		// readings were buffered by the caller, never here.
+		f.buffered -= f.popped[s]
+	}
+
+	f.res.Runs++
+	f.stats.Checkpoints++
+	if fused {
+		f.stats.FusedCheckpoints++
+	}
+	f.stats.Phases.add(phases)
+	f.stats.LastPhases = phases
+	f.next += f.interval
+	return nil
+}
+
+// ingestSite pops site s's interval bucket, merges the caller's batch for
+// the site, sorts the union by (epoch, tag) and feeds it to the site
+// engine. It touches only site-local state, so any number of sites may
+// ingest concurrently.
+func (f *Feed) ingestSite(s int, due [][]Reading, ckpt model.Epoch) error {
+	if !f.owns(s) {
+		// Non-owned sites never buffer (Observe rejects them); a caller
+		// batch for one is a routing bug worth failing loudly on.
+		f.ingested[s], f.popped[s] = 0, 0
+		if due != nil && len(due[s]) > 0 {
+			return fmt.Errorf("dist: batch for site %d, which this peer does not own", s)
+		}
+		return nil
+	}
+	var bucket []Reading
+	f.popped[s] = 0
+	if len(f.pending[s]) > 0 {
+		bucket = f.pending[s][0]
+		f.pending[s] = f.pending[s][1:]
+		f.popped[s] = len(bucket)
+	}
+	if due != nil && len(due[s]) > 0 {
+		if bucket == nil {
+			bucket = due[s]
+		} else {
+			bucket = append(bucket, due[s]...)
+		}
+	}
+	sortReadings(bucket)
+	if len(bucket) > 0 {
+		// One O(1) range check on the sorted bucket guards the
+		// AdvanceWith contract: a reading outside the current interval
+		// would silently be ingested at the wrong checkpoint.
+		if lo, hi := bucket[0].T, bucket[len(bucket)-1].T; lo < ckpt-f.interval || hi >= ckpt {
+			return fmt.Errorf("dist: site %d batch spans [%d,%d], outside checkpoint %d's interval", s, lo, hi, ckpt)
+		}
+	}
+	eng := f.c.Engines[s]
+	for _, ev := range bucket {
+		if err := eng.ObserveMask(ev.T, ev.ID, ev.Mask); err != nil {
+			return err
+		}
+	}
+	f.ingested[s] = len(bucket)
+	return nil
+}
+
+// advancePhased is the barrier schedule: ingest every site, migrate the due
+// departures in global order, infer every site, then the tail. It is the
+// only schedule that can host migrations (which move state between sites
+// after ingest and before inference) and checkpoint hooks (which may read
+// cross-site state), and the degenerate one-worker / one-site case.
+func (f *Feed) advancePhased(due [][]Reading, ckpt model.Epoch, nDue int) (PhaseNS, error) {
+	c := f.c
+	var phases PhaseNS
+	phaseStart := time.Now()
+
+	if err := forEachSite(len(f.pending), f.workers, func(s int) error {
+		return f.ingestSite(s, due, ckpt)
+	}); err != nil {
+		return phases, err
+	}
+	phases.Ingest = time.Since(phaseStart)
+	phaseStart = time.Now()
+
 	for _, d := range f.deps[:nDue] {
 		if err := f.migrate(d); err != nil {
-			return err
+			return phases, err
 		}
 	}
 	f.deps = append(f.deps[:0], f.deps[nDue:]...)
@@ -434,22 +498,101 @@ func (f *Feed) AdvanceWith(due [][]Reading) error {
 		}
 		return nil
 	}); err != nil {
-		return err
+		return phases, err
 	}
 	phases.Infer = time.Since(phaseStart)
 	phaseStart = time.Now()
 
 	if err := f.runTail(evalAt); err != nil {
-		return err
+		return phases, err
 	}
 	phases.Tail = time.Since(phaseStart)
+	return phases, nil
+}
 
-	f.res.Runs++
-	f.stats.Checkpoints++
-	f.stats.Phases.add(phases)
-	f.stats.LastPhases = phases
-	f.next += f.interval
-	return nil
+// advanceFused runs a migration-free, hook-free checkpoint as one pooled
+// task per site — ingest, inference, query feed, scoring — scheduled
+// longest-first by checkpointOrder. Each task touches only site-local state
+// (engine, query engine, pending bucket, stats slot, tail shard), so the
+// only ordering that matters for bit-identical output is the site-order
+// merge of the score shards after the pool drains.
+func (f *Feed) advanceFused(due [][]Reading, ckpt model.Epoch) (PhaseNS, error) {
+	c := f.c
+	evalAt := ckpt - 1
+	if f.tails == nil {
+		f.tails = make([]tailShard, len(c.Engines))
+	}
+	var ingestNS, inferNS, tailNS atomic.Int64
+	err := forSites(f.checkpointOrder(due), f.workers, func(s int) error {
+		t0 := time.Now()
+		if err := f.ingestSite(s, due, ckpt); err != nil {
+			return err
+		}
+		t1 := time.Now()
+		ingestNS.Add(int64(t1.Sub(t0)))
+		f.tails[s] = tailShard{}
+		if !f.owns(s) {
+			return nil
+		}
+		c.Engines[s].Run(evalAt)
+		t2 := time.Now()
+		inferNS.Add(int64(t2.Sub(t1)))
+		f.feedQuery(s, c.Engines[s], evalAt)
+		c.scoreSite(s, evalAt, &f.tails[s].cont, &f.tails[s].loc)
+		c.stats.Sites[s].Epochs++
+		tailNS.Add(int64(time.Since(t2)))
+		return nil
+	})
+	if err != nil {
+		return PhaseNS{}, err
+	}
+	for s := range f.tails {
+		f.res.ContErr.Add(f.tails[s].cont)
+		f.res.LocErr.Add(f.tails[s].loc)
+	}
+	return PhaseNS{
+		Ingest: time.Duration(ingestNS.Load()),
+		Infer:  time.Duration(inferNS.Load()),
+		Tail:   time.Duration(tailNS.Load()),
+	}, nil
+}
+
+// checkpointOrder returns the sites sorted by descending estimated
+// checkpoint cost: the interval's reading volume (caller batch plus the
+// feed's own bucket) plus the engine's dirty-tag count, which is how much
+// E/M-step work the incremental Run will actually do — an idle site's Run
+// skips every clean group, so volume alone would misrank a site with a
+// large world but a quiet interval. Ties break on site number so the
+// schedule is deterministic (scheduling order never affects output, only
+// wall time).
+func (f *Feed) checkpointOrder(due [][]Reading) []int {
+	n := len(f.pending)
+	if cap(f.order) < n {
+		f.order = make([]int, n)
+		f.cost = make([]int, n)
+	}
+	order, cost := f.order[:n], f.cost[:n]
+	for s := 0; s < n; s++ {
+		order[s] = s
+		cost[s] = 0
+		if !f.owns(s) {
+			continue
+		}
+		if due != nil {
+			cost[s] += len(due[s])
+		}
+		if len(f.pending[s]) > 0 {
+			cost[s] += len(f.pending[s][0])
+		}
+		cost[s] += f.c.Engines[s].DirtyTags()
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		if c := cmp.Compare(cost[b], cost[a]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	return order
 }
 
 // migrate performs one due departure. On a whole-cluster feed it is the

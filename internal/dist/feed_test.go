@@ -96,6 +96,69 @@ func TestFeedMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestFusedSchedulerMatchesPhased drives a migration-free four-site stream
+// through a parallel feed — where every checkpoint qualifies for the fused
+// per-site scheduler — and through a single-worker phased feed, and
+// requires bit-identical Results. It also pins that the fused path
+// actually engaged: a scheduler that silently fell back to the barrier
+// schedule would pass every equivalence test while giving up the win.
+func TestFusedSchedulerMatchesPhased(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Warehouses = 4
+	cfg.PathLength = 1
+	cfg.Epochs = 900
+	cfg.ItemsPerCase = 3
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const interval = model.Epoch(300)
+	feeds := buildFeeds(w, false)
+
+	run := func(workers int) (Result, FeedStats) {
+		t.Helper()
+		c := NewCluster(w, MigrateNone, rfinfer.DefaultConfig())
+		f, err := c.openFeed(interval, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, evs := range feeds {
+			for _, e := range evs {
+				if err := f.Observe(s, e.T, e.ID, e.Mask); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for ckpt := interval; ckpt <= w.Epochs; ckpt += interval {
+			if err := f.Advance(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := f.Stats()
+		res, err := f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st
+	}
+
+	want, refStats := run(1)
+	if refStats.FusedCheckpoints != 0 {
+		t.Errorf("single-worker feed took the fused path %d times", refStats.FusedCheckpoints)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, st := run(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: fused Result diverged from phased reference\n got: %+v\nwant: %+v",
+				workers, got, want)
+		}
+		if st.FusedCheckpoints != st.Checkpoints {
+			t.Errorf("workers=%d: %d of %d checkpoints fused, want all (no migrations, no hooks)",
+				workers, st.FusedCheckpoints, st.Checkpoints)
+		}
+	}
+}
+
 // TestFeedLateAndInvalid pins the refusal paths: late readings and
 // departures are counted and dropped without perturbing the pipeline, and
 // invalid sites/objects error immediately.

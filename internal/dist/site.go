@@ -332,6 +332,47 @@ func accountReceive(payload []byte, in *SiteStats) {
 	}
 }
 
+// forSites runs fn(s) for every site in the given claim order, at most
+// workers at a time: workers take the next unclaimed position, so order[0]
+// starts first — the fused scheduler passes its longest-first estimate
+// here. Like forEachSite, every site runs even after a failure and the
+// lowest-numbered failing site's error is returned, so the outcome is
+// independent of claim interleaving.
+func forSites(order []int, workers int, fn func(s int) error) error {
+	n := len(order)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(order[i])
+			}
+		}()
+	}
+	wg.Wait()
+	var firstErr error
+	best := -1
+	for i, err := range errs {
+		if err != nil && (best < 0 || order[i] < best) {
+			best, firstErr = order[i], err
+		}
+	}
+	return firstErr
+}
+
 // forEachSite runs fn(s) for every site, at most workers at a time,
 // returning the lowest-site error if any fn fails. With workers == 1 it
 // degenerates to a plain loop (the sequential reference path).

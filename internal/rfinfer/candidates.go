@@ -31,15 +31,21 @@ func (e *Engine) buildCandidates() {
 	// order is ci-ascending with epochs ascending inside each container, so
 	// a stable counting sort on the epoch alone yields exactly the (t, ci)
 	// order a comparison sort would — in one histogram pass over the dense
-	// retained-window epoch range instead of O(n log n) compares.
-	reads := e.contReads[:0]
-	for ci, cid := range e.containers {
-		for _, rd := range e.tags[cid].series {
-			reads = append(reads, contRead{t: rd.T, ci: int32(ci), mask: rd.Mask})
+	// retained-window epoch range instead of O(n log n) compares. When no
+	// container series (or registration) changed since the last build, the
+	// previous flatten is byte-identical and is reused as-is.
+	carry := !e.noCarry
+	reads := e.contReads
+	if !carry || !e.contFlatClean {
+		reads = e.contReads[:0]
+		for ci, cid := range e.containers {
+			for _, rd := range e.tags[cid].series {
+				reads = append(reads, contRead{t: rd.T, ci: int32(ci), mask: rd.Mask})
+			}
 		}
+		e.contReads = e.sortContReads(reads)
+		reads = e.contReads
 	}
-	e.contReads = e.sortContReads(reads)
-	reads = e.contReads
 
 	// Dense container index for forced-candidate count lookups, rebuilt
 	// only when registrations changed the container set.
@@ -56,6 +62,20 @@ func (e *Engine) buildCandidates() {
 
 	for _, oid := range e.objects {
 		rec := e.tags[oid]
+		// Skip objects whose rebuild inputs are provably unchanged since the
+		// list was last built: same series (candVer), same assignment
+		// (candCont — pruning protects the current container, so a changed
+		// assignment can change the outcome), and no container mutation at
+		// any epoch the object was read at (co-occurrence requires a shared
+		// epoch, so container changes strictly above the object's newest
+		// reading cannot move any count). Rebuilding from identical counts,
+		// candidates and priors is idempotent, so keeping the list is
+		// bit-identical to rebuilding it.
+		if carry && rec.candValid && rec.seriesVer == rec.candVer &&
+			rec.container == rec.candCont &&
+			e.contChangedFloor > rec.series.Last() {
+			continue
+		}
 		for i := range counts {
 			counts[i] = 0
 		}
@@ -142,7 +162,15 @@ func (e *Engine) buildCandidates() {
 				rec.priorW = append(rec.priorW, rec.priorDefault)
 			}
 		}
+		rec.candValid = true
+		rec.candVer = rec.seriesVer
+		rec.candCont = rec.container
 	}
+
+	// Every object is now consistent with the current container state: the
+	// rebuilt ones saw it, the skipped ones were proven untouched by it.
+	e.contChangedFloor = epochMax
+	e.contFlatClean = true
 }
 
 // sortContReads sorts the flattened container-reading index by (t, ci),

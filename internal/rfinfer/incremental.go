@@ -1,0 +1,163 @@
+// Incremental Δ-checkpoints: per-tag dirty tracking that lets Run skip the
+// E-step, M-step, critical-region search, truncation and memo refresh for
+// everything that provably did not change since the previous Run. Every
+// skip below is an exactness argument, not a heuristic — the carried-forward
+// state is bit-identical to what a full pass would recompute, at any worker
+// count, which the incremental-vs-fresh equivalence test enforces (see
+// PERFORMANCE.md for the invariants).
+package rfinfer
+
+import "rfidtrack/internal/model"
+
+// noteMutation accounts one series mutation at epoch t for the incremental
+// bookkeeping: the tag turns dirty until the end of the next Run, the
+// truncation add-floor absorbs t, and container mutations additionally
+// invalidate the flattened co-occurrence index for every object that could
+// have co-occurred at t.
+func (e *Engine) noteMutation(rec *tagRec, t model.Epoch) {
+	e.markDirty(rec)
+	if t < rec.addFloor {
+		rec.addFloor = t
+	}
+	if rec.isContainer {
+		e.noteContainerChange(t)
+	}
+}
+
+// markDirty flags a tag whose series or migrated state changed since the
+// end of the previous Run. The engine counter stays equal to the number of
+// set flags; both reset together when Run closes the checkpoint.
+func (e *Engine) markDirty(rec *tagRec) {
+	if !rec.dirty {
+		rec.dirty = true
+		e.dirtyTags++
+	}
+}
+
+// noteContainerChange records that some container's series changed at epoch
+// t since the last candidate build: co-occurrence counts of objects with
+// readings at or after t may shift, and the flattened index is stale.
+func (e *Engine) noteContainerChange(t model.Epoch) {
+	if t < e.contChangedFloor {
+		e.contChangedFloor = t
+	}
+	e.contFlatClean = false
+}
+
+// DirtyTags returns how many tags changed since the end of the last Run —
+// the scheduler's per-site cost estimate for the next checkpoint.
+func (e *Engine) DirtyTags() int { return e.dirtyTags }
+
+// carryAnchored reports whether end-of-Run state is a sound anchor for the
+// between-Run posterior carry: the memo refresh re-anchors postSig over the
+// post-truncation series at the end of every Run, absorbing any intra-Run
+// mutation. TruncateNone runs no memo refresh, so change-point resets
+// (Delta > 0) would leave postSig stale there — only the signature path may
+// skip in that configuration.
+func (e *Engine) carryAnchored() bool {
+	return !e.noCarry && (e.cfg.Truncation != TruncateNone || e.cfg.Delta <= 0)
+}
+
+// groupClean reports whether no member of group changed since the end of
+// the previous Run.
+func (e *Engine) groupClean(group []model.TagID) bool {
+	for _, oid := range group {
+		if e.tags[oid].dirty {
+			return false
+		}
+	}
+	return true
+}
+
+// groupUndropped reports whether no member of group had readings dropped
+// during this Run's truncation or change-point resets.
+func (e *Engine) groupUndropped(group []model.TagID) bool {
+	for _, oid := range group {
+		if len(e.tags[oid].dropped) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesVersionThrough returns the content version of rec.series limited to
+// epochs <= through. When the bound does not actually clip the series — the
+// epochMax case and any horizon at or past the newest reading — the value
+// is the full-series Version, served from a per-tag cache keyed by
+// seriesVer so unchanged series hash once, not once per signature check.
+// The cache write is race-free under the E-step fan-out: each container
+// worker touches only its own record and its group members, and groups are
+// disjoint (an object is assigned to one container).
+func (e *Engine) seriesVersionThrough(rec *tagRec, through model.Epoch) uint64 {
+	if rec.series.Last() > through {
+		return rec.series.VersionIn(epochMin, through+1)
+	}
+	if key := rec.seriesVer + 1; rec.verCacheKey == key {
+		return rec.verCache
+	}
+	v := rec.series.Version()
+	rec.verCacheKey = rec.seriesVer + 1
+	rec.verCache = v
+	return v
+}
+
+// seriesAllIn reports that every reading of s already lies inside
+// [from, now]: the truncation window keeps all of them, so the filter pass
+// is a provable no-op.
+func seriesAllIn(s model.Series, from, now model.Epoch) bool {
+	return len(s) == 0 || (s[0].T >= from && s[len(s)-1].T <= now)
+}
+
+// truncZoneClean reports that filtering rec.series against the new window
+// [newFrom, now+1] with unchanged protected windows (cr plus wins, the
+// caller's guarantee) provably drops nothing. It relies on the invariant
+// the previous truncation pass established: every unprotected reading then
+// sat in [e.truncFrom, e.truncNow]. What remains exposed is (a) readings
+// added since, bounded below by addFloor — they must not predate the old
+// boundary — and above by now, and (b) the zone [truncFrom, newFrom) the
+// advancing boundary uncovers, scanned here for unprotected readings. Old
+// protected readings below truncFrom stay protected by the same unchanged
+// windows. A clean verdict means the filter pass would keep everything, so
+// skipping it — no drops recorded, no series version bump — is
+// bit-identical.
+func (e *Engine) truncZoneClean(rec *tagRec, newFrom, now model.Epoch, cr window, wins []window) bool {
+	s := rec.series
+	if s[len(s)-1].T > now || rec.addFloor < e.truncFrom {
+		return false
+	}
+	lo := s.Window(e.truncFrom, newFrom)
+	for _, rd := range lo {
+		if rd.T >= cr.From && rd.T < cr.To {
+			continue
+		}
+		prot := false
+		for _, w := range wins {
+			if rd.T >= w.From && rd.T < w.To {
+				prot = true
+				break
+			}
+		}
+		if !prot {
+			return false
+		}
+	}
+	return true
+}
+
+// closeCheckpoint finishes a Run's incremental bookkeeping: container drops
+// from this Run's truncation flow into the candidate-build floor, and the
+// dirty set resets — every mutation so far is folded into the memos (or
+// will be rediscovered through the seriesVer stamps).
+func (e *Engine) closeCheckpoint() {
+	for _, cid := range e.containers {
+		if d := e.tags[cid].dropped; len(d) > 0 {
+			e.noteContainerChange(d[0])
+		}
+	}
+	if e.dirtyTags > 0 {
+		for _, rec := range e.tags {
+			rec.dirty = false
+		}
+		e.dirtyTags = 0
+	}
+}

@@ -401,6 +401,7 @@ func (e *Engine) mStep() bool {
 			} else {
 				e.computeEvidenceFast(rec, s)
 			}
+			rec.evSeq = e.runSeq
 			e.nEvComputed.Add(1)
 		}
 		rec.bestK = bestCandidate(rec.ev)

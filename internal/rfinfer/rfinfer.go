@@ -164,6 +164,34 @@ type tagRec struct {
 	postSig     uint64
 	postThrough model.Epoch
 	computedSeq uint64
+
+	// Incremental Δ-checkpoint state (see PERFORMANCE.md). dirty marks that
+	// the tag's series or migrated state changed since the end of the
+	// previous Run; a container group whose members are all clean skips its
+	// E-step without even hashing the member series. candVer/candCont stamp
+	// the series version and containment assignment the candidate list was
+	// last built against (candValid marks the stamps usable), letting
+	// buildCandidates keep the list for objects whose co-occurrence inputs
+	// are provably unchanged. evSeq is the Run sequence that last recomputed
+	// rec.ev: when it is not the current Run's, every input of the
+	// critical-region search is bit-identical to the previous Run's, so the
+	// verdict already stored in rec.cr carries forward. addFloor is the
+	// lowest epoch observed (or merged) into the series since the last
+	// truncation pass, and trCR the critical region that pass filtered
+	// against — together they let truncate prove a pass drops nothing.
+	// verCache caches series.Version() under key verCacheKey==seriesVer+1
+	// (0 = invalid), collapsing repeated content hashes of unchanged series
+	// to O(1).
+	dirty       bool
+	candValid   bool
+	candVer     uint32
+	candCont    model.TagID
+	evSeq       uint64
+	addFloor    model.Epoch
+	trCR        window
+	prevWins    []window // keepWins of the previous truncation (containers)
+	verCache    uint64
+	verCacheKey uint32
 }
 
 // posterior is a container's location posterior q_tc at its active epochs,
@@ -249,6 +277,12 @@ type RunStats struct {
 	// posteriors). Later EM iterations of a converging Run skip almost
 	// every object.
 	EvidenceComputed, EvidenceSkipped int
+	// DirtyTags counts tags whose series or migrated state changed between
+	// the previous Run and this one — the incremental checkpoint's input
+	// size. GroupsDirty counts container groups whose posterior had to be
+	// recomputed on their first E-step visit of the Run; GroupsClean counts
+	// groups carried forward whole from the previous checkpoint.
+	DirtyTags, GroupsDirty, GroupsClean int
 }
 
 // Engine runs RFINFER over a stream of readings at one site.
@@ -277,7 +311,25 @@ type Engine struct {
 	// into stats at the end of each Run.
 	nComputed, nSkipped, nRowsReused, nRowsComputed atomic.Int64
 	nEvComputed, nEvSkipped                         atomic.Int64
+	nGroupsDirty, nGroupsClean                      atomic.Int64
 	stats                                           RunStats
+
+	// Incremental Δ-checkpoint bookkeeping (see incremental.go). dirtyTags
+	// counts tags flagged dirty since the end of the last Run (== the number
+	// of set tagRec.dirty flags). contChangedFloor is the lowest epoch at
+	// which any container's series changed since the last candidate build
+	// (epochMax when none did); contFlatClean marks the flattened
+	// co-occurrence index still valid. truncValid/truncFrom/truncNow record
+	// the boundary of the last truncation pass, anchoring the proof that a
+	// later pass drops nothing. noCarry disables every between-Run
+	// carry-forward fast path — the equivalence test's reference mode.
+	dirtyTags        int
+	contChangedFloor model.Epoch
+	contFlatClean    bool
+	truncValid       bool
+	truncFrom        model.Epoch
+	truncNow         model.Epoch
+	noCarry          bool
 
 	// Sequential-phase scratch (change-point detection and candidate
 	// pruning), reused across Runs.
@@ -297,9 +349,10 @@ type Engine struct {
 // (measured read rates plus reader schedule).
 func New(lik *model.Likelihood, cfg Config) *Engine {
 	return &Engine{
-		lik:  lik,
-		cfg:  cfg,
-		tags: make(map[model.TagID]*tagRec),
+		lik:              lik,
+		cfg:              cfg,
+		tags:             make(map[model.TagID]*tagRec),
+		contChangedFloor: epochMax,
 	}
 }
 
@@ -311,7 +364,7 @@ func (e *Engine) RegisterObject(id model.TagID) {
 	if _, ok := e.tags[id]; ok {
 		return
 	}
-	e.tags[id] = &tagRec{id: id, container: -1}
+	e.tags[id] = &tagRec{id: id, container: -1, addFloor: epochMax}
 	e.objects = insertSorted(e.objects, id)
 }
 
@@ -320,8 +373,11 @@ func (e *Engine) RegisterContainer(id model.TagID) {
 	if _, ok := e.tags[id]; ok {
 		return
 	}
-	e.tags[id] = &tagRec{id: id, isContainer: true, container: -1}
+	e.tags[id] = &tagRec{id: id, isContainer: true, container: -1, addFloor: epochMax}
 	e.containers = insertSorted(e.containers, id)
+	// Registration shifts the dense container indices the flattened
+	// co-occurrence index is keyed by.
+	e.contFlatClean = false
 }
 
 // RegisterUntaggedContainer declares a container that carries no tag of its
@@ -355,6 +411,7 @@ func (e *Engine) Observe(t model.Epoch, id model.TagID, r model.Loc) error {
 	}
 	rec.series.Add(t, r)
 	rec.seriesVer++
+	e.noteMutation(rec, t)
 	if t > e.now {
 		e.now = t
 	}
@@ -369,6 +426,7 @@ func (e *Engine) ObserveMask(t model.Epoch, id model.TagID, m model.Mask) error 
 	}
 	rec.series.AddMask(t, m)
 	rec.seriesVer++
+	e.noteMutation(rec, t)
 	if t > e.now {
 		e.now = t
 	}

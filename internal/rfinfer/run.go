@@ -37,6 +37,8 @@ func (e *Engine) Run(now model.Epoch) RunResult {
 	e.nRowsComputed.Store(0)
 	e.nEvComputed.Store(0)
 	e.nEvSkipped.Store(0)
+	e.nGroupsDirty.Store(0)
+	e.nGroupsClean.Store(0)
 	for _, rec := range e.tags {
 		rec.dropped = rec.dropped[:0]
 	}
@@ -72,7 +74,11 @@ func (e *Engine) Run(now model.Epoch) RunResult {
 		RowsComputed:       int(e.nRowsComputed.Load()),
 		EvidenceComputed:   int(e.nEvComputed.Load()),
 		EvidenceSkipped:    int(e.nEvSkipped.Load()),
+		DirtyTags:          e.dirtyTags,
+		GroupsDirty:        int(e.nGroupsDirty.Load()),
+		GroupsClean:        int(e.nGroupsClean.Load()),
 	}
+	e.closeCheckpoint()
 	e.prevRun = e.lastRun
 	e.lastRun = now
 	return RunResult{Iterations: iters, Changes: changes}
@@ -198,8 +204,16 @@ func (e *Engine) updateCriticalRegions() {
 		return
 	}
 	w := e.cfg.CRWindow
+	noCarry := e.noCarry
 	e.parallelFor(len(e.objects), func(s *scratch, oi int) {
 		rec := e.tags[e.objects[oi]]
+		if !noCarry && rec.evSeq != e.runSeq {
+			// Evidence untouched this Run means every search input — the
+			// matrix, the window geometry, the threshold — is bit-identical
+			// to the previous Run's search, whose verdict is already in
+			// rec.cr (the search writes only on a hit). Carry it forward.
+			return
+		}
 		ev := rec.ev
 		if ev == nil || len(ev.cands) < 2 || len(ev.epochs) == 0 {
 			return
@@ -264,8 +278,16 @@ func (e *Engine) updateCriticalRegions() {
 // cell re-derivation.
 func (e *Engine) updateCriticalRegionsOnline() {
 	w := e.cfg.CRWindow
+	noCarry := e.noCarry
 	e.parallelFor(len(e.objects), func(s *scratch, oi int) {
 		rec := e.tags[e.objects[oi]]
+		if !noCarry && rec.evSeq != e.runSeq {
+			// Unrecomputed evidence means the object's series, candidates,
+			// priors and every candidate posterior (hence prefAdv and the
+			// correction prefixes) match the previous Run's search inputs
+			// exactly; the carried rec.cr is that search's verdict.
+			return
+		}
 		ev := rec.ev
 		if ev == nil || len(ev.cands) < 2 {
 			return
@@ -380,26 +402,47 @@ func (e *Engine) updateCriticalRegionsOnline() {
 
 // truncate drops readings that the configured strategy no longer needs,
 // filtering every series in place and recording dropped epochs for the
-// memo refresh.
+// memo refresh. Filtering is skipped per tag when it provably drops
+// nothing: either the whole series already sits inside the new window, or
+// the invariant of the previous pass plus a scan of the narrow zone the
+// advancing boundary uncovers shows every exposed reading protected (see
+// truncZoneClean). A skipped tag keeps its series version, so the carried
+// memos above stay anchored.
 func (e *Engine) truncate(now model.Epoch) {
-	switch e.cfg.Truncation {
-	case TruncateNone:
+	if e.cfg.Truncation == TruncateNone {
 		return
-	case TruncateWindow:
+	}
+	carry := !e.noCarry
+	// The zone argument additionally needs the previous pass's boundary to
+	// exist and time to have moved forward past it.
+	zone := carry && e.truncValid && now >= e.truncNow
+
+	if e.cfg.Truncation == TruncateWindow {
 		win := window{From: now - e.cfg.FixedWindow, To: now + 1}
 		for _, rec := range e.tags {
+			if carry && seriesAllIn(rec.series, win.From, now) {
+				rec.addFloor = epochMax
+				continue
+			}
+			if zone && e.truncZoneClean(rec, win.From, now, window{}, nil) {
+				rec.addFloor = epochMax
+				continue
+			}
 			filterSeries(rec, win, window{}, nil)
+			rec.addFloor = epochMax
 		}
+		e.truncValid, e.truncFrom, e.truncNow = true, win.From, now
 		return
 	}
 
 	// CR strategy: an object keeps its critical region plus recent history;
 	// a container keeps the union of its candidate-objects' critical
-	// regions plus recent history.
+	// regions plus recent history. keepWins double-buffers against prevWins
+	// so the zone skip can require the protected windows unchanged.
 	recent := window{From: now - e.cfg.RecentHistory, To: now + 1}
 	for _, cid := range e.containers {
 		rec := e.tags[cid]
-		rec.keepWins = rec.keepWins[:0]
+		rec.keepWins, rec.prevWins = rec.prevWins[:0], rec.keepWins
 	}
 	for _, oid := range e.objects {
 		rec := e.tags[oid]
@@ -410,12 +453,32 @@ func (e *Engine) truncate(now model.Epoch) {
 				}
 			}
 		}
+		if carry && seriesAllIn(rec.series, recent.From, now) {
+			rec.addFloor, rec.trCR = epochMax, rec.cr
+			continue
+		}
+		if zone && rec.cr == rec.trCR && e.truncZoneClean(rec, recent.From, now, rec.cr, nil) {
+			rec.addFloor = epochMax
+			continue
+		}
 		filterSeries(rec, recent, rec.cr, nil)
+		rec.addFloor, rec.trCR = epochMax, rec.cr
 	}
 	for _, cid := range e.containers {
 		rec := e.tags[cid]
+		if carry && seriesAllIn(rec.series, recent.From, now) {
+			rec.addFloor = epochMax
+			continue
+		}
+		if zone && slices.Equal(rec.keepWins, rec.prevWins) &&
+			e.truncZoneClean(rec, recent.From, now, window{}, rec.keepWins) {
+			rec.addFloor = epochMax
+			continue
+		}
 		filterSeries(rec, recent, window{}, rec.keepWins)
+		rec.addFloor = epochMax
 	}
+	e.truncValid, e.truncFrom, e.truncNow = true, recent.From, now
 }
 
 // filterSeries keeps only readings inside the recent window, the cr window,
@@ -458,6 +521,14 @@ func (e *Engine) refreshMemo() {
 	e.parallelFor(len(e.containers), func(s *scratch, i int) {
 		rec := e.tags[e.containers[i]]
 		if !rec.postValid {
+			return
+		}
+		// Nothing dropped from the container or any memo-group member this
+		// Run: the union, every row, and the anchored postSig are exactly
+		// what the walk below would reproduce. (postThrough keeps its old
+		// horizon, which stays prefix-consistent with postSig — readings at
+		// untouched epochs hash identically at any later check.)
+		if !e.noCarry && len(rec.dropped) == 0 && e.groupUndropped(rec.group) {
 			return
 		}
 		members := s.series[:0]

@@ -171,6 +171,12 @@ func (e *Engine) ImportState(st EngineState) error {
 		rec.cr = window{From: os.CR.From, To: os.CR.To}
 		rec.series = append(rec.series[:0], e.sanitizeSeries(os.Series)...)
 		rec.seriesVer++
+		// The wholesale replacement voids every incremental carry for the
+		// tag: candidate list, truncation invariant, CR verdict provenance.
+		e.markDirty(rec)
+		rec.candValid = false
+		rec.addFloor = epochMin
+		rec.evSeq = 0
 		rec.ev = nil
 		rec.dropped = rec.dropped[:0]
 		rec.postValid = false
@@ -186,6 +192,9 @@ func (e *Engine) ImportState(st EngineState) error {
 		rec.untagged = cs.Untagged
 		rec.series = append(rec.series[:0], e.sanitizeSeries(cs.Series)...)
 		rec.seriesVer++
+		e.markDirty(rec)
+		rec.addFloor = epochMin
+		e.noteContainerChange(epochMin)
 		// Restore the posterior for between-Run readers, but leave the memo
 		// invalid: the next Run recomputes from the restored histories,
 		// which the memo-vs-fresh invariant makes bit-identical. A

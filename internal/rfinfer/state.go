@@ -129,6 +129,11 @@ func (e *Engine) ImportCollapsed(st CollapsedState) {
 	rec.cands = append([]model.TagID(nil), st.Candidates...)
 	rec.priorW = append([]float64(nil), st.Weights...)
 	rec.priorDefault = st.DefaultWeight
+	// Migrated candidates and priors arrive outside the series-version
+	// change signal, so flag the record explicitly: the next candidate
+	// build must not keep the pre-import list.
+	e.markDirty(rec)
+	rec.candValid = false
 	for _, cid := range st.Candidates {
 		e.RegisterContainer(cid)
 	}
@@ -143,6 +148,7 @@ func (e *Engine) ImportCR(st CRState) {
 	rec := e.tags[st.Collapsed.Object]
 	rec.series = rec.series.Merge(e.sanitizeSeries(st.ObjectHist))
 	rec.seriesVer++
+	e.noteMutation(rec, rec.series.First())
 	rec.cr = window{From: st.CR.From, To: st.CR.To}
 	// Shipped readings are re-counted locally, so zero the prior weights to
 	// avoid double counting; the shipped history is what preserves
@@ -156,6 +162,7 @@ func (e *Engine) ImportCR(st CRState) {
 		c := e.tags[cid]
 		c.series = c.series.Merge(e.sanitizeSeries(s))
 		c.seriesVer++
+		e.noteMutation(c, c.series.First())
 	}
 }
 

@@ -72,10 +72,19 @@ func (s *Server) IngestFrame(frame []byte) (queued int, err error) {
 			sh.mu.Lock()
 			cur = sh
 		}
-		for i := 0; i < n; i++ {
-			t, tag, mask := sec.At(i)
-			if at := s.applyReadingLocked(sh, t, tag, mask); at > batchMax {
+		if view, ok := sectionReadings(sec); ok {
+			// The zero-copy path: the section's bytes ARE the readings on
+			// this machine, so they flow straight into the interval buckets
+			// with one bulk append per same-bucket run.
+			if at := s.ingestSectionLocked(sh, view); at > batchMax {
 				batchMax = at
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				t, tag, mask := sec.At(i)
+				if at := s.applyReadingLocked(sh, t, tag, mask); at > batchMax {
+					batchMax = at
+				}
 			}
 		}
 		queued += n
@@ -156,19 +165,36 @@ func (s *Server) reject415(w http.ResponseWriter, r *http.Request, want string) 
 		map[string]string{"error": "unsupported Content-Type; want " + want})
 }
 
-// IngestBin posts one site's readings through the binary /ingest/bin fast
-// path. The frame buffer is owned by the Client and reused across calls
-// (serialized by an internal mutex), so a steady-state producer re-encodes
-// into the same backing array every time.
-func (c *Client) IngestBin(site int, readings []dist.Reading) (IngestResponse, error) {
-	c.binMu.Lock()
-	defer c.binMu.Unlock()
-	c.binB.Reset()
-	c.binB.BeginSection(site)
-	for i := range readings {
-		c.binB.Add(readings[i].T, readings[i].ID, readings[i].Mask)
+// frameEnc is one pooled binary-frame encoder: the builder plus the
+// reader that wraps the finished frame as a request body. A Client hands
+// each in-flight /ingest/bin request its own encoder from the pool.
+type frameEnc struct {
+	b  stream.FrameBuilder
+	rd bytes.Reader
+}
+
+// getEnc takes an encoder from the Client's pool, reset and ready for a
+// new frame.
+func (c *Client) getEnc() *frameEnc {
+	e, _ := c.binEncs.Get().(*frameEnc)
+	if e == nil {
+		e = &frameEnc{}
 	}
-	return c.postFrameLocked()
+	e.b.Reset()
+	return e
+}
+
+// IngestBin posts one site's readings through the binary /ingest/bin fast
+// path. The frame encoder comes from a per-Client pool, so concurrent
+// producer goroutines each encode into their own recycled buffer — the
+// encode is a single bulk append of the batch's bytes on little-endian
+// machines (see addReadings) and allocation-free in steady state.
+func (c *Client) IngestBin(site int, readings []dist.Reading) (IngestResponse, error) {
+	e := c.getEnc()
+	defer c.binEncs.Put(e)
+	e.b.BeginSection(site)
+	addReadings(&e.b, readings)
+	return c.postFrame(e)
 }
 
 // IngestBinAll posts several sites' readings (indexed by site, empty
@@ -179,29 +205,25 @@ func (c *Client) IngestBin(site int, readings []dist.Reading) (IngestResponse, e
 // posted as its own IngestBin request and the batch straddles an interval
 // boundary.
 func (c *Client) IngestBinAll(bySite [][]dist.Reading) (IngestResponse, error) {
-	c.binMu.Lock()
-	defer c.binMu.Unlock()
-	c.binB.Reset()
+	e := c.getEnc()
+	defer c.binEncs.Put(e)
 	for site, rs := range bySite {
 		if len(rs) == 0 {
 			continue
 		}
-		c.binB.BeginSection(site)
-		for i := range rs {
-			c.binB.Add(rs[i].T, rs[i].ID, rs[i].Mask)
-		}
+		e.b.BeginSection(site)
+		addReadings(&e.b, rs)
 	}
-	if c.binB.Records() == 0 {
+	if e.b.Records() == 0 {
 		return IngestResponse{}, nil
 	}
-	return c.postFrameLocked()
+	return c.postFrame(e)
 }
 
-// postFrameLocked finishes the Client's frame buffer and POSTs it to
-// /ingest/bin. Callers hold binMu.
-func (c *Client) postFrameLocked() (IngestResponse, error) {
-	c.binRd.Reset(c.binB.Finish())
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/ingest/bin", &c.binRd)
+// postFrame finishes the encoder's frame and POSTs it to /ingest/bin.
+func (c *Client) postFrame(e *frameEnc) (IngestResponse, error) {
+	e.rd.Reset(e.b.Finish())
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/ingest/bin", &e.rd)
 	if err != nil {
 		return IngestResponse{}, err
 	}

@@ -145,6 +145,122 @@ func TestServerMatchesSequential(t *testing.T) {
 	}
 }
 
+// burstyWorld generates a ten-site world and then thins its reading
+// stream to the idle-heavy regime incremental Δ-checkpoints exist for:
+// in each Δ-interval exactly one site keeps its readings, so ≥90% of
+// site-checkpoints observe nothing and should ride the clean-skip path.
+// Ground truth (location and containment spans) is left untouched — both
+// the reference replay and the server score against the same truth over
+// the same thinned stream.
+func burstyWorld(t testing.TB, interval model.Epoch) *sim.World {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Warehouses = 10
+	cfg.PathLength = 2
+	cfg.Epochs = 2400
+	cfg.ItemsPerCase = 2
+	cfg.RR = 0.7
+	w, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, tr := range w.Sites {
+		for i := range tr.Tags {
+			tg := &tr.Tags[i]
+			kept := tg.Readings[:0]
+			for _, rd := range tg.Readings {
+				if int(rd.T/interval)%len(w.Sites) == s {
+					kept = append(kept, rd)
+				}
+			}
+			tg.Readings = kept
+		}
+	}
+	return w
+}
+
+// TestServerMatchesSequentialBursty is TestServerMatchesSequential's
+// idle-heavy twin: a ten-site world where each checkpoint interval has
+// readings at exactly one site. This is the workload the incremental
+// checkpoint engine optimizes — most site-checkpoints must take the
+// clean-skip path (watched through Stats.Sched) while the Result stays
+// bit-identical to the sequential reference at every worker count, fed
+// serially and by racing producers.
+func TestServerMatchesSequentialBursty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	const interval = model.Epoch(300)
+	w := burstyWorld(t, interval)
+
+	ref := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+	ref.Query = exposureQuery(w, interval)
+	want, err := ref.ReplaySequential(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAlerts := make([]map[model.TagID]bool, len(w.Sites))
+	for s := range w.Sites {
+		wantAlerts[s] = ref.SiteQuery(s).AlertedTags()
+	}
+	events := WorldEvents(w, ref.Departures())
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for _, mode := range []string{"serial", "concurrent"} {
+			c := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+			srv, err := New(c, Config{
+				Interval: interval,
+				Horizon:  w.Epochs,
+				Workers:  workers,
+				Query:    exposureQuery(w, interval),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == "serial" {
+				for i := 0; i < len(events); i += 256 {
+					end := min(i+256, len(events))
+					if err := srv.Ingest(events[i:end]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else {
+				feedConcurrently(t, srv, events, interval)
+			}
+			if err := srv.Shutdown(context.Background()); err != nil {
+				t.Fatalf("workers=%d/%s: shutdown: %v", workers, mode, err)
+			}
+
+			if got := srv.Result(); !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d/%s: bursty Result diverged from sequential reference\n got: %+v\nwant: %+v",
+					workers, mode, got, want)
+			}
+			st := srv.Stats()
+			if got := alertTagSets(len(w.Sites), srv.AlertsSince(0, 0)); !reflect.DeepEqual(got, wantAlerts) {
+				t.Errorf("workers=%d/%s: alert sets diverged\n got: %v\nwant: %v", workers, mode, got, wantAlerts)
+			}
+			if st.Invalid != 0 || st.Feed.Late != 0 {
+				t.Errorf("workers=%d/%s: clean stream counted invalid=%d late=%d", workers, mode, st.Invalid, st.Feed.Late)
+			}
+			if st.Feed.Checkpoints != int(w.Epochs/interval) {
+				t.Errorf("workers=%d/%s: ran %d checkpoints, want %d", workers, mode, st.Feed.Checkpoints, w.Epochs/interval)
+			}
+			// The whole point of the workload: the incremental engine must
+			// have skipped far more container groups than it recomputed, and
+			// most site-checkpoints must have been clean (one active site per
+			// interval, plus migration destinations).
+			if st.Sched.SkippedGroups <= st.Sched.DirtyGroups {
+				t.Errorf("workers=%d/%s: idle-heavy run skipped %d groups but recomputed %d — incremental path not engaged",
+					workers, mode, st.Sched.SkippedGroups, st.Sched.DirtyGroups)
+			}
+			if limit := st.Sched.Advances * len(w.Sites) / 2; st.Sched.DirtySites >= limit {
+				t.Errorf("workers=%d/%s: %d dirty site-checkpoints of %d total, want < %d",
+					workers, mode, st.Sched.DirtySites, st.Sched.Advances*len(w.Sites), limit)
+			}
+		}
+	}
+}
+
 // feedConcurrently streams the events with 6 racing producers per
 // Δ-interval wave: readings split across producers (half Ingest, half
 // IngestBatch), departures in-band. Producers rendezvous at interval

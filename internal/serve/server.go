@@ -141,6 +141,16 @@ type SchedStats struct {
 	Total time.Duration `json:"total_ns"`
 	Max   time.Duration `json:"max_ns"`
 	Last  time.Duration `json:"last_ns"`
+	// DirtySites, DirtyGroups and SkippedGroups accumulate the incremental
+	// checkpoint engine's work profile across every completed checkpoint:
+	// how many site-checkpoints carried any dirty tag, how many container
+	// groups had their posterior recomputed, and how many were skipped
+	// clean (posterior carried forward untouched). A mostly-idle deployment
+	// shows SkippedGroups dwarfing DirtyGroups — that gap is the Δ in a
+	// Δ-checkpoint.
+	DirtySites    int `json:"dirty_sites"`
+	DirtyGroups   int `json:"dirty_groups"`
+	SkippedGroups int `json:"skipped_groups"`
 }
 
 // Stats is the /stats payload: ingestion counters, feed state, per-shard
@@ -616,6 +626,80 @@ func (s *Server) applyReadingLocked(sh *shard, t model.Epoch, tag model.TagID, m
 	return t
 }
 
+// ingestSectionLocked buckets a whole zero-copy frame section — recs is a
+// view over the request buffer — with section-level bookkeeping instead of
+// per-record bookkeeping. A validation-only scan proves every record
+// acceptable first; then records flow into the interval buckets in
+// same-bucket runs of one bulk append each (the appends copy, so nothing
+// retains the view), the WAL buffer takes the section in one append, and
+// the counters advance once. Any invalid or late record, and any section
+// that could hit the backpressure bound, falls back to applyReadingLocked
+// per record — the scan mutated nothing, so the replay from scratch is
+// exact, and the reject/wait bookkeeping stays in one place. Caller holds
+// sh.mu. Returns the highest accepted epoch, -1 when none.
+func (s *Server) ingestSectionLocked(sh *shard, recs []dist.Reading) model.Epoch {
+	n := len(recs)
+	if sh.backlog+n >= s.cfg.QueueSize {
+		return s.ingestSectionSlowLocked(sh, recs)
+	}
+	bound, _ := s.epochBound()
+	interval := s.cfg.Interval
+	maxT := model.Epoch(-1)
+	for i := range recs {
+		r := &recs[i]
+		if int(r.ID) < 0 || int(r.ID) >= len(sh.kinds) {
+			return s.ingestSectionSlowLocked(sh, recs)
+		}
+		if k := sh.kinds[r.ID]; k != model.KindItem && k != model.KindCase {
+			return s.ingestSectionSlowLocked(sh, recs)
+		}
+		if r.Mask == 0 || r.Mask>>sh.readers != 0 {
+			return s.ingestSectionSlowLocked(sh, recs)
+		}
+		if r.T < 0 || r.T >= bound || r.T < sh.lateBefore {
+			return s.ingestSectionSlowLocked(sh, recs)
+		}
+		if int(r.T/interval)-sh.base >= maxShardIntervals {
+			return s.ingestSectionSlowLocked(sh, recs)
+		}
+		if r.T > maxT {
+			maxT = r.T
+		}
+	}
+	sh.received += n
+	for i0 := 0; i0 < n; {
+		k := int(recs[i0].T/interval) - sh.base
+		i := i0 + 1
+		for i < n && int(recs[i].T/interval)-sh.base == k {
+			i++
+		}
+		sh.growTo(k)
+		sh.buckets[k] = append(sh.buckets[k], recs[i0:i]...)
+		i0 = i
+	}
+	sh.backlog += n
+	if maxT > sh.maxT {
+		sh.maxT = maxT
+	}
+	if s.walOn.Load() {
+		sh.walBuf = append(sh.walBuf, recs...)
+	}
+	return maxT
+}
+
+// ingestSectionSlowLocked is ingestSectionLocked's per-record fallback:
+// the exact applyReadingLocked loop, for sections with rejects, late
+// readings, or a full stripe.
+func (s *Server) ingestSectionSlowLocked(sh *shard, recs []dist.Reading) model.Epoch {
+	maxT := model.Epoch(-1)
+	for i := range recs {
+		if t := s.applyReadingLocked(sh, recs[i].T, recs[i].ID, recs[i].Mask); t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}
+
 // flushWALLocked bulk-appends the stripe's accepted-readings run to the
 // WAL. Caller holds sh.mu; every path that releases the stripe lock after
 // applyReadingLocked must flush first.
@@ -959,6 +1043,19 @@ func (s *Server) runCheckpointLocked() {
 	if err != nil && s.runErr == nil {
 		s.runErr = err
 		s.failed.Store(true)
+	}
+
+	// Fold this checkpoint's incremental-work profile into the scheduler
+	// counters. Every owned engine just ran, so its RunStats describe
+	// exactly this checkpoint; unowned (peer) engines never run and
+	// contribute zeros.
+	for _, eng := range s.cluster.Engines {
+		es := eng.Stats()
+		if es.DirtyTags > 0 || es.GroupsDirty > 0 {
+			s.sched.DirtySites++
+		}
+		s.sched.DirtyGroups += es.GroupsDirty
+		s.sched.SkippedGroups += es.GroupsClean
 	}
 
 	// Publish this checkpoint's staged matches in site order; see the

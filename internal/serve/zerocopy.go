@@ -1,0 +1,75 @@
+// Zero-copy bridges between the binary frame codec and dist.Reading. A
+// wire record (epoch u32 | tag u32 | mask u64, little-endian) has exactly
+// the memory layout of dist.Reading on a little-endian machine, so a
+// section's record bytes can be reinterpreted as a []dist.Reading view —
+// and a batch of readings as record bytes — without decoding or encoding a
+// single field. Both casts are gated: compile-time array-length asserts
+// pin the struct layout, and the runtime checks native endianness plus the
+// view's alignment, falling back to the portable per-record path when
+// either fails. The views alias their source buffer and are never
+// retained past it.
+package serve
+
+import (
+	"unsafe"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/stream"
+)
+
+// Compile-time layout asserts: dist.Reading must be exactly one wire
+// record — 16 bytes with T at offset 0, ID at 4, Mask at 8. A field
+// reorder or type change that breaks the casts breaks the build here,
+// not silently on the wire.
+var (
+	_ [stream.FrameRecordLen]byte = [unsafe.Sizeof(dist.Reading{})]byte{}
+	_ [0]byte                     = [unsafe.Offsetof(dist.Reading{}.T)]byte{}
+	_ [4]byte                     = [unsafe.Offsetof(dist.Reading{}.ID)]byte{}
+	_ [8]byte                     = [unsafe.Offsetof(dist.Reading{}.Mask)]byte{}
+)
+
+// nativeLE reports whether this machine stores integers little-endian,
+// i.e. whether wire records and in-memory readings are byte-identical.
+var nativeLE = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// sectionReadings reinterprets a frame section's record bytes as a
+// []dist.Reading view — valid only while the frame buffer is, so callers
+// must copy out of it (bucket appends do) before returning. ok is false
+// on a big-endian machine or when the bytes are not aligned for the
+// struct; the caller then decodes per record.
+func sectionReadings(sec stream.BatchSection) ([]dist.Reading, bool) {
+	raw := sec.Raw()
+	if !nativeLE || len(raw) == 0 {
+		return nil, false
+	}
+	p := unsafe.Pointer(&raw[0])
+	if uintptr(p)%unsafe.Alignof(dist.Reading{}) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*dist.Reading)(p), sec.Len()), true
+}
+
+// readingsBytes reinterprets a batch of readings as wire-layout record
+// bytes, the producer-side twin of sectionReadings. The view aliases rs.
+func readingsBytes(rs []dist.Reading) ([]byte, bool) {
+	if !nativeLE || len(rs) == 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&rs[0])), len(rs)*stream.FrameRecordLen), true
+}
+
+// addReadings bulk-appends a batch to the builder's open section: one
+// append of the batch's bytes on the little-endian fast path, the portable
+// per-record loop elsewhere.
+func addReadings(b *stream.FrameBuilder, rs []dist.Reading) {
+	if raw, ok := readingsBytes(rs); ok {
+		b.AddRecords(raw)
+		return
+	}
+	for i := range rs {
+		b.Add(rs[i].T, rs[i].ID, rs[i].Mask)
+	}
+}

@@ -91,6 +91,13 @@ func (s BatchSection) At(i int) (t model.Epoch, tag model.TagID, mask model.Mask
 	return
 }
 
+// Raw returns the section's record bytes — Len() x FrameRecordLen, laid
+// out exactly as documented in the package comment. Like the section
+// itself it aliases the frame buffer and is only valid while that is. It
+// exists for zero-copy consumers (the ingest fast path) that reinterpret
+// whole records in place instead of decoding them one field at a time.
+func (s BatchSection) Raw() []byte { return s.recs }
+
 // FrameReading is one decoded record, the materialized form of a section
 // entry for callers that want a slice instead of a view.
 type FrameReading struct {
@@ -176,6 +183,26 @@ func (b *FrameBuilder) Add(t model.Epoch, tag model.TagID, mask model.Mask) {
 	binary.LittleEndian.PutUint32(b.buf[b.secOff+4:],
 		binary.LittleEndian.Uint32(b.buf[b.secOff+4:])+1)
 	b.records++
+}
+
+// AddRecords appends pre-encoded records — a multiple of FrameRecordLen
+// bytes in the wire layout — to the open section in one append. It is the
+// bulk twin of Add for producers that already hold records in wire shape
+// (see the ingest client's little-endian fast path). A ragged length or a
+// missing BeginSection panics like Add does: both are producer programming
+// errors.
+func (b *FrameBuilder) AddRecords(raw []byte) {
+	if b.secOff < 0 {
+		panic("stream: FrameBuilder.AddRecords without BeginSection")
+	}
+	if len(raw)%FrameRecordLen != 0 {
+		panic("stream: FrameBuilder.AddRecords with ragged record bytes")
+	}
+	n := len(raw) / FrameRecordLen
+	b.buf = append(b.buf, raw...)
+	binary.LittleEndian.PutUint32(b.buf[b.secOff+4:],
+		binary.LittleEndian.Uint32(b.buf[b.secOff+4:])+uint32(n))
+	b.records += n
 }
 
 // Len returns the encoded size the frame has reached so far (header and
