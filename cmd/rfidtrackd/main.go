@@ -65,6 +65,12 @@ func main() {
 		self      = flag.Int("self", 0, "this daemon's index into -peers")
 		siteMap   = flag.String("site-map", "", "comma-separated site->peer assignment, one entry per site (default: contiguous blocks)")
 		peerRetry = flag.Duration("peer-retry", 2*time.Minute, "how long migration sends retry against an unreachable peer before failing the checkpoint")
+		gossipInt = flag.Duration("gossip-interval", 0, "epoch-gossip exchange cadence for clustered daemons (0 = off): keeps quiet peers' checkpoint clocks advancing and ages the failure-detection table; pair with a -watermark covering producer skew")
+
+		standbyFor = flag.String("standby-for", "", "run as a warm standby of the given primary base URL: ship its WAL into -data-dir, promote on POST /promote or -dead-after silence (requires -data-dir; -self names the slot taken over)")
+		selfURL    = flag.String("self-url", "", "this standby's externally reachable base URL, announced to the cluster on promotion (default http://<listen address>)")
+		shipEvery  = flag.Duration("ship-interval", 250*time.Millisecond, "standby WAL-shipping poll cadence (bounds replication lag and heartbeat resolution)")
+		deadAfter  = flag.Duration("dead-after", 0, "standby auto-promotion threshold: promote once the primary has been silent this long and no surviving peer has heard from it (0 = manual promotion only)")
 
 		dataDir  = flag.String("data-dir", "", "durable-state directory: WAL + snapshots; restart with the same directory to recover (empty = memory-only)")
 		fsync    = flag.Duration("fsync", 100*time.Millisecond, "WAL group-fsync cadence (<0 disables the timer; checkpoints and shutdown still sync)")
@@ -125,6 +131,7 @@ func main() {
 		scfg.Peers = splitPeers(*peers)
 		scfg.Self = *self
 		scfg.PeerRetryWindow = *peerRetry
+		scfg.GossipInterval = *gossipInt
 		if *siteMap != "" {
 			owner, err := dist.ParseSiteMap(*siteMap, len(world.Sites), len(scfg.Peers))
 			if err != nil {
@@ -132,6 +139,10 @@ func main() {
 			}
 			scfg.SiteOwner = owner
 		}
+	}
+	if *standbyFor != "" {
+		runStandby(world, strat, scfg, *standbyFor, *selfURL, *addr, *self, *shipEvery, *deadAfter)
+		return
 	}
 	srv, err := serve.New(cluster, scfg)
 	if err != nil {
@@ -255,6 +266,70 @@ func main() {
 
 // runDemo streams the deployment's own simulated world into the daemon
 // over its real HTTP surface, then drains and spot-checks the endpoints.
+// runStandby runs the daemon as a warm standby: it tails the primary's
+// WAL over /repl/subscribe into scfg.DataDir and serves only the standby
+// control surface (/repl/status, /promote, /healthz) until promotion, at
+// which point the full ingest API comes up over the recovered state. The
+// Build closure regenerates the cluster from the same deployment flags so
+// the promoted inference state machine matches the one that died.
+func runStandby(world *sim.World, strat dist.Strategy, scfg serve.Config, primary, selfURL, addr string, forPeer int, shipEvery, deadAfter time.Duration) {
+	if scfg.DataDir == "" {
+		log.Fatal("standby mode requires -data-dir (the shipped WAL lands there)")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	self := strings.TrimRight(selfURL, "/")
+	if self == "" {
+		self = "http://" + ln.Addr().String()
+	}
+	st, err := serve.NewStandby(serve.StandbyConfig{
+		Primary:      strings.TrimRight(primary, "/"),
+		Dir:          scfg.DataDir,
+		Self:         self,
+		ForPeer:      forPeer,
+		Peers:        scfg.Peers,
+		ShipInterval: shipEvery,
+		DeadAfter:    deadAfter,
+		Build: func() (*dist.Cluster, serve.Config, error) {
+			return dist.NewCluster(world, strat, rfinfer.DefaultConfig()), scfg, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: st.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("http serve: %v", err)
+		}
+	}()
+	fmt.Printf("rfidtrackd listening on %s (standby for %s, slot %d)\n", ln.Addr(), primary, forPeer)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	<-ctx.Done()
+	stop()
+	fmt.Println("signal received; stopping standby")
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if srv := st.Server(); srv != nil {
+		// Promoted: drain like a normal daemon so accepted events land.
+		if err := srv.Shutdown(shutCtx); err != nil && err != serve.ErrClosed {
+			log.Printf("drain: %v", err)
+		}
+	} else if err := st.Close(); err != nil {
+		log.Printf("standby close: %v", err)
+	}
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	status := st.Status()
+	fmt.Printf("standby exit: promoted=%v, shipped %d bytes, primary epoch %d at stream time %d\n",
+		status.Promoted, status.ShippedBytes, status.PrimaryEpoch, status.PrimaryStream)
+}
+
 func runDemo(world *sim.World, cluster *dist.Cluster, baseURL string) error {
 	client := &serve.Client{BaseURL: baseURL}
 	events := serve.WorldEvents(world, cluster.Departures())

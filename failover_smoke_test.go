@@ -1,0 +1,294 @@
+package rfidtrack_test
+
+// The warm-standby failover smoke (`make failover-smoke`): run THREE real
+// rfidtrackd processes — a two-peer durable cluster plus a warm standby
+// shadowing peer 0 over /repl/subscribe — stream at them, SIGKILL the
+// primary mid-stream with no warning, promote the standby over its
+// shipped WAL with one POST /promote, repoint the producer at the
+// standby's URL, resend, and require the merged Result and alert count to
+// match the uninterrupted single-cluster sequential reference exactly.
+// This is the process-level twin of serve.TestFailoverMatchesSequential:
+// real sockets, real kill -9, real promotion endpoint.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/model"
+	"rfidtrack/internal/rfinfer"
+	"rfidtrack/internal/serve"
+)
+
+// startStandbyDaemon launches rfidtrackd in standby mode, shadowing the
+// given primary slot, and waits for readiness.
+func startStandbyDaemon(t *testing.T, bin, dataDir, addr, primary, peers string, forPeer int) *exec.Cmd {
+	t.Helper()
+	args := append([]string{
+		"-addr", addr, "-data-dir", dataDir, "-strict", "-snapshot-every", "1",
+		"-peers", peers, "-self", fmt.Sprint(forPeer),
+		"-standby-for", primary, "-self-url", "http://" + addr,
+		"-ship-interval", "10ms", "-gossip-interval", "50ms", "-watermark", "300",
+	}, smokeWorldFlags...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitHealthz(t, "http://"+addr)
+	return cmd
+}
+
+// standbyStatus fetches a standby daemon's GET /repl/status.
+func standbyStatus(t *testing.T, baseURL string) serve.StandbyStatus {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/repl/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ss serve.StandbyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&ss); err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+// primaryWALBytes reads a daemon's live WAL horizon from GET /stats.
+func primaryWALBytes(t *testing.T, baseURL string) int64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		WAL struct {
+			AppendedBytes int64 `json:"appended_bytes"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WAL.AppendedBytes <= 0 {
+		t.Fatalf("primary %s reports no WAL bytes; durability off?", baseURL)
+	}
+	return st.WAL.AppendedBytes
+}
+
+// TestFailoverSmoke is the end-to-end kill-and-promote drill against real
+// processes.
+func TestFailoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills daemons")
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		goTool = "go"
+	}
+	moduleRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "rfidtrackd")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	build := exec.CommandContext(ctx, goTool, "build", "-o", bin, "./cmd/rfidtrackd")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	w := smokeWorld(t)
+	const interval = model.Epoch(300)
+	ref := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+	ref.Query = dist.ColdChainQuery(w, interval)
+	want, err := ref.ReplaySequential(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAlerts := 0
+	for s := range w.Sites {
+		wantAlerts += len(ref.SiteQuery(s).Matches())
+	}
+	events := serve.WorldEvents(w, ref.Departures())
+
+	owner := dist.DefaultSiteMap(len(w.Sites), 2)
+	addrs := []string{
+		fmt.Sprintf("127.0.0.1:%d", reservePort(t)),
+		fmt.Sprintf("127.0.0.1:%d", reservePort(t)),
+	}
+	standbyAddr := fmt.Sprintf("127.0.0.1:%d", reservePort(t))
+	urls := []string{"http://" + addrs[0], "http://" + addrs[1]}
+	standbyURL := "http://" + standbyAddr
+	peersFlag := strings.Join(urls, ",")
+	dirs := []string{t.TempDir(), t.TempDir()}
+	standbyDir := t.TempDir()
+
+	daemons := make([]*exec.Cmd, 0, 3)
+	stopAll := func() {
+		for _, d := range daemons {
+			d.Process.Signal(os.Interrupt)
+		}
+		for _, d := range daemons {
+			done := make(chan struct{})
+			go func(d *exec.Cmd) { d.Wait(); close(done) }(d)
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				d.Process.Kill()
+			}
+		}
+	}
+	defer func() { stopAll() }()
+
+	// Gossip adoption advances a peer's stream clock to the cluster
+	// maximum, and the fan-out client posts peer 0's share of each batch
+	// before peer 1's — so the peers run the documented concurrent-producer
+	// posture: a one-interval watermark absorbs the skew that adoption
+	// would otherwise turn into late-dropped readings.
+	for p := 0; p < 2; p++ {
+		daemons = append(daemons, startPeerDaemon(t, bin, dirs[p], addrs[p], peersFlag, p,
+			"-gossip-interval", "50ms", "-watermark", "300"))
+	}
+	daemons = append(daemons, startStandbyDaemon(t, bin, standbyDir, standbyAddr, urls[0], peersFlag, 0))
+
+	mc := serve.NewMultiClient(urls, owner)
+	const batch = 256
+	cut := 0
+	for cut < len(events) && events[cut].Time() < 450 {
+		cut++
+	}
+	sent := 0
+	for sent < cut {
+		end := min(sent+batch, cut)
+		mcIngestRetry(t, mc, events[sent:end])
+		sent = end
+	}
+
+	// Wait for the shipped copy to reach the primary's LIVE fsynced
+	// horizon: every acknowledged event (strict mode fsyncs before ACK) is
+	// then on the standby's disk, and the only exposure left is the
+	// in-flight batch the producer re-sends below. The horizon must come
+	// from the primary's own /stats — the standby's status pair is
+	// consistent only as of its last poll, so it can report "caught up"
+	// against a horizon the primary has since appended past (and a kill in
+	// that window strands acknowledged events no partial resend covers).
+	live := primaryWALBytes(t, urls[0])
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ss := standbyStatus(t, standbyURL)
+		if ss.PrimaryWALBytes >= live && ss.ShippedBytes >= ss.PrimaryWALBytes {
+			t.Logf("standby caught up to live horizon %d: %+v", live, ss)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never caught up to live horizon %d: %+v", live, ss)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// kill -9 the primary: buffered intervals, open sockets, no goodbye.
+	if err := daemons[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemons[0].Wait()
+	daemons = daemons[1:]
+
+	// One POST /promote turns the standby into the slot's daemon: it
+	// recovers from the shipped WAL, announces the takeover epoch via
+	// gossip, and the survivor rebinds slot 0 to the standby's URL.
+	resp, err := http.Post(standbyURL+"/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d: %s", resp.StatusCode, body)
+	}
+	if ss := standbyStatus(t, standbyURL); !ss.Promoted {
+		t.Fatalf("standby not promoted after POST /promote: %+v", ss)
+	}
+
+	// The producer repoints slot 0 at the standby, re-sends the last
+	// acknowledged batch (covering the ack-lost window), and finishes the
+	// stream.
+	mc = serve.NewMultiClient([]string{standbyURL, urls[1]}, owner)
+	resend := max(sent-batch, 0)
+	for i := resend; i < len(events); i += batch {
+		end := min(i+batch, len(events))
+		mcIngestRetry(t, mc, events[i:end])
+	}
+
+	stats, err := mc.DrainAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mc.MergedResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("failed-over cluster Result diverged from uninterrupted reference\n got: %+v\nwant: %+v", got, want)
+		for p := range mc.Clients {
+			res, rerr := mc.Clients[p].Result()
+			t.Logf("peer %d result: %+v (err %v)", p, res, rerr)
+			t.Logf("peer %d feed: late=%d late_deps=%d stream=%d repl=%+v",
+				p, stats[p].Feed.Late, stats[p].Feed.LateDepartures, stats[p].StreamTime, stats[p].Repl)
+		}
+	}
+	gotAlerts := 0
+	for p := range mc.Clients {
+		alerts, err := mc.Clients[p].Alerts(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAlerts += len(alerts)
+	}
+	if gotAlerts != wantAlerts {
+		t.Errorf("cluster raised %d alerts, reference raised %d", gotAlerts, wantAlerts)
+	}
+	if wantAlerts == 0 {
+		t.Error("reference raised no alerts; the smoke scenario is too easy")
+	}
+
+	// The promoted daemon reports its takeover epoch, and the survivor's
+	// gossip table agrees slot 0 moved past epoch 0.
+	if repl := stats[0].Repl; repl == nil || repl.SelfEpoch < 1 {
+		t.Errorf("promoted daemon repl stats = %+v, want fence epoch >= 1", stats[0].Repl)
+	}
+	var view serve.GossipView
+	gresp, err := http.Get(urls[1] + "/gossip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(gresp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if view.Entries[0].Epoch < 1 || view.Entries[0].URL != standbyURL {
+		t.Errorf("survivor's gossip row for slot 0 = %+v, want epoch >= 1 at %s", view.Entries[0], standbyURL)
+	}
+	var migs int64
+	for _, st := range stats {
+		if st.Peers != nil {
+			migs += st.Peers.MigrationsSent
+		}
+	}
+	if migs == 0 {
+		t.Error("no cross-peer migrations after failover; the drill carried no cluster traffic")
+	}
+}

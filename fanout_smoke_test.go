@@ -64,6 +64,7 @@ func startFanoutDaemon(t *testing.T, bin string, extra ...string) (*exec.Cmd, st
 	}()
 	select {
 	case a := <-addr:
+		waitHealthz(t, "http://"+a)
 		return cmd, "http://" + a
 	case <-time.After(30 * time.Second):
 		cmd.Process.Kill()

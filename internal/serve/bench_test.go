@@ -13,6 +13,7 @@ import (
 	"rfidtrack/internal/rfinfer"
 	"rfidtrack/internal/sim"
 	"rfidtrack/internal/stream"
+	"rfidtrack/internal/wal"
 )
 
 // benchWorld is the 4-site deployment the serve benchmarks run against.
@@ -672,4 +673,110 @@ func BenchmarkFanout100k(b *testing.B) {
 	}
 	b.ReportMetric(float64(matches)/elapsed.Seconds(), "matches/s")
 	b.ReportMetric(float64(percentileDuration(all, 0.99))/1e6, "p99-delivery-ms")
+}
+
+// BenchmarkPromotion measures the durable half of standby promotion: over
+// a replica directory populated purely by WAL shipping (never written by
+// a local server), bump the fence epoch and bring a server up — state
+// restore, tail re-ingest and scheduler catch-up included via the Drain
+// barrier. This is what stands between a dead primary and a serving
+// successor, reported as promote-ms.
+func BenchmarkPromotion(b *testing.B) {
+	w := benchWorld(b)
+	const interval = model.Epoch(300)
+	dir := b.TempDir()
+	cfg := Config{Interval: interval, Horizon: w.Epochs, DataDir: dir, SyncEvery: -1, SnapshotEvery: 2}
+
+	c := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+	srv, err := New(c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := WorldEvents(w, c.Departures())
+	for i := 0; i < len(events); i += 512 {
+		end := min(i+512, len(events))
+		if err := srv.Ingest(events[i:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := srv.Abort(); err != nil { // crash-stop: snapshot + WAL tail on disk
+		b.Fatal(err)
+	}
+
+	// Ship the crashed primary's directory to the standby replica, exactly
+	// as the subscribe loop would have.
+	l, err := wal.Open(dir, len(w.Sites), wal.Options{SyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	replica := b.TempDir()
+	rcv, err := wal.OpenReceiver(replica)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		pos, err := rcv.Pos()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames, err := l.ShipDelta(nil, pos, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frames) == 0 {
+			break
+		}
+		for len(frames) > 0 {
+			rf, n, err := stream.DecodeReplFrame(frames)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rcv.Apply(rf); err != nil {
+				b.Fatal(err)
+			}
+			frames = frames[n:]
+		}
+	}
+	if err := rcv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	// Each iteration must promote the SAME shipped state: disable periodic
+	// snapshots so catch-up checkpoints cannot commit fresh snapshots into
+	// the shared replica (see BenchmarkRecovery); the growing FENCE epoch
+	// is the one sanctioned mutation — promotion always bumps it.
+	promCfg := cfg
+	promCfg.DataDir = replica
+	promCfg.SnapshotEvery = -1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch, err := wal.ReadFence(replica)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := wal.WriteFence(replica, epoch+1); err != nil {
+			b.Fatal(err)
+		}
+		c := dist.NewCluster(w, dist.MigrateWeights, rfinfer.DefaultConfig())
+		srv, err := New(c, promCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Drain(1); err != nil { // owed-checkpoint catch-up barrier
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		// Abort (not Shutdown) so the replica still holds the shipped state
+		// for the next iteration.
+		if err := srv.Abort(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "promote-ms")
 }

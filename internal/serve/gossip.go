@@ -1,0 +1,346 @@
+// The epoch-gossip liveness layer. Clustered daemons exchange small
+// tables of {fence epoch, stream time, WAL horizon} rows — one row per
+// peer slot — piggybacked on a round-robin timer (POST /gossip) and on
+// promotion announcements. The table answers two questions the migration
+// transport alone cannot:
+//
+//   - Progress: a peer whose own producers go quiet never sees new stream
+//     time, so it parks short of the checkpoint where it must send or
+//     receive a migration — and stalls every peer waiting on it until the
+//     retry window expires. Gossip carries the cluster's maximum stream
+//     time, and a daemon adopts it like any other stream-time signal
+//     (publishTime), so quiet peers keep pace. TestGossipUnstallsQuietPeer
+//     pins this.
+//
+//   - Identity: each slot's fence epoch names the slot's current
+//     legitimate owner. A promoted standby announces its slot at a higher
+//     epoch; peers rebind the slot's URL to the standby and re-deliver
+//     retained migration payloads (see peerSet.resendTo), while sends from
+//     the superseded daemon — which still announces the old epoch — are
+//     refused with 409 and ErrStaleEpoch. That refusal is the split-brain
+//     guard TestStalePrimaryFenced pins: a partitioned ex-primary that
+//     comes back cannot inject migrations or ACKs into a cluster that has
+//     moved past it.
+//
+// Failure detection follows from the same table: the age of a slot's last
+// heard-from time (GET /gossip) is the principled "is it dead" signal a
+// standby cross-checks before auto-promoting.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rfidtrack/internal/model"
+)
+
+// ErrStaleEpoch marks traffic from a peer whose slot has been taken over
+// at a higher fence epoch — a superseded ex-primary. Senders see it
+// wrapped in Send errors (the refusal is permanent: retrying cannot make
+// a stale epoch fresh); receivers return it with 409.
+var ErrStaleEpoch = errors.New("serve: stale gossip epoch")
+
+// peerHeader and epochHeader carry the sender's slot index and fence
+// epoch on every peer-to-peer POST, so the receiver can fence stale
+// senders without a body round trip.
+const (
+	peerHeader  = "X-RFID-Peer"
+	epochHeader = "X-RFID-Epoch"
+)
+
+// GossipEntry is one peer slot's row in the gossip table.
+type GossipEntry struct {
+	// URL is the slot's current base URL — rebound when a promoted
+	// standby takes the slot over at a higher epoch.
+	URL string `json:"url"`
+	// Epoch is the slot's fence epoch: 0 for a never-failed-over peer,
+	// bumped by each promotion. Higher epoch wins every merge.
+	Epoch int64 `json:"epoch"`
+	// Stream is the highest stream time the slot's daemon has reported.
+	Stream model.Epoch `json:"stream"`
+	// Horizon is the slot's WAL appended-bytes watermark (0 when the peer
+	// runs without durability), the replication-lag reference point.
+	Horizon int64 `json:"horizon"`
+}
+
+// GossipMsg is the POST /gossip body and reply: the sender's slot index
+// and its full table, indexed by peer slot.
+type GossipMsg struct {
+	From    int           `json:"from"`
+	Entries []GossipEntry `json:"entries"`
+}
+
+// GossipView is the GET /gossip reply: the table plus each slot's
+// last-heard-from age in milliseconds (-1 = never, 0 for self). A standby
+// deciding whether its primary is dead asks the surviving peers for this
+// view; operators read it to watch cluster liveness.
+type GossipView struct {
+	Self    int           `json:"self"`
+	Epoch   int64         `json:"epoch"`
+	Entries []GossipEntry `json:"entries"`
+	AgeMS   []int64       `json:"age_ms"`
+}
+
+// initGossip seeds the table from the configured topology and this
+// daemon's persisted fence epoch, and arms the peer transport's fencing
+// headers. Called from New in the clustered branch.
+func (s *Server) initGossip(fence int64) {
+	s.selfEpoch.Store(fence)
+	s.peers.selfEpoch = &s.selfEpoch
+	s.gossipTab = make([]GossipEntry, len(s.cfg.Peers))
+	s.gossipHeard = make([]time.Time, len(s.cfg.Peers))
+	for i, u := range s.cfg.Peers {
+		s.gossipTab[i] = GossipEntry{URL: u}
+	}
+	s.gossipTab[s.cfg.Self].Epoch = fence
+}
+
+// gossipMsg snapshots the table with this daemon's own row refreshed.
+func (s *Server) gossipMsg() GossipMsg {
+	s.gossipMu.Lock()
+	defer s.gossipMu.Unlock()
+	self := &s.gossipTab[s.cfg.Self]
+	self.Epoch = s.selfEpoch.Load()
+	if t := s.maxT.Load(); t > int64(self.Stream) {
+		self.Stream = model.Epoch(t)
+	}
+	if s.wal != nil {
+		self.Horizon = s.wal.Stats().AppendedBytes
+	}
+	return GossipMsg{From: s.cfg.Self, Entries: append([]GossipEntry(nil), s.gossipTab...)}
+}
+
+// mergeGossip folds a received table into the local one. Per slot, a
+// higher fence epoch wins outright (rebinding the slot's URL and
+// triggering outbox re-delivery to the new owner); at equal epochs stream
+// time and horizon advance monotonically. Two side effects leave the
+// table: the cluster-wide maximum stream time is adopted as a local
+// stream-time signal, and a higher epoch for this daemon's OWN slot means
+// it has been superseded by a promoted standby — it fences itself
+// unhealthy rather than keep acting as an owner it no longer is.
+func (s *Server) mergeGossip(msg GossipMsg) {
+	if s.gossipTab == nil {
+		return
+	}
+	now := time.Now()
+	type rebind struct {
+		peer int
+		url  string
+	}
+	var rebound []rebind
+	superseded := int64(-1)
+	s.gossipMu.Lock()
+	for i := range msg.Entries {
+		if i >= len(s.gossipTab) {
+			break
+		}
+		e := msg.Entries[i]
+		if i == s.cfg.Self {
+			if e.Epoch > s.selfEpoch.Load() {
+				superseded = e.Epoch
+			}
+			continue
+		}
+		cur := &s.gossipTab[i]
+		switch {
+		case e.Epoch > cur.Epoch:
+			cur.Epoch = e.Epoch
+			if e.URL != "" && e.URL != cur.URL {
+				cur.URL = e.URL
+				rebound = append(rebound, rebind{peer: i, url: e.URL})
+			}
+			if e.Stream > cur.Stream {
+				cur.Stream = e.Stream
+			}
+			cur.Horizon = e.Horizon
+			s.gossipHeard[i] = now
+		case e.Epoch == cur.Epoch:
+			changed := false
+			if e.Stream > cur.Stream {
+				cur.Stream = e.Stream
+				changed = true
+			}
+			if e.Horizon > cur.Horizon {
+				cur.Horizon = e.Horizon
+				changed = true
+			}
+			if changed || i == msg.From {
+				s.gossipHeard[i] = now
+			}
+		}
+	}
+	maxStream := model.Epoch(-1)
+	for i := range s.gossipTab {
+		if s.gossipTab[i].Stream > maxStream {
+			maxStream = s.gossipTab[i].Stream
+		}
+	}
+	s.gossipMu.Unlock()
+
+	for _, rb := range rebound {
+		s.peers.setURL(rb.peer, rb.url)
+		// The new owner recovered from its shipped WAL, which may predate
+		// payloads the dead primary ACKed after its last ship; re-deliver
+		// everything retained for the slot (receipt is idempotent).
+		go s.peers.resendTo(rb.peer)
+	}
+	if superseded >= 0 {
+		s.walFail(fmt.Errorf("%w: this daemon's slot %d was taken over at epoch %d (local epoch %d)",
+			ErrStaleEpoch, s.cfg.Self, superseded, s.selfEpoch.Load()))
+	}
+	if maxStream >= 0 && !s.replaying.Load() && int64(maxStream) > s.maxT.Load() {
+		s.adopted.Add(1)
+		s.publishTime(maxStream)
+	}
+}
+
+// gossipLoop is the timer half of the protocol: every GossipInterval it
+// exchanges tables with one peer, round-robin, so table freshness is
+// independent of data traffic. Runs until Shutdown/Abort close s.quit.
+func (s *Server) gossipLoop() {
+	defer close(s.gossipDone)
+	t := time.NewTicker(s.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+		}
+		if p, ok := s.gossipNextPeer(); ok {
+			s.gossipWith(p, true)
+		}
+	}
+}
+
+// gossipNextPeer advances the round-robin cursor past this daemon's own
+// slot.
+func (s *Server) gossipNextPeer() (int, bool) {
+	s.gossipMu.Lock()
+	defer s.gossipMu.Unlock()
+	n := len(s.gossipTab)
+	for tries := 0; tries < n; tries++ {
+		p := s.gossipNext % n
+		s.gossipNext++
+		if p != s.cfg.Self {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// gossipWith runs one exchange: POST the local table to peer p and, when
+// merge is set, fold the reply back in. Failures are silently dropped — a
+// missed exchange only ages the slot, which is exactly the signal failure
+// detection wants.
+func (s *Server) gossipWith(p int, merge bool) {
+	body, err := json.Marshal(s.gossipMsg())
+	if err != nil {
+		return
+	}
+	resp, err := s.peers.hc.Post(s.peers.url(p)+"/gossip", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	var reply GossipMsg
+	if err := checkStatus(resp, &reply); err != nil {
+		return
+	}
+	if merge {
+		s.mergeGossip(reply)
+	}
+}
+
+// GossipNow pushes this daemon's table to every peer immediately — the
+// promotion announcement. A freshly promoted standby calls it so the
+// surviving peers rebind the slot's URL and re-deliver retained
+// migrations without waiting out a gossip tick. Push-only, deliberately:
+// merging the survivors' replies here would adopt their stream clock
+// before the producers have resent the unshipped tail, sealing
+// checkpoints ahead of readings that are still on their way back. The
+// timer loop (whose adoption the watermark is sized for) picks replies up
+// later. Safe (and a no-op) on an un-clustered daemon.
+func (s *Server) GossipNow() {
+	if s.peers == nil || s.gossipTab == nil {
+		return
+	}
+	for p := range s.cfg.Peers {
+		if p != s.cfg.Self {
+			s.gossipWith(p, false)
+		}
+	}
+}
+
+// handleGossip is the POST /gossip exchange: merge the sender's table,
+// reply with ours.
+func (s *Server) handleGossip(w http.ResponseWriter, r *http.Request) {
+	if s.peers == nil || s.gossipTab == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "serve: daemon is not clustered"})
+		return
+	}
+	var msg GossipMsg
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&msg); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "serve: gossip body: " + err.Error()})
+		return
+	}
+	s.mergeGossip(msg)
+	writeJSON(w, http.StatusOK, s.gossipMsg())
+}
+
+// handleGossipView is the GET /gossip read-only view with per-slot ages.
+func (s *Server) handleGossipView(w http.ResponseWriter, r *http.Request) {
+	if s.peers == nil || s.gossipTab == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "serve: daemon is not clustered"})
+		return
+	}
+	view := GossipView{Self: s.cfg.Self, Epoch: s.selfEpoch.Load()}
+	s.gossipMu.Lock()
+	view.Entries = append([]GossipEntry(nil), s.gossipTab...)
+	view.AgeMS = make([]int64, len(s.gossipTab))
+	for i := range s.gossipHeard {
+		switch {
+		case i == s.cfg.Self:
+			view.AgeMS[i] = 0
+		case s.gossipHeard[i].IsZero():
+			view.AgeMS[i] = -1
+		default:
+			view.AgeMS[i] = time.Since(s.gossipHeard[i]).Milliseconds()
+		}
+	}
+	s.gossipMu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// checkPeerEpoch fences a peer-to-peer request by its sender headers: a
+// sender announcing an epoch below its slot's known fence epoch has been
+// superseded and must be refused (ErrStaleEpoch); a higher epoch is
+// adopted. Requests without the headers (older peers, manual curl) pass —
+// the fence is an upgrade, not a handshake requirement.
+func (s *Server) checkPeerEpoch(r *http.Request) error {
+	if s.gossipTab == nil {
+		return nil
+	}
+	ph, eh := r.Header.Get(peerHeader), r.Header.Get(epochHeader)
+	if ph == "" || eh == "" {
+		return nil
+	}
+	from, err1 := strconv.Atoi(ph)
+	epoch, err2 := strconv.ParseInt(eh, 10, 64)
+	if err1 != nil || err2 != nil || from < 0 || from >= len(s.gossipTab) || from == s.cfg.Self {
+		return nil
+	}
+	s.gossipMu.Lock()
+	defer s.gossipMu.Unlock()
+	if cur := s.gossipTab[from].Epoch; epoch < cur {
+		return fmt.Errorf("%w: peer %d sent epoch %d but its slot is fenced at %d", ErrStaleEpoch, from, epoch, cur)
+	} else if epoch > cur {
+		s.gossipTab[from].Epoch = epoch
+	}
+	s.gossipHeard[from] = time.Now()
+	return nil
+}

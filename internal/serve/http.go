@@ -59,6 +59,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /alerts/stream", s.handleAlertStream)
 	mux.HandleFunc("POST /peer/migrate", s.handlePeerMigrate)
 	mux.HandleFunc("GET /ons", s.handleONS)
+	mux.HandleFunc("POST /repl/subscribe", s.handleReplSubscribe)
+	mux.HandleFunc("POST /gossip", s.handleGossip)
+	mux.HandleFunc("GET /gossip", s.handleGossipView)
 	return mux
 }
 

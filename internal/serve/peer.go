@@ -22,10 +22,12 @@ import (
 	"bytes"
 	"cmp"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,8 +69,14 @@ type PeerStats struct {
 	StaleMigrations    int64 `json:"stale_migrations,omitempty"`
 	SendRetries        int64 `json:"send_retries,omitempty"`
 	// InboxDepth is the number of deposited payloads no checkpoint has
-	// consumed yet.
-	InboxDepth int `json:"inbox_depth"`
+	// consumed yet; OutboxDepth the acknowledged frames retained for
+	// re-delivery to a promoted standby (aged out on the retry window).
+	InboxDepth  int `json:"inbox_depth"`
+	OutboxDepth int `json:"outbox_depth,omitempty"`
+	// FencedArrivals counts peer requests refused with 409 because the
+	// sender announced a fence epoch its slot has moved past — the
+	// split-brain guard's trip counter.
+	FencedArrivals int64 `json:"fenced_arrivals,omitempty"`
 	// SocketBytesSent and SocketBytesRecv count bytes through the peer
 	// HTTP client's connections (migrations out, ONS lookups, responses).
 	SocketBytesSent int64 `json:"socket_bytes_sent"`
@@ -105,20 +113,55 @@ func (c *countConn) Write(b []byte) (int, error) {
 type peerSet struct {
 	self   int
 	owner  []int // site -> peer
-	urls   []string
 	window time.Duration
 	hc     *http.Client
+
+	// selfEpoch, when non-nil, is this daemon's fence epoch (shared with
+	// the gossip table); every POST announces it so receivers can fence a
+	// superseded sender (see gossip.go).
+	selfEpoch *atomic.Int64
+
+	urlMu sync.RWMutex
+	urls  []string // guarded by urlMu: gossip rebinds a slot on takeover
 
 	sockIn, sockOut atomic.Int64
 	sent            atomic.Int64
 	received        atomic.Int64
 	stale           atomic.Int64
 	retries         atomic.Int64
+	fenced          atomic.Int64
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	inbox  map[dist.Departure][]byte
+	outbox map[dist.Departure]outboxEntry
 	closed bool
+}
+
+// outboxEntry retains one acknowledged migration frame for possible
+// re-delivery: a promoted standby recovers from the shipped WAL, which
+// may predate payloads the dead primary ACKed after its last ship.
+// Entries age out after the retry window (see prune).
+type outboxEntry struct {
+	frame []byte
+	peer  int
+	at    time.Time
+}
+
+// url returns peer i's current base URL.
+func (p *peerSet) url(i int) string {
+	p.urlMu.RLock()
+	defer p.urlMu.RUnlock()
+	return p.urls[i]
+}
+
+// setURL rebinds peer i's base URL — a promoted standby taking over the
+// slot. In-flight Send retries pick the new address up on their next
+// attempt.
+func (p *peerSet) setURL(i int, u string) {
+	p.urlMu.Lock()
+	p.urls[i] = u
+	p.urlMu.Unlock()
 }
 
 // newPeerSet builds the transport for one daemon: peer URLs, the
@@ -131,9 +174,10 @@ func newPeerSet(self int, owner []int, urls []string, window time.Duration) *pee
 	p := &peerSet{
 		self:   self,
 		owner:  owner,
-		urls:   urls,
+		urls:   append([]string(nil), urls...),
 		window: window,
 		inbox:  make(map[dist.Departure][]byte),
+		outbox: make(map[dist.Departure]outboxEntry),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	dialer := &net.Dialer{Timeout: 5 * time.Second}
@@ -173,10 +217,19 @@ func (p *peerSet) Send(d dist.Departure, payload []byte) error {
 	deadline := time.Now().Add(p.window)
 	backoff := 10 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		err := p.post(p.urls[peer]+"/peer/migrate", frame)
+		err := p.post(p.url(peer)+"/peer/migrate", frame)
 		if err == nil {
 			p.sent.Add(1)
+			p.retain(d, frame, peer)
 			return nil
+		}
+		var he *HTTPError
+		if errors.As(err, &he) && he.Status == http.StatusConflict {
+			// The receiver fenced this daemon's epoch: its slot has been
+			// taken over by a promoted standby. Permanent by construction —
+			// retrying cannot make a stale epoch fresh.
+			return fmt.Errorf("serve: migration of object %d (%d->%d at %d) refused by peer %d: %w: %v",
+				d.Object, d.From, d.To, d.At, peer, ErrStaleEpoch, err)
 		}
 		if !Retryable(err) || time.Now().After(deadline) {
 			return fmt.Errorf("serve: migration of object %d (%d->%d at %d) to peer %d failed after %d attempts: %w",
@@ -190,11 +243,62 @@ func (p *peerSet) Send(d dist.Departure, payload []byte) error {
 	}
 }
 
+// retain stores an acknowledged frame in the outbox for possible
+// re-delivery to a promoted standby (see resendTo).
+func (p *peerSet) retain(d dist.Departure, frame []byte, peer int) {
+	p.mu.Lock()
+	if !p.closed {
+		p.outbox[d] = outboxEntry{frame: frame, peer: peer, at: time.Now()}
+	}
+	p.mu.Unlock()
+}
+
+// resendTo re-delivers every retained outbox frame bound for the given
+// slot. Called (from a fresh goroutine) when gossip rebinds the slot to a
+// promoted standby, whose recovered WAL may predate payloads the dead
+// primary ACKed. Receipt is idempotent — the first copy wins and stale
+// checkpoints ACK without depositing — so over-delivery is harmless, and
+// delivery failures are dropped: the receiving checkpoint's own retry
+// window has the final word.
+func (p *peerSet) resendTo(peer int) {
+	p.mu.Lock()
+	frames := make([][]byte, 0, len(p.outbox))
+	for _, e := range p.outbox {
+		if e.peer == peer {
+			frames = append(frames, e.frame)
+		}
+	}
+	p.mu.Unlock()
+	for _, frame := range frames {
+		deadline := time.Now().Add(p.window)
+		backoff := 10 * time.Millisecond
+		for {
+			err := p.post(p.url(peer)+"/peer/migrate", frame)
+			if err == nil || !Retryable(err) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+	}
+}
+
 // post sends one frame, mapping non-2xx statuses to *HTTPError so Send's
 // retry gate sees 503 (peer draining/restarting) as retryable and 4xx
 // (topology misconfiguration) as permanent.
 func (p *peerSet) post(url string, frame []byte) error {
-	resp, err := p.hc.Post(url, "application/octet-stream", bytes.NewReader(frame))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if p.selfEpoch != nil {
+		req.Header.Set(peerHeader, strconv.Itoa(p.self))
+		req.Header.Set(epochHeader, strconv.FormatInt(p.selfEpoch.Load(), 10))
+	}
+	resp, err := p.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -258,10 +362,19 @@ func (p *peerSet) deposit(d dist.Departure, payload []byte, logIt func() error) 
 // copy would otherwise sit in the inbox forever. Called after every
 // checkpoint with the new feed boundary.
 func (p *peerSet) prune(next, interval model.Epoch) {
+	cutoff := time.Now().Add(-p.window)
 	p.mu.Lock()
 	for d := range p.inbox {
 		if migCkpt(d.At, interval) < next {
 			delete(p.inbox, d)
+		}
+	}
+	// Outbox entries age out on the retry window: past it a standby's
+	// takeover re-delivery would arrive outside the window the receiving
+	// checkpoint waits anyway, so retaining longer buys nothing.
+	for d, e := range p.outbox {
+		if e.at.Before(cutoff) {
+			delete(p.outbox, d)
 		}
 	}
 	p.mu.Unlock()
@@ -313,11 +426,17 @@ func (p *peerSet) close() {
 func (p *peerSet) stats() PeerStats {
 	p.mu.Lock()
 	depth := len(p.inbox)
+	obox := len(p.outbox)
 	p.mu.Unlock()
+	p.urlMu.RLock()
+	urls := append([]string(nil), p.urls...)
+	p.urlMu.RUnlock()
 	return PeerStats{
 		Self:               p.self,
-		Peers:              p.urls,
+		Peers:              urls,
 		SiteOwner:          p.owner,
+		FencedArrivals:     p.fenced.Load(),
+		OutboxDepth:        obox,
 		MigrationsSent:     p.sent.Load(),
 		MigrationsReceived: p.received.Load(),
 		StaleMigrations:    p.stale.Load(),
@@ -369,6 +488,15 @@ func (s *Server) handlePeerMigrate(w http.ResponseWriter, r *http.Request) {
 	if s.owner[d.To] != s.cfg.Self {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(
 			"serve: site %d is owned by peer %d, not this daemon (peer %d)", d.To, s.owner[d.To], s.cfg.Self)})
+		return
+	}
+	// Split-brain guard: a sender announcing an epoch its slot has been
+	// fenced past is a superseded ex-primary; refusing with 409 (permanent
+	// on the sender side) keeps its migrations out of a cluster that has
+	// already moved on. See gossip.go.
+	if err := s.checkPeerEpoch(r); err != nil {
+		s.peers.fenced.Add(1)
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
 		return
 	}
 	// Stale: the consuming checkpoint already completed here, so the first

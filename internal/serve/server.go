@@ -108,6 +108,17 @@ type Config struct {
 	// payload (default 2m). A peer that stays down past the window fails
 	// the checkpoint and latches the pipeline unhealthy.
 	PeerRetryWindow time.Duration
+	// GossipInterval, when positive, runs the epoch-gossip liveness loop:
+	// every interval this daemon exchanges {fence epoch, stream time, WAL
+	// horizon} tables with one peer (round-robin), adopting the cluster's
+	// maximum stream time so a peer whose own producers go quiet still
+	// reaches the checkpoints where it must send or receive migrations
+	// (see gossip.go). 0 (the default) disables the timer loop; the
+	// /gossip endpoints still answer, so peers that do run the loop keep
+	// this daemon's table fresh. Enabling it extends the producer-ordering
+	// contract cluster-wide: stream time can now arrive from any peer, so
+	// set a Watermark covering inter-producer skew (see OPERATIONS.md).
+	GossipInterval time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -196,6 +207,9 @@ type Stats struct {
 	WAL *wal.Stats `json:"wal,omitempty"`
 	// Peers is the cluster transport accounting (nil when un-clustered).
 	Peers *PeerStats `json:"peers,omitempty"`
+	// Repl is the replication/standby accounting: shipping volume,
+	// follower recency and the gossip table (nil when DataDir is unset).
+	Repl *ReplStats `json:"repl,omitempty"`
 }
 
 // SiteSnapshot is one site's current inference estimates: the /snapshot
@@ -282,6 +296,20 @@ type Server struct {
 	walErrMu  sync.Mutex  // guards walErr
 	walErr    error       // first WAL append/sync failure, latched
 
+	// Gossip and fencing state (clustered only; see gossip.go).
+	selfEpoch   atomic.Int64 // this daemon's fence epoch (persisted in FENCE)
+	adopted     atomic.Int64 // stream-time advances adopted from gossip
+	gossipMu    sync.Mutex   // guards the table, heard times and cursor
+	gossipTab   []GossipEntry
+	gossipHeard []time.Time
+	gossipNext  int           // round-robin cursor
+	gossipDone  chan struct{} // closed when the gossip loop exits; nil without one
+
+	// Replication shipping counters (see repl.go).
+	replShipped   atomic.Int64
+	replLastBatch atomic.Int64
+	replLastSub   atomic.Int64 // unix nanos of the last subscribe; 0 = never
+
 	mu        sync.Mutex // guards the feed and everything below
 	feed      *dist.Feed
 	due       [][]dist.Reading // sealed per-site buckets, reused per checkpoint
@@ -334,11 +362,24 @@ func New(c *dist.Cluster, cfg Config) (*Server, error) {
 		}
 		s.owner = owner
 		s.peers = newPeerSet(cfg.Self, owner, cfg.Peers, cfg.PeerRetryWindow)
+		fence := int64(0)
+		if cfg.DataDir != "" {
+			fe, ferr := wal.ReadFence(cfg.DataDir)
+			if ferr != nil {
+				return nil, ferr
+			}
+			fence = fe
+		}
+		s.initGossip(fence)
 		if cfg.Self != 0 {
 			// Peer 0 is the naming-service authority; everyone else runs
-			// the invalidating cache over GET /ons against it.
-			onsClient := &Client{BaseURL: cfg.Peers[0], HTTP: s.peers.hc}
-			s.onsCache = dist.NewONSCache(onsClient.ONSLookup)
+			// the invalidating cache over GET /ons against it. The URL is
+			// resolved per fetch: gossip rebinds slot 0 when a promoted
+			// standby takes it over, and the next cache miss must follow.
+			s.onsCache = dist.NewONSCache(func(tag model.TagID) (int, error) {
+				c := &Client{BaseURL: s.peers.url(0), HTTP: s.peers.hc}
+				return c.ONSLookup(tag)
+			})
 		}
 	}
 	prevQuery, prevWorkers := c.Query, c.Workers
@@ -387,6 +428,10 @@ func New(c *dist.Cluster, cfg Config) (*Server, error) {
 		}
 	}
 	go s.scheduler()
+	if s.peers != nil && cfg.GossipInterval > 0 {
+		s.gossipDone = make(chan struct{})
+		go s.gossipLoop()
+	}
 	if s.checkpointDue() {
 		select {
 		case s.notify <- struct{}{}:
@@ -876,6 +921,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.ingestWG.Wait() // every accepted producer has bucketed its events
 	close(s.quit)
 	<-s.schedDone
+	if s.gossipDone != nil {
+		<-s.gossipDone
+	}
 
 	s.mu.Lock()
 	var err error
@@ -941,6 +989,9 @@ func (s *Server) Abort() error {
 	s.ingestWG.Wait()
 	close(s.quit)
 	<-s.schedDone
+	if s.gossipDone != nil {
+		<-s.gossipDone
+	}
 
 	s.mu.Lock()
 	res := s.feed.Result()
@@ -1171,6 +1222,8 @@ func (s *Server) Stats() Stats {
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		st.WAL = &ws
+		rs := s.replStats()
+		st.Repl = &rs
 	}
 	if s.peers != nil {
 		ps := s.peers.stats()

@@ -1,0 +1,384 @@
+// The warm-standby runtime: a process that tails a primary's WAL over
+// /repl/subscribe, keeps a byte-compatible copy of its data directory,
+// and can be promoted — by POST /promote or automatically when the
+// primary is declared dead — into a full Server that takes over the
+// primary's peer slot.
+//
+// Promotion is ordinary recovery wearing a new fence epoch: the standby
+// stops shipping, writes FENCE = primary's epoch + 1, and runs New over
+// the shipped directory — the exact crash-recovery path an in-place
+// restart would run, which is why the promoted Result and alert log
+// carry recovery's determinism guarantee. It then announces the takeover
+// via GossipNow: surviving peers rebind the slot's URL to the standby,
+// re-deliver retained migration payloads the dead primary ACKed after
+// its last ship (peerSet.resendTo), and fence the ex-primary out should
+// it ever come back (ErrStaleEpoch). What promotion cannot restore is a
+// reading the primary accepted but never shipped; Strict mode plus an
+// idempotent producer resend closes exactly that gap —
+// TestFailoverMatchesSequential pins the end-to-end contract.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfidtrack/internal/dist"
+	"rfidtrack/internal/stream"
+	"rfidtrack/internal/wal"
+)
+
+// StandbyConfig configures one warm standby.
+type StandbyConfig struct {
+	// Primary is the base URL of the daemon being shadowed.
+	Primary string
+	// Dir is the local directory the shipped WAL lands in; promotion
+	// recovers from it.
+	Dir string
+	// Self is this standby's own base URL, announced to the cluster as
+	// the slot's new address on promotion.
+	Self string
+	// ForPeer is the peer slot the primary occupies — the slot the
+	// promoted server takes over. 0 for an un-clustered primary.
+	ForPeer int
+	// Peers lists the other peers' base URLs, used only to cross-check a
+	// suspected death against their GET /gossip views before
+	// auto-promoting (empty skips the check).
+	Peers []string
+	// ShipInterval is the subscribe-poll cadence (default 250ms); it
+	// bounds both replication lag and heartbeat resolution.
+	ShipInterval time.Duration
+	// DeadAfter, when positive, arms automatic promotion: the standby
+	// promotes itself once the primary's heartbeat has been silent this
+	// long AND no surviving peer has heard from it within the same
+	// window. 0 means promotion is manual only (POST /promote).
+	DeadAfter time.Duration
+	// Build constructs the post-promotion deployment: a fresh cluster and
+	// the Config the dead primary ran with. The standby overrides DataDir
+	// (to Dir), Self (to ForPeer) and the slot's URL (to Self) before
+	// calling New.
+	Build func() (*dist.Cluster, Config, error)
+}
+
+// StandbyStatus is the GET /repl/status payload.
+type StandbyStatus struct {
+	// Promoted reports whether this process has become the slot's server.
+	Promoted bool `json:"promoted"`
+	// PrimaryEpoch, PrimaryStream and PrimaryWALBytes are the primary's
+	// last heartbeat fields.
+	PrimaryEpoch    int64 `json:"primary_epoch"`
+	PrimaryStream   int64 `json:"primary_stream"`
+	PrimaryWALBytes int64 `json:"primary_wal_bytes"`
+	// ShippedBytes counts WAL bytes applied locally; PrimaryWALBytes
+	// minus the local horizon is the replication lag.
+	ShippedBytes int64 `json:"shipped_bytes"`
+	// LastHeartbeatMS is the age of the last successful poll in
+	// milliseconds.
+	LastHeartbeatMS int64 `json:"last_heartbeat_ms"`
+	// Err is the most recent ship-loop error, cleared by the next
+	// successful poll.
+	Err string `json:"err,omitempty"`
+}
+
+// maxReplBody bounds one subscribe reply: the shipper's default budget
+// plus chunk-rounding and status headroom.
+const maxReplBody = wal.DefaultShipBudget + (1 << 20)
+
+// Standby tails one primary. Start it with NewStandby; it serves
+// Handler() while shipping and transparently becomes the promoted
+// server's handler after Promote.
+type Standby struct {
+	cfg StandbyConfig
+	rcv *wal.Receiver
+	hc  *http.Client
+
+	primaryEpoch  atomic.Int64
+	primaryStream atomic.Int64
+	primaryBytes  atomic.Int64
+	shipped       atomic.Int64
+	lastOK        atomic.Int64 // unix nanos of the last successful poll
+
+	errMu   sync.Mutex
+	lastErr error
+
+	quit     chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
+	rcvOnce  sync.Once
+	rcvErr   error
+
+	promoteOnce sync.Once
+	promoteErr  error
+	srv         atomic.Pointer[Server]
+	front       atomic.Pointer[http.Handler]
+}
+
+// NewStandby opens (or resumes) the shipping directory and starts the
+// tail loop. The returned Standby serves Handler() immediately.
+func NewStandby(cfg StandbyConfig) (*Standby, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("serve: standby needs a primary URL")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("serve: standby needs a shipping directory")
+	}
+	if cfg.Build == nil {
+		return nil, errors.New("serve: standby needs a Build function for promotion")
+	}
+	if cfg.ShipInterval <= 0 {
+		cfg.ShipInterval = 250 * time.Millisecond
+	}
+	rcv, err := wal.OpenReceiver(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &Standby{
+		cfg:      cfg,
+		rcv:      rcv,
+		hc:       &http.Client{Timeout: 30 * time.Second},
+		quit:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	// Grace-start the failure detector: the primary gets a full DeadAfter
+	// from process start before silence counts against it.
+	st.lastOK.Store(time.Now().UnixNano())
+	go st.run()
+	return st, nil
+}
+
+// run is the ship loop: poll, apply, and — when armed — detect death and
+// self-promote.
+func (st *Standby) run() {
+	t := time.NewTicker(st.cfg.ShipInterval)
+	defer t.Stop()
+	auto := false
+	for !auto {
+		select {
+		case <-st.quit:
+			close(st.loopDone)
+			return
+		case <-t.C:
+		}
+		err := st.poll()
+		st.errMu.Lock()
+		st.lastErr = err
+		st.errMu.Unlock()
+		if st.cfg.DeadAfter > 0 && err != nil &&
+			time.Since(time.Unix(0, st.lastOK.Load())) > st.cfg.DeadAfter &&
+			!st.primaryAliveElsewhere() {
+			auto = true
+		}
+	}
+	close(st.loopDone)
+	st.Promote()
+}
+
+// poll runs one subscribe round trip: send the receiver's position,
+// apply the returned frames, record the heartbeat.
+func (st *Standby) poll() error {
+	pos, err := st.rcv.Pos()
+	if err != nil {
+		return err
+	}
+	body, err := jsonBody(pos)
+	if err != nil {
+		return err
+	}
+	resp, err := st.hc.Post(st.cfg.Primary+"/repl/subscribe", "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &HTTPError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(msg)),
+			Method: http.MethodPost, Path: "/repl/subscribe"}
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxReplBody))
+	if err != nil {
+		return err
+	}
+	gotStatus := false
+	for len(b) > 0 {
+		rf, n, err := stream.DecodeReplFrame(b)
+		if err != nil {
+			return fmt.Errorf("serve: standby reply frame: %w", err)
+		}
+		if rf.Kind == stream.ReplStatus {
+			fence, streamT, appended := stream.DecodeReplStatus(rf)
+			st.primaryEpoch.Store(fence)
+			st.primaryStream.Store(streamT)
+			st.primaryBytes.Store(appended)
+			gotStatus = true
+		} else if err := st.rcv.Apply(rf); err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	st.shipped.Store(st.rcv.ShippedBytes())
+	if gotStatus {
+		st.lastOK.Store(time.Now().UnixNano())
+	}
+	return nil
+}
+
+// jsonBody marshals v into a reader.
+func jsonBody(v any) (io.Reader, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(b), nil
+}
+
+// primaryAliveElsewhere asks the surviving peers' gossip views whether
+// any of them heard from the primary's slot within DeadAfter — the
+// cross-check that keeps a standby partitioned from its primary (but not
+// from the cluster) from promoting into a split brain.
+func (st *Standby) primaryAliveElsewhere() bool {
+	for _, u := range st.cfg.Peers {
+		if u == "" || u == st.cfg.Primary {
+			continue
+		}
+		resp, err := st.hc.Get(u + "/gossip")
+		if err != nil {
+			continue
+		}
+		var view GossipView
+		if err := checkStatus(resp, &view); err != nil {
+			continue
+		}
+		if st.cfg.ForPeer < len(view.AgeMS) {
+			if age := view.AgeMS[st.cfg.ForPeer]; age >= 0 &&
+				time.Duration(age)*time.Millisecond < st.cfg.DeadAfter {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Promote turns the standby into the slot's server: stop shipping, bump
+// the fence epoch past the primary's, recover over the shipped directory
+// (the normal New path), swap the HTTP front to the new server, and
+// announce the takeover to the cluster. Idempotent — concurrent and
+// repeated calls share one outcome.
+func (st *Standby) Promote() error {
+	st.promoteOnce.Do(st.promote)
+	return st.promoteErr
+}
+
+func (st *Standby) promote() {
+	st.stopOnce.Do(func() { close(st.quit) })
+	<-st.loopDone
+	epoch := st.primaryEpoch.Load()
+	if fe, err := wal.ReadFence(st.cfg.Dir); err == nil && fe > epoch {
+		epoch = fe
+	}
+	st.closeReceiver()
+	if err := wal.WriteFence(st.cfg.Dir, epoch+1); err != nil {
+		st.promoteErr = err
+		return
+	}
+	cluster, cfg, err := st.cfg.Build()
+	if err != nil {
+		st.promoteErr = err
+		return
+	}
+	cfg.DataDir = st.cfg.Dir
+	if len(cfg.Peers) > 1 {
+		if st.cfg.ForPeer < 0 || st.cfg.ForPeer >= len(cfg.Peers) {
+			st.promoteErr = fmt.Errorf("serve: standby slot %d out of range for %d peers", st.cfg.ForPeer, len(cfg.Peers))
+			return
+		}
+		peers := append([]string(nil), cfg.Peers...)
+		if st.cfg.Self != "" {
+			peers[st.cfg.ForPeer] = st.cfg.Self
+		}
+		cfg.Peers = peers
+		cfg.Self = st.cfg.ForPeer
+	}
+	srv, err := New(cluster, cfg)
+	if err != nil {
+		st.promoteErr = err
+		return
+	}
+	h := srv.Handler()
+	st.srv.Store(srv)
+	st.front.Store(&h)
+	srv.GossipNow()
+}
+
+// closeReceiver closes the shipping receiver exactly once.
+func (st *Standby) closeReceiver() {
+	st.rcvOnce.Do(func() { st.rcvErr = st.rcv.Close() })
+}
+
+// Server returns the promoted server, or nil before promotion.
+func (st *Standby) Server() *Server {
+	return st.srv.Load()
+}
+
+// Status snapshots the standby's replication state.
+func (st *Standby) Status() StandbyStatus {
+	ss := StandbyStatus{
+		Promoted:        st.srv.Load() != nil,
+		PrimaryEpoch:    st.primaryEpoch.Load(),
+		PrimaryStream:   st.primaryStream.Load(),
+		PrimaryWALBytes: st.primaryBytes.Load(),
+		ShippedBytes:    st.shipped.Load(),
+		LastHeartbeatMS: time.Since(time.Unix(0, st.lastOK.Load())).Milliseconds(),
+	}
+	st.errMu.Lock()
+	if st.lastErr != nil {
+		ss.Err = st.lastErr.Error()
+	}
+	st.errMu.Unlock()
+	return ss
+}
+
+// Close stops an un-promoted standby: the ship loop exits and the
+// receiver's files close. After promotion it is a no-op for the server
+// (Shutdown the promoted Server() instead).
+func (st *Standby) Close() error {
+	st.stopOnce.Do(func() { close(st.quit) })
+	<-st.loopDone
+	st.closeReceiver()
+	return st.rcvErr
+}
+
+// Handler serves the standby's HTTP front: GET /repl/status and POST
+// /promote always answer here; everything else delegates to the promoted
+// server once there is one, and before that GET /healthz reports the
+// shipping loop while all other routes refuse with 503.
+func (st *Standby) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/repl/status" && r.Method == http.MethodGet:
+			writeJSON(w, http.StatusOK, st.Status())
+			return
+		case r.URL.Path == "/promote" && r.Method == http.MethodPost:
+			if err := st.Promote(); err != nil {
+				writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, st.Status())
+			return
+		}
+		if h := st.front.Load(); h != nil {
+			(*h).ServeHTTP(w, r)
+			return
+		}
+		if r.URL.Path == "/healthz" && r.Method == http.MethodGet {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "standby"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "serve: standby not promoted"})
+	})
+}

@@ -33,6 +33,72 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkWALShip measures replication shipping throughput: a follower
+// syncing a committed segment set from scratch — ShipDelta chunking and
+// framing on the primary side plus Receiver apply (WriteAt + manifest
+// commit) on the follower side, the full cost of standing up a warm
+// standby.
+func BenchmarkWALShip(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, 4, Options{SyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.StartAppending(); err != nil {
+		b.Fatal(err)
+	}
+	const records = 200_000
+	for i := 0; i < records; i++ {
+		if err := l.AppendReading(i%4, model.Epoch(i), model.TagID(i%64), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	var total int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := OpenReceiver(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var frames []byte
+		for {
+			pos, err := r.Pos()
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames, err = l.ShipDelta(frames[:0], pos, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(frames) == 0 {
+				break
+			}
+			rest := frames
+			for len(rest) > 0 {
+				rf, n, err := stream.DecodeReplFrame(rest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Apply(rf); err != nil {
+					b.Fatal(err)
+				}
+				rest = rest[n:]
+			}
+		}
+		total += r.ShippedBytes()
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/(1<<20)/b.Elapsed().Seconds(), "shippedMB/s")
+}
+
 // BenchmarkWALReplay measures log-scan throughput: decode + CRC over a
 // committed segment set, the raw-read half of recovery cost.
 func BenchmarkWALReplay(b *testing.B) {

@@ -198,11 +198,12 @@ type Log struct {
 	dir  string
 	opts Options
 
-	manifest Manifest
-	readings []*segment // one per site
-	deps     *segment
-	migs     *segment // inbound peer migration payloads
-	alerts   *segment // published continuous-query alerts (the delivery tier's durable log)
+	manifestMu sync.Mutex // guards manifest: the ship handler reads it off-thread
+	manifest   Manifest
+	readings   []*segment // one per site
+	deps       *segment
+	migs       *segment // inbound peer migration payloads
+	alerts     *segment // published continuous-query alerts (the delivery tier's durable log)
 
 	statsMu sync.Mutex
 	stats   Stats // slow-path counters; Appended/AppendedBytes live below
@@ -267,7 +268,11 @@ func Open(dir string, sites int, opts Options) (*Log, error) {
 }
 
 // Manifest returns the current commit point.
-func (l *Log) Manifest() Manifest { return l.manifest }
+func (l *Log) Manifest() Manifest {
+	l.manifestMu.Lock()
+	defer l.manifestMu.Unlock()
+	return l.manifest
+}
 
 // Dir returns the data directory path.
 func (l *Log) Dir() string { return l.dir }
@@ -298,25 +303,34 @@ func readManifest(dir string) (*Manifest, error) {
 	return &m, nil
 }
 
-// writeManifest commits a manifest atomically: write tmp, fsync, rename,
-// fsync the directory.
+// writeManifest commits a manifest atomically and publishes it as the
+// log's current commit point.
 func (l *Log) writeManifest(m Manifest) error {
+	if err := commitManifest(l.dir, m); err != nil {
+		return err
+	}
+	l.manifestMu.Lock()
+	l.manifest = m
+	l.manifestMu.Unlock()
+	return nil
+}
+
+// commitManifest writes a data directory's manifest atomically: write
+// tmp, fsync, rename, fsync the directory. Shared by the Log (snapshot
+// commits) and the replication Receiver (shipped manifest commits).
+func commitManifest(dir string, m Manifest) error {
 	b, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(l.dir, manifestName+".tmp")
+	tmp := filepath.Join(dir, manifestName+".tmp")
 	if err := writeFileSync(tmp, b); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, manifestName)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
-		return err
-	}
-	l.manifest = m
-	return nil
+	return syncDir(dir)
 }
 
 // writeFileSync writes a file and fsyncs it before closing.
@@ -743,7 +757,7 @@ func (l *Log) rotateSegment(sg *segment, site, gen int) error {
 // older snapshot. After Snapshot returns, the directory holds one snapshot
 // plus the segments written since Rotate.
 func (l *Log) Snapshot(st *State, gen int) error {
-	name := fmt.Sprintf("snap-%010d.snap", st.Boundary)
+	name := snapshotName(st.Boundary)
 	tmp := filepath.Join(l.dir, name+".tmp")
 	b, err := EncodeState(st)
 	if err != nil {
@@ -779,23 +793,52 @@ func (l *Log) Snapshot(st *State, gen int) error {
 // the next snapshot and never consulted by recovery (the manifest is the
 // only source of truth).
 func (l *Log) retire(keepSnap string, keepGen int) {
-	entries, err := os.ReadDir(l.dir)
+	retireFiles(l.dir, keepSnap, keepGen)
+}
+
+// retireFiles implements retire for any data directory; the replication
+// Receiver applies the same policy after committing a shipped manifest.
+func retireFiles(dir, keepSnap string, keepGen int) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		name := e.Name()
 		if _, gen, ok := parseSegmentName(name); ok && gen < keepGen {
-			os.Remove(filepath.Join(l.dir, name))
+			os.Remove(filepath.Join(dir, name))
 			continue
 		}
 		if strings.HasSuffix(name, ".snap") && name != keepSnap {
-			os.Remove(filepath.Join(l.dir, name))
+			os.Remove(filepath.Join(dir, name))
 		}
 		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(l.dir, name))
+			os.Remove(filepath.Join(dir, name))
 		}
 	}
+}
+
+// snapshotName returns the snapshot file name for a checkpoint boundary;
+// deriving it from the boundary alone is what lets the replication stream
+// address snapshot chunks by boundary instead of by name.
+func snapshotName(boundary model.Epoch) string {
+	return fmt.Sprintf("snap-%010d.snap", boundary)
+}
+
+// parseSnapshotName reverses snapshotName, also matching the in-flight
+// ".snap.tmp" form (tmp reports true); ok is false for other files.
+func parseSnapshotName(name string) (boundary model.Epoch, tmp bool, ok bool) {
+	if strings.HasSuffix(name, ".tmp") {
+		name, tmp = strings.TrimSuffix(name, ".tmp"), true
+	}
+	if !strings.HasSuffix(name, ".snap") || !strings.HasPrefix(name, "snap-") {
+		return 0, false, false
+	}
+	var b int64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(name, ".snap"), "snap-%d", &b); err != nil {
+		return 0, false, false
+	}
+	return model.Epoch(b), tmp, true
 }
 
 // LoadState decodes the manifest's snapshot. ok is false when no snapshot

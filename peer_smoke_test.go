@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -45,14 +46,35 @@ func reservePort(t *testing.T) int {
 	return port
 }
 
+// waitHealthz polls a daemon's /healthz until it answers 200 — the
+// readiness gate that closes the race between a reserved-port bind and
+// the HTTP stack actually serving (a killed-and-restarted peer can own
+// the port a beat before it accepts connections).
+func waitHealthz(t *testing.T, baseURL string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never reported healthy", baseURL)
+}
+
 // startPeerDaemon launches one clustered rfidtrackd and waits for its
-// listen line.
-func startPeerDaemon(t *testing.T, bin, dataDir, addr, peers string, self int) *exec.Cmd {
+// listen line and a healthy /healthz.
+func startPeerDaemon(t *testing.T, bin, dataDir, addr, peers string, self int, extra ...string) *exec.Cmd {
 	t.Helper()
 	args := append([]string{
 		"-addr", addr, "-data-dir", dataDir, "-strict", "-snapshot-every", "1",
 		"-peers", peers, "-self", fmt.Sprint(self),
 	}, smokeWorldFlags...)
+	args = append(args, extra...)
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -74,6 +96,7 @@ func startPeerDaemon(t *testing.T, bin, dataDir, addr, peers string, self int) *
 	}()
 	select {
 	case <-listening:
+		waitHealthz(t, "http://"+addr)
 		return cmd
 	case <-time.After(30 * time.Second):
 		cmd.Process.Kill()
